@@ -1,0 +1,40 @@
+#pragma once
+// Shared CLI plumbing for the table-regeneration binaries.
+//
+// Defaults are scaled so every binary finishes in well under a minute on a
+// laptop; --paper-scale selects the paper's full test counts (3,540 FP64 /
+// 2,840 FP32 programs, 5 optimization levels, ~650k runs total).
+
+#include <cstdio>
+
+#include "diff/campaign.hpp"
+#include "support/cli.hpp"
+
+namespace bench_common {
+
+inline void add_campaign_options(gpudiff::support::CliParser& cli) {
+  cli.add_int("programs", 'p', "number of random programs (0 = per-precision default)", 0);
+  cli.add_int("inputs", 'i', "inputs per program", 7);
+  cli.add_int("seed", 's', "campaign seed", 42);
+  cli.add_int("threads", 't', "worker threads (0 = hardware)", 0);
+  cli.add_flag("paper-scale", "use the paper's full program counts");
+}
+
+inline gpudiff::diff::CampaignConfig make_config(
+    const gpudiff::support::CliParser& cli, gpudiff::ir::Precision precision,
+    bool hipify) {
+  gpudiff::diff::CampaignConfig cfg;
+  cfg.gen.precision = precision;
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  cfg.inputs_per_program = static_cast<int>(cli.get_int("inputs"));
+  cfg.hipify_converted = hipify;
+  cfg.threads = static_cast<unsigned>(cli.get_int("threads"));
+  const bool fp32 = precision == gpudiff::ir::Precision::FP32;
+  int programs = static_cast<int>(cli.get_int("programs"));
+  if (cli.get_flag("paper-scale")) programs = fp32 ? 2840 : 3540;
+  if (programs <= 0) programs = fp32 ? 568 : 708;  // paper counts / 5
+  cfg.num_programs = programs;
+  return cfg;
+}
+
+}  // namespace bench_common

@@ -1,0 +1,128 @@
+// google-benchmark harness for the framework itself: generation, virtual
+// compilation, kernel execution, and the vendor math libraries (including
+// the from-scratch Payne-Hanek reduction and both fmod algorithms).
+
+#include <benchmark/benchmark.h>
+
+#include "diff/runner.hpp"
+#include "gen/generator.hpp"
+#include "gen/inputs.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/interp.hpp"
+#include "vmath/core/kernels.hpp"
+#include "vmath/mathlib.hpp"
+
+namespace {
+
+using namespace gpudiff;
+
+void BM_GenerateProgram(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.generate(i++ % 4096));
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_CompileO3(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  const ir::Program p = g.generate(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::compile(p, {opt::Toolchain::Hipcc, opt::OptLevel::O3, false}));
+  }
+}
+BENCHMARK(BM_CompileO3);
+
+void BM_RunKernel(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(7);
+  const auto exe = opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O2, false});
+  const auto args = ig.generate(p, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::run_kernel(exe, args));
+  }
+}
+BENCHMARK(BM_RunKernel);
+
+void BM_FullComparison(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(11);
+  const auto pair = diff::compile_pair(p, opt::OptLevel::O3_FastMath);
+  const auto args = ig.generate(p, 11, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::compare_run(pair, args));
+  }
+}
+BENCHMARK(BM_FullComparison);
+
+void BM_SinMediumRange(benchmark::State& state) {
+  double x = 12345.678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmath::core::sin64(x, vmath::core::ReduceStyle::CodyWaite3));
+    x += 1.0;
+  }
+}
+BENCHMARK(BM_SinMediumRange);
+
+void BM_SinPayneHanek(benchmark::State& state) {
+  double x = 1.0e300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmath::core::sin64(x, vmath::core::ReduceStyle::CodyWaite3));
+    x *= 1.0000001;
+    if (x > 1.6e308) x = 1.0e300;
+  }
+}
+BENCHMARK(BM_SinPayneHanek);
+
+void BM_FmodExact(benchmark::State& state) {
+  double x = 1.59e289;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmath::core::fmod_exact(x, 1.5793e-307));
+    x *= 1.0000001;
+  }
+}
+BENCHMARK(BM_FmodExact);
+
+void BM_FmodNvChunked(benchmark::State& state) {
+  const auto& lib = vmath::nv_libdevice();
+  double x = 1.59e289;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.call64(ir::MathFn::Fmod, x, 1.5793e-307));
+    x *= 1.0000001;
+  }
+}
+BENCHMARK(BM_FmodNvChunked);
+
+void BM_Exp64(benchmark::State& state) {
+  double x = -700.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmath::core::exp64(x));
+    x += 0.001;
+    if (x > 700.0) x = -700.0;
+  }
+}
+BENCHMARK(BM_Exp64);
+
+void BM_FastSinf(benchmark::State& state) {
+  const auto& lib = vmath::nv_fast();
+  float x = 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.call32(ir::MathFn::Sin, x));
+    x += 0.01f;
+  }
+}
+BENCHMARK(BM_FastSinf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

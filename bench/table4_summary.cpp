@@ -1,0 +1,35 @@
+// Regenerates paper Table IV: summary of experimental results across the
+// FP64, HIPIFY-converted FP64, and FP32 campaigns.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "diff/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpudiff;
+  support::CliParser cli("table4_summary",
+                         "Regenerate paper Table IV (campaign summary)");
+  bench_common::add_campaign_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto fp64_cfg = bench_common::make_config(cli, ir::Precision::FP64, false);
+  const auto hip_cfg = bench_common::make_config(cli, ir::Precision::FP64, true);
+  const auto fp32_cfg = bench_common::make_config(cli, ir::Precision::FP32, false);
+
+  std::printf("running FP64 campaign (%d programs x %d inputs x 5 levels)...\n",
+              fp64_cfg.num_programs, fp64_cfg.inputs_per_program);
+  const auto fp64 = diff::run_campaign(fp64_cfg);
+  std::printf("running HIPIFY-converted FP64 campaign...\n");
+  const auto hip = diff::run_campaign(hip_cfg);
+  std::printf("running FP32 campaign (%d programs)...\n", fp32_cfg.num_programs);
+  const auto fp32 = diff::run_campaign(fp32_cfg);
+
+  std::printf("\n%s\n", diff::render_summary(fp64, hip, fp32).c_str());
+  std::printf(
+      "Paper (Table IV, full scale): FP64 0.98%%, HIPIFY FP64 1.10%%, FP32 9.00%%\n"
+      "Shape checks: HIPIFY >= FP64 (%s), FP32 total >> FP64 total (%s)\n",
+      hip.discrepancies_total() >= fp64.discrepancies_total() ? "yes" : "NO",
+      fp32.discrepancy_percent() > fp64.discrepancy_percent() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Case Study 2 (paper Fig. 5): ceil(1.5955E-125) is 0 on nvcc, 1 on hipcc,
+// turning a benign division into Inf.  This example rebuilds the paper's
+// kernel, shows the divergence at every optimization level, and dumps the
+// pseudo-assembly of both compilations (the paper's SASS/ISA analysis).
+
+#include <cstdio>
+
+#include "diff/runner.hpp"
+#include "emit/emit.hpp"
+#include "ir/builder.hpp"
+#include "support/cli.hpp"
+#include "vgpu/pseudo_asm.hpp"
+#include "vmath/mathlib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpudiff;
+  using namespace gpudiff::ir;
+  support::CliParser cli("case_study_ceil",
+                         "Reproduce paper Fig. 5 (ceil divergence)");
+  cli.add_flag("asm", "dump both pseudo-assembly listings");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // Fig. 5 verbatim.
+  ProgramBuilder b(Precision::FP64);
+  const int t = b.decl_temp(make_literal(1.1147e-307, "+1.1147E-307"));
+  b.assign_comp(AssignOp::Add,
+                make_bin(BinOp::Div, make_temp(t),
+                         make_call(MathFn::Ceil,
+                                   make_literal(1.5955e-125, "+1.5955E-125"))));
+  const Program p = b.build();
+
+  std::printf("%s\n", emit::emit_kernel(p).c_str());
+  vgpu::KernelArgs args;
+  args.fp = {1.2374e-306};
+  args.ints = {0};
+  std::printf("Input: %s\n\n", args.to_varity_string(p).c_str());
+  for (auto level : opt::kAllOptLevels) {
+    const auto cmp = diff::run_differential(p, args, level);
+    std::printf("  -%-6s nvcc: %-16s hipcc: %-22s [%s]\n",
+                opt::to_string(level).c_str(), cmp.nvcc.printed.c_str(),
+                cmp.hipcc.printed.c_str(), to_string(cmp.cls).c_str());
+  }
+  std::printf("\nIsolated: ceil(+1.5955E-125) = %g (nvcc-sim) vs %g (hipcc-sim)\n",
+              vmath::nv_libdevice().call64(MathFn::Ceil, 1.5955e-125),
+              vmath::amd_ocml().call64(MathFn::Ceil, 1.5955e-125));
+  std::printf(
+      "Root cause (modeled): the NV ceil fast path flushes inputs with\n"
+      "unbiased exponent below -126 — an FP32-tuned threshold reused in the\n"
+      "FP64 path — so the tiny constant never rounds up to 1, and the\n"
+      "division by the resulting 0 produces Inf.\n");
+
+  if (cli.get_flag("asm")) {
+    for (auto tc : {opt::Toolchain::Nvcc, opt::Toolchain::Hipcc}) {
+      const auto exe = opt::compile(p, {tc, opt::OptLevel::O0, false});
+      std::printf("\n%s\n", vgpu::disassemble(exe).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Case Study 1 (paper Fig. 4): the fmod implementation difference.
+//
+// Scans fmod argument pairs across the exponent range, showing exactly
+// where the vendors' algorithms part ways: agreement up to a 1024-bit
+// exponent gap, divergent residues beyond it.
+
+#include <cstdio>
+
+#include "fp/bits.hpp"
+#include "fp/hexfloat.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "vmath/mathlib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpudiff;
+  support::CliParser cli("case_study_fmod",
+                         "Explore the fmod divergence of paper Fig. 4");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto& nv = vmath::nv_libdevice();
+  const auto& amd = vmath::amd_ocml();
+
+  // The paper's exact isolated expression.
+  const double paper_x = 1.5917195493481116e+289;
+  const double paper_y = 1.5793e-307;
+  std::printf("Paper Fig. 4 isolated call: fmod(%.17g, %.17g)\n", paper_x, paper_y);
+  std::printf("  nvcc-sim : %s\n", fp::print_g17(nv.call64(ir::MathFn::Fmod,
+                                                           paper_x, paper_y)).c_str());
+  std::printf("  hipcc-sim: %s   <- exact remainder, matches the paper's hipcc\n\n",
+              fp::print_g17(amd.call64(ir::MathFn::Fmod, paper_x, paper_y)).c_str());
+
+  support::Table t("fmod(x, y) agreement vs exponent gap (x = 1.5917...e+289)");
+  t.set_header({"y", "exponent gap (bits)", "nvcc-sim", "hipcc-sim", "verdict"});
+  for (double y : {1e250, 1e100, 1.0, 1e-10, 1e-100, 1e-250, 1e-290, 1.5793e-307}) {
+    const double a = nv.call64(ir::MathFn::Fmod, paper_x, y);
+    const double b = amd.call64(ir::MathFn::Fmod, paper_x, y);
+    const int gap = fp::unbiased_exponent(paper_x) - fp::unbiased_exponent(y);
+    t.add_row({fp::print_g17(y), std::to_string(gap), fp::print_g17(a),
+               fp::print_g17(b), a == b ? "agree" : "DIVERGE"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "nvcc-sim's division-based reduction unrolls 1024 bits of exponent\n"
+      "gap; beyond that a single rounded multiply-subtract loses the low\n"
+      "bits, landing on a different residue than OCML's exact integer\n"
+      "algorithm — the paper's \"only this specific input\" behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Auditing a hand-written kernel before porting it between GPU vendors.
+//
+// A developer porting CUDA code to HIP can build their kernel with the IR
+// builder, sweep realistic inputs, and learn at which optimization levels
+// and input regimes the two platforms will disagree — the acceptance-
+// testing use case the paper's introduction motivates.
+
+#include <cstdio>
+
+#include "diff/runner.hpp"
+#include "emit/emit.hpp"
+#include "gen/inputs.hpp"
+#include "ir/builder.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpudiff;
+  using namespace gpudiff::ir;
+  support::CliParser cli("port_audit", "Audit a custom kernel across vendors");
+  cli.add_int("sweeps", 'n', "input sweeps per optimization level", 2000);
+  cli.add_int("seed", 's', "sweep seed", 11);
+  if (!cli.parse(argc, argv)) return 1;
+
+  // The kernel under audit: a damped-oscillator energy accumulator —
+  // the kind of reduction loop ported between CUDA and HIP every day.
+  ProgramBuilder b(Precision::FP64);
+  const int steps = b.add_int_param();     // time steps
+  const int omega = b.add_scalar_param();  // angular frequency
+  const int gamma = b.add_scalar_param();  // damping
+  const int amp = b.add_scalar_param();    // amplitude
+  b.begin_for(steps);
+  // comp += amp * exp(-gamma * i) * cos(omega * i) / (1 + gamma * i)
+  b.assign_comp(
+      AssignOp::Add,
+      make_bin(BinOp::Div,
+               make_bin(BinOp::Mul,
+                        make_bin(BinOp::Mul, make_param(amp),
+                                 make_call(MathFn::Exp,
+                                           make_neg(make_bin(BinOp::Mul,
+                                                             make_param(gamma),
+                                                             make_loop_var(0))))),
+                        make_call(MathFn::Cos,
+                                  make_bin(BinOp::Mul, make_param(omega),
+                                           make_loop_var(0)))),
+               make_bin(BinOp::Add, make_literal(1.0, "+1.0E0"),
+                        make_bin(BinOp::Mul, make_param(gamma),
+                                 make_loop_var(0)))));
+  b.end_block();
+  const Program kernel = b.build();
+
+  std::printf("kernel under audit:\n\n%s\n", emit::emit_kernel(kernel).c_str());
+
+  support::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const int sweeps = static_cast<int>(cli.get_int("sweeps"));
+
+  support::Table t("Port audit: nvcc-sim vs hipcc-sim over " +
+                   std::to_string(sweeps) + " input sweeps");
+  t.set_header({"Opt level", "Diverging runs", "%", "worst |rel diff|"});
+  for (auto level : opt::kAllOptLevels) {
+    const auto pair = diff::compile_pair(kernel, level);
+    int diverged = 0;
+    double worst = 0.0;
+    support::Rng sweep_rng = rng.split(static_cast<std::uint64_t>(level));
+    for (int i = 0; i < sweeps; ++i) {
+      vgpu::KernelArgs args;
+      args.fp = {0.0, 0.0, sweep_rng.uniform(0.1, 20.0),
+                 sweep_rng.uniform(0.001, 0.5), sweep_rng.uniform(-10.0, 10.0)};
+      args.ints = {0, static_cast<int>(sweep_rng.range(4, 40)), 0, 0, 0};
+      const auto cmp = diff::compare_run(pair, args);
+      if (!cmp.discrepant()) continue;
+      ++diverged;
+      const double a = cmp.nvcc.outcome.cls == fp::OutcomeClass::Number
+                           ? std::abs((fp::from_bits<double>(cmp.nvcc.bits) -
+                                       fp::from_bits<double>(cmp.hipcc.bits)) /
+                                      fp::from_bits<double>(cmp.nvcc.bits))
+                           : 1.0;
+      if (a > worst) worst = a;
+    }
+    char pct[16], w[24];
+    std::snprintf(pct, sizeof pct, "%.2f", 100.0 * diverged / sweeps);
+    std::snprintf(w, sizeof w, "%.3E", worst);
+    t.add_row({opt::to_string(level), std::to_string(diverged), pct, w});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: last-ULP libm differences surface at every level; fast math\n"
+      "widens both the rate and the magnitude.  A porting team would gate\n"
+      "acceptance on the -O3 row and treat the fast-math row as advisory.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "diff/campaign.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "support/thread_pool.hpp"
+
+namespace gpudiff::diff {
+
+void LevelStats::merge(const LevelStats& other) {
+  comparisons += other.comparisons;
+  for (std::size_t i = 0; i < class_counts.size(); ++i)
+    class_counts[i] += other.class_counts[i];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) adjacency[r][c] += other.adjacency[r][c];
+}
+
+std::uint64_t CampaignResults::comparisons_total() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_level) n += s.comparisons;
+  return n;
+}
+
+std::uint64_t CampaignResults::discrepancies_total() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_level) n += s.discrepancy_total();
+  return n;
+}
+
+double CampaignResults::discrepancy_percent() const {
+  const auto runs = static_cast<double>(runs_total());
+  if (runs == 0) return 0.0;
+  // Paper Table IV reports discrepancies as % of total runs.
+  return 100.0 * static_cast<double>(discrepancies_total()) / runs;
+}
+
+const LevelStats& CampaignResults::stats_for(opt::OptLevel level) const {
+  for (std::size_t i = 0; i < levels.size(); ++i)
+    if (levels[i] == level) return per_level[i];
+  throw std::out_of_range("CampaignResults: level not part of campaign");
+}
+
+namespace {
+
+struct ProgramOutcome {
+  std::vector<LevelStats> per_level;
+  std::vector<DiscrepancyRecord> records;
+};
+
+}  // namespace
+
+CampaignResults run_campaign(const CampaignConfig& config) {
+  const gen::Generator generator(config.gen, config.seed);
+  const gen::InputGenerator input_gen(config.seed);
+
+  CampaignResults results;
+  results.seed = config.seed;
+  results.precision = config.gen.precision;
+  results.hipify_converted = config.hipify_converted;
+  results.num_programs = config.num_programs;
+  results.inputs_per_program = config.inputs_per_program;
+  results.levels = config.levels;
+  results.per_level.assign(config.levels.size(), LevelStats{});
+
+  const auto n_programs = static_cast<std::size_t>(config.num_programs);
+  std::vector<ProgramOutcome> outcomes(n_programs);
+
+  support::parallel_for(
+      n_programs,
+      [&](std::size_t pi) {
+        ProgramOutcome& out = outcomes[pi];
+        out.per_level.assign(config.levels.size(), LevelStats{});
+        const ir::Program program = generator.generate(pi);
+
+        // Materialize this program's inputs once.
+        std::vector<vgpu::KernelArgs> inputs;
+        inputs.reserve(static_cast<std::size_t>(config.inputs_per_program));
+        for (int ii = 0; ii < config.inputs_per_program; ++ii)
+          inputs.push_back(input_gen.generate(program, pi, ii));
+
+        for (std::size_t li = 0; li < config.levels.size(); ++li) {
+          const CompiledPair pair =
+              compile_pair(program, config.levels[li], config.hipify_converted);
+          LevelStats& stats = out.per_level[li];
+          for (int ii = 0; ii < config.inputs_per_program; ++ii) {
+            const ComparisonResult cmp = compare_run(pair, inputs[ii]);
+            ++stats.comparisons;
+            if (!cmp.discrepant()) continue;
+            ++stats.class_counts[class_index(cmp.cls)];
+            ++stats.adjacency[static_cast<int>(cmp.nvcc.outcome.cls)]
+                             [static_cast<int>(cmp.hipcc.outcome.cls)];
+            DiscrepancyRecord rec;
+            rec.program_index = pi;
+            rec.input_index = ii;
+            rec.level = config.levels[li];
+            rec.cls = cmp.cls;
+            rec.nvcc_outcome = cmp.nvcc.outcome;
+            rec.hipcc_outcome = cmp.hipcc.outcome;
+            rec.nvcc_printed = cmp.nvcc.printed;
+            rec.hipcc_printed = cmp.hipcc.printed;
+            out.records.push_back(std::move(rec));
+          }
+        }
+      },
+      config.threads, /*chunk=*/4);
+
+  // Deterministic merge in program order.
+  for (auto& out : outcomes) {
+    for (std::size_t li = 0; li < config.levels.size(); ++li)
+      results.per_level[li].merge(out.per_level[li]);
+    for (auto& rec : out.records) {
+      if (results.records.size() >= config.max_records) break;
+      results.records.push_back(std::move(rec));
+    }
+  }
+  return results;
+}
+
+}  // namespace gpudiff::diff

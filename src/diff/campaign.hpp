@@ -1,0 +1,81 @@
+#pragma once
+// Campaign driver: the large-scale testing loop of paper §IV.
+//
+// A campaign generates N programs x M inputs, compiles each program for both
+// platforms at every optimization level, runs every (input, level) pair and
+// accumulates discrepancy statistics.  Execution parallelizes over programs
+// (deterministic regardless of thread count: per-program results are
+// accumulated in index order).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diff/runner.hpp"
+#include "gen/config.hpp"
+#include "gen/generator.hpp"
+#include "gen/inputs.hpp"
+
+namespace gpudiff::diff {
+
+struct CampaignConfig {
+  gen::GenConfig gen;
+  std::uint64_t seed = 42;
+  int num_programs = 354;       ///< paper scale: 3,540 (FP64), 2,840 (FP32)
+  int inputs_per_program = 7;   ///< paper: 24,750 runs / 3,540 programs
+  bool hipify_converted = false;  ///< Tables VII/VIII mode
+  std::vector<opt::OptLevel> levels{opt::kAllOptLevels,
+                                    opt::kAllOptLevels + 5};
+  unsigned threads = 0;         ///< 0 = hardware concurrency
+  /// Cap on retained per-discrepancy records (statistics are never capped).
+  std::size_t max_records = 50000;
+};
+
+/// One retained discrepancy (enough to regenerate and re-analyze the test).
+struct DiscrepancyRecord {
+  std::uint64_t program_index = 0;
+  int input_index = 0;
+  opt::OptLevel level{};
+  DiscrepancyClass cls{};
+  fp::Outcome nvcc_outcome, hipcc_outcome;
+  std::string nvcc_printed, hipcc_printed;
+};
+
+/// Per-optimization-level statistics.
+struct LevelStats {
+  std::uint64_t comparisons = 0;
+  std::array<std::uint64_t, kDiscrepancyClassCount> class_counts{};
+  /// Directed adjacency: [nvcc outcome][hipcc outcome] over discrepant runs.
+  std::array<std::array<std::uint64_t, 4>, 4> adjacency{};
+
+  std::uint64_t discrepancy_total() const {
+    std::uint64_t n = 0;
+    for (auto c : class_counts) n += c;
+    return n;
+  }
+  void merge(const LevelStats& other);
+};
+
+struct CampaignResults {
+  std::uint64_t seed = 0;
+  ir::Precision precision = ir::Precision::FP64;
+  bool hipify_converted = false;
+  int num_programs = 0;
+  int inputs_per_program = 0;
+  std::vector<opt::OptLevel> levels;
+  std::vector<LevelStats> per_level;  ///< aligned with `levels`
+  std::vector<DiscrepancyRecord> records;
+
+  std::uint64_t comparisons_total() const;
+  std::uint64_t discrepancies_total() const;
+  /// Paper Table IV accounting: one "run" per (program, input, level,
+  /// compiler) — two runs per comparison.
+  std::uint64_t runs_total() const { return comparisons_total() * 2; }
+  double discrepancy_percent() const;
+  const LevelStats& stats_for(opt::OptLevel level) const;
+};
+
+CampaignResults run_campaign(const CampaignConfig& config);
+
+}  // namespace gpudiff::diff

@@ -1,0 +1,54 @@
+#include "diff/discrepancy.hpp"
+
+#include <utility>
+
+namespace gpudiff::diff {
+
+std::string to_string(DiscrepancyClass c) {
+  switch (c) {
+    case DiscrepancyClass::None: return "none";
+    case DiscrepancyClass::NaN_Inf: return "NaN, Inf";
+    case DiscrepancyClass::NaN_Zero: return "NaN, Zero";
+    case DiscrepancyClass::NaN_Num: return "NaN, Num";
+    case DiscrepancyClass::Inf_Zero: return "Inf, Zero";
+    case DiscrepancyClass::Inf_Num: return "Inf, Num";
+    case DiscrepancyClass::Num_Zero: return "Num, Zero";
+    case DiscrepancyClass::Num_Num: return "Num, Num";
+  }
+  return "?";
+}
+
+int class_index(DiscrepancyClass c) { return static_cast<int>(c) - 1; }
+
+DiscrepancyClass class_from_index(int index) {
+  return static_cast<DiscrepancyClass>(index + 1);
+}
+
+DiscrepancyClass classify_pair(fp::Outcome a, std::uint64_t a_bits,
+                               fp::Outcome b, std::uint64_t b_bits) {
+  using fp::OutcomeClass;
+  if (a.cls == b.cls) {
+    // Same class: only Number-vs-Number with different bits is a true
+    // numerical difference (the paper excludes sign-only special diffs;
+    // NaN payload differences are likewise not numerical differences).
+    if (a.cls == OutcomeClass::Number && a_bits != b_bits)
+      return DiscrepancyClass::Num_Num;
+    return DiscrepancyClass::None;
+  }
+  // Unordered pair of distinct classes.
+  OutcomeClass lo = a.cls;
+  OutcomeClass hi = b.cls;
+  if (static_cast<int>(lo) > static_cast<int>(hi)) std::swap(lo, hi);
+  if (lo == OutcomeClass::NaN) {
+    if (hi == OutcomeClass::Inf) return DiscrepancyClass::NaN_Inf;
+    if (hi == OutcomeClass::Zero) return DiscrepancyClass::NaN_Zero;
+    return DiscrepancyClass::NaN_Num;
+  }
+  if (lo == OutcomeClass::Inf) {
+    if (hi == OutcomeClass::Zero) return DiscrepancyClass::Inf_Zero;
+    return DiscrepancyClass::Inf_Num;
+  }
+  return DiscrepancyClass::Num_Zero;  // Zero paired with Number
+}
+
+}  // namespace gpudiff::diff

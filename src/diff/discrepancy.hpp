@@ -1,0 +1,43 @@
+#pragma once
+// Discrepancy taxonomy (paper §IV-B).
+//
+// Four outcome classes {NaN, Inf, Zero, Number} give seven discrepancy
+// classes for an unordered pair of differing outcomes.  Sign-only
+// differences within a class (-NaN vs +NaN, -Inf vs +Inf, -0 vs +0) are
+// excluded, as the paper excludes them; Number-vs-Number counts only when
+// the two values differ bit-for-bit.
+
+#include <cstdint>
+#include <string>
+
+#include "fp/classify.hpp"
+
+namespace gpudiff::diff {
+
+enum class DiscrepancyClass : std::uint8_t {
+  None = 0,
+  NaN_Inf,
+  NaN_Zero,
+  NaN_Num,
+  Inf_Zero,
+  Inf_Num,
+  Num_Zero,
+  Num_Num,
+};
+
+inline constexpr int kDiscrepancyClassCount = 7;  // excluding None
+
+/// Paper column order: "NaN, Inf", "NaN, Zero", ..., "Num, Num".
+std::string to_string(DiscrepancyClass c);
+
+/// Column index (0..6) for counting; None is not indexable.
+int class_index(DiscrepancyClass c);
+DiscrepancyClass class_from_index(int index);
+
+/// Classify one comparison: outcomes plus the raw IEEE bits of each result
+/// (bits decide Number-vs-Number equality; sign-only special differences
+/// return None).
+DiscrepancyClass classify_pair(fp::Outcome a, std::uint64_t a_bits,
+                               fp::Outcome b, std::uint64_t b_bits);
+
+}  // namespace gpudiff::diff

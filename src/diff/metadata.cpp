@@ -1,0 +1,234 @@
+#include "diff/metadata.hpp"
+
+#include <stdexcept>
+
+#include "fp/hexfloat.hpp"
+#include "ir/serialize.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gpudiff::diff {
+
+using support::Json;
+using support::JsonArray;
+
+namespace {
+
+const char* platform_key(opt::Toolchain t) {
+  return t == opt::Toolchain::Nvcc ? "nvcc-sim" : "hipcc-sim";
+}
+
+std::vector<opt::OptLevel> levels_from_json(const Json& arr) {
+  std::vector<opt::OptLevel> levels;
+  for (const auto& l : arr.as_array()) {
+    opt::OptLevel level;
+    if (!opt::parse_opt_level(l.as_string(), &level))
+      throw std::runtime_error("metadata: bad opt level " + l.as_string());
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+}  // namespace
+
+Metadata Metadata::create(const CampaignConfig& config) {
+  const gen::Generator generator(config.gen, config.seed);
+  const gen::InputGenerator input_gen(config.seed);
+
+  Json root = Json::object();
+  root["format"] = "gpudiff-metadata";
+  root["version"] = 1;
+  Json cfg = Json::object();
+  cfg["seed"] = static_cast<long long>(config.seed);
+  cfg["precision"] = ir::to_string(config.gen.precision);
+  cfg["hipify_converted"] = config.hipify_converted;
+  cfg["num_programs"] = config.num_programs;
+  cfg["inputs_per_program"] = config.inputs_per_program;
+  Json levels = Json::array();
+  for (auto level : config.levels) levels.push_back(opt::to_string(level));
+  cfg["levels"] = std::move(levels);
+  root["config"] = std::move(cfg);
+
+  Json tests = Json::array();
+  for (int pi = 0; pi < config.num_programs; ++pi) {
+    const ir::Program program = generator.generate(static_cast<std::uint64_t>(pi));
+    Json test = Json::object();
+    test["file"] = "tests/test_" + std::to_string(pi) + ".cu";
+    test["program"] = ir::program_to_json(program);
+    Json inputs = Json::array();
+    for (int ii = 0; ii < config.inputs_per_program; ++ii) {
+      const auto args = input_gen.generate(program, pi, ii);
+      inputs.push_back(args.to_json(program));
+    }
+    test["inputs"] = std::move(inputs);
+    test["results"] = Json::object();
+    tests.push_back(std::move(test));
+  }
+  root["tests"] = std::move(tests);
+
+  Metadata md;
+  md.root_ = std::move(root);
+  return md;
+}
+
+std::size_t Metadata::test_count() const {
+  return root_.at("tests").as_array().size();
+}
+
+ir::Program Metadata::test_program(std::size_t index) const {
+  return ir::program_from_json(root_.at("tests").as_array().at(index).at("program"));
+}
+
+std::vector<vgpu::KernelArgs> Metadata::test_inputs(std::size_t index) const {
+  const ir::Program program = test_program(index);
+  const Json& inputs = root_.at("tests").as_array().at(index).at("inputs");
+  std::vector<vgpu::KernelArgs> out;
+  for (const auto& in : inputs.as_array())
+    out.push_back(vgpu::KernelArgs::from_json(in, program));
+  return out;
+}
+
+void Metadata::record_platform(opt::Toolchain toolchain, unsigned threads) {
+  const Json& cfg = root_.at("config");
+  const bool hipify = cfg.at("hipify_converted").as_bool();
+  const auto levels = levels_from_json(cfg.at("levels"));
+  auto& tests = root_["tests"].as_array();
+
+  // Collected per test first (parallel), then written back in order.
+  std::vector<Json> per_test(tests.size());
+  support::parallel_for(
+      tests.size(),
+      [&](std::size_t ti) {
+        const ir::Program program = ir::program_from_json(tests[ti].at("program"));
+        std::vector<vgpu::KernelArgs> inputs;
+        for (const auto& in : tests[ti].at("inputs").as_array())
+          inputs.push_back(vgpu::KernelArgs::from_json(in, program));
+
+        Json by_level = Json::object();
+        for (const auto level : levels) {
+          opt::CompileOptions co;
+          co.toolchain = toolchain;
+          co.level = level;
+          co.hipify_converted = hipify && toolchain == opt::Toolchain::Hipcc;
+          const opt::Executable exe = opt::compile(program, co);
+          Json runs = Json::array();
+          for (const auto& args : inputs) {
+            const vgpu::RunResult run = vgpu::run_kernel(exe, args);
+            Json entry = Json::object();
+            if (program.precision() == ir::Precision::FP32) {
+              entry["bits"] = fp::encode_bits(fp::from_bits<float>(
+                  static_cast<std::uint32_t>(run.value_bits)));
+            } else {
+              entry["bits"] = fp::encode_bits(fp::from_bits<double>(run.value_bits));
+            }
+            entry["printed"] = run.printed;
+            runs.push_back(std::move(entry));
+          }
+          by_level[opt::to_string(level)] = std::move(runs);
+        }
+        per_test[ti] = std::move(by_level);
+      },
+      threads, /*chunk=*/2);
+
+  for (std::size_t ti = 0; ti < tests.size(); ++ti)
+    tests[ti]["results"][platform_key(toolchain)] = std::move(per_test[ti]);
+}
+
+bool Metadata::has_platform(opt::Toolchain toolchain) const {
+  const auto& tests = root_.at("tests").as_array();
+  if (tests.empty()) return false;
+  return tests.front().at("results").contains(platform_key(toolchain));
+}
+
+CampaignResults Metadata::analyze() const {
+  if (!has_platform(opt::Toolchain::Nvcc) || !has_platform(opt::Toolchain::Hipcc))
+    throw std::runtime_error("metadata: both platforms must be recorded first");
+
+  const Json& cfg = root_.at("config");
+  const ir::Precision precision =
+      cfg.at("precision").as_string() == "FP32" ? ir::Precision::FP32
+                                                : ir::Precision::FP64;
+  const auto levels = levels_from_json(cfg.at("levels"));
+
+  CampaignResults results;
+  results.seed = static_cast<std::uint64_t>(cfg.at("seed").as_int());
+  results.precision = precision;
+  results.hipify_converted = cfg.at("hipify_converted").as_bool();
+  results.num_programs = static_cast<int>(cfg.at("num_programs").as_int());
+  results.inputs_per_program =
+      static_cast<int>(cfg.at("inputs_per_program").as_int());
+  results.levels = levels;
+  results.per_level.assign(levels.size(), LevelStats{});
+
+  const auto& tests = root_.at("tests").as_array();
+  for (std::size_t ti = 0; ti < tests.size(); ++ti) {
+    const Json& res = tests[ti].at("results");
+    const Json& nv = res.at("nvcc-sim");
+    const Json& amd = res.at("hipcc-sim");
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const std::string key = opt::to_string(levels[li]);
+      const auto& nv_runs = nv.at(key).as_array();
+      const auto& amd_runs = amd.at(key).as_array();
+      if (nv_runs.size() != amd_runs.size())
+        throw std::runtime_error("metadata: run count mismatch");
+      LevelStats& stats = results.per_level[li];
+      for (std::size_t ii = 0; ii < nv_runs.size(); ++ii) {
+        ++stats.comparisons;
+        std::uint64_t nb, ab;
+        fp::Outcome no, ao;
+        if (precision == ir::Precision::FP32) {
+          const auto nvf = fp::decode_bits32(nv_runs[ii].at("bits").as_string());
+          const auto amdf = fp::decode_bits32(amd_runs[ii].at("bits").as_string());
+          if (!nvf || !amdf) throw std::runtime_error("metadata: bad bits");
+          nb = fp::to_bits(*nvf);
+          ab = fp::to_bits(*amdf);
+          no = fp::outcome_of(*nvf);
+          ao = fp::outcome_of(*amdf);
+        } else {
+          const auto nvd = fp::decode_bits64(nv_runs[ii].at("bits").as_string());
+          const auto amdd = fp::decode_bits64(amd_runs[ii].at("bits").as_string());
+          if (!nvd || !amdd) throw std::runtime_error("metadata: bad bits");
+          nb = fp::to_bits(*nvd);
+          ab = fp::to_bits(*amdd);
+          no = fp::outcome_of(*nvd);
+          ao = fp::outcome_of(*amdd);
+        }
+        const DiscrepancyClass cls = classify_pair(no, nb, ao, ab);
+        if (cls == DiscrepancyClass::None) continue;
+        ++stats.class_counts[class_index(cls)];
+        ++stats.adjacency[static_cast<int>(no.cls)][static_cast<int>(ao.cls)];
+        if (results.records.size() < 50000) {
+          DiscrepancyRecord rec;
+          rec.program_index = ti;
+          rec.input_index = static_cast<int>(ii);
+          rec.level = levels[li];
+          rec.cls = cls;
+          rec.nvcc_outcome = no;
+          rec.hipcc_outcome = ao;
+          rec.nvcc_printed = nv_runs[ii].at("printed").as_string();
+          rec.hipcc_printed = amd_runs[ii].at("printed").as_string();
+          results.records.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+  return results;
+}
+
+void Metadata::save(const std::string& path, int indent) const {
+  support::write_file(path, root_.dump(indent));
+}
+
+Metadata Metadata::load(const std::string& path) {
+  return from_json(Json::parse(support::read_file(path)));
+}
+
+Metadata Metadata::from_json(Json root) {
+  if (!root.is_object() || root.get_or("format", Json()).as_string() !=
+                               "gpudiff-metadata")
+    throw std::runtime_error("metadata: not a gpudiff metadata document");
+  Metadata md;
+  md.root_ = std::move(root);
+  return md;
+}
+
+}  // namespace gpudiff::diff

@@ -1,0 +1,57 @@
+#pragma once
+// Between-platform campaign protocol (paper Fig. 3).
+//
+// GPUs from different vendors live in different clusters, so the two halves
+// of a differential campaign run at different times on different machines:
+//
+//   System 1 (e.g. Lassen):  tests are generated, run on the local platform,
+//     and a JSON metadata file (tests + inputs + compiler + results) is
+//     written.
+//   System 2 (e.g. Tioga):   the metadata is loaded, the *same* tests and
+//     inputs are recompiled with the local toolchain and re-run, and the
+//     updated metadata with both platforms' results is saved.
+//   Analysis: the combined file yields the same discrepancy statistics a
+//     single-machine run would (locked by an integration test).
+//
+// Results are stored as IEEE bit strings so the file round-trips exactly.
+
+#include <string>
+
+#include "diff/campaign.hpp"
+#include "support/json.hpp"
+
+namespace gpudiff::diff {
+
+class Metadata {
+ public:
+  /// System-1 step A: generate the campaign's tests (no results yet).
+  static Metadata create(const CampaignConfig& config);
+
+  /// Run every test on one platform and store its results.  Re-recording a
+  /// platform overwrites its previous results.
+  void record_platform(opt::Toolchain toolchain, unsigned threads = 0);
+
+  bool has_platform(opt::Toolchain toolchain) const;
+
+  /// Combine both platforms' stored results into campaign statistics.
+  /// Throws if either platform has not been recorded.
+  CampaignResults analyze() const;
+
+  /// Number of tests (programs) carried by this metadata.
+  std::size_t test_count() const;
+
+  /// Regenerate the i-th test program / its inputs from the metadata.
+  ir::Program test_program(std::size_t index) const;
+  std::vector<vgpu::KernelArgs> test_inputs(std::size_t index) const;
+
+  void save(const std::string& path, int indent = 1) const;
+  static Metadata load(const std::string& path);
+  static Metadata from_json(support::Json root);
+  const support::Json& json() const noexcept { return root_; }
+
+ private:
+  Metadata() = default;
+  support::Json root_;
+};
+
+}  // namespace gpudiff::diff

@@ -1,0 +1,144 @@
+#include "diff/report.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace gpudiff::diff {
+
+using support::Align;
+using support::Table;
+using support::with_commas;
+
+namespace {
+
+std::string pct(double v) { return support::format("%.2f%%", v); }
+
+std::string campaign_label(const CampaignResults& r) {
+  std::string label = r.precision == ir::Precision::FP32 ? "FP32" : "FP64";
+  if (r.hipify_converted) label += " with HIPIFY";
+  return label;
+}
+
+}  // namespace
+
+std::string render_summary(const CampaignResults& fp64,
+                           const CampaignResults& hipify_fp64,
+                           const CampaignResults& fp32) {
+  const CampaignResults* cols[] = {&fp64, &hipify_fp64, &fp32};
+  Table t("TABLE IV — SUMMARY OF EXPERIMENTAL RESULTS");
+  t.set_header({"Metric", campaign_label(fp64), campaign_label(hipify_fp64),
+                campaign_label(fp32)},
+               {Align::Left, Align::Right, Align::Right, Align::Right});
+
+  const auto row = [&](const std::string& name, auto fn) {
+    std::vector<std::string> cells{name};
+    for (const auto* c : cols) cells.push_back(fn(*c));
+    t.add_row(std::move(cells));
+  };
+  row("Total Programs", [](const CampaignResults& c) {
+    return with_commas(c.num_programs);
+  });
+  row("Total Runs per Option per Compiler", [](const CampaignResults& c) {
+    return with_commas(static_cast<long long>(c.num_programs) *
+                       c.inputs_per_program);
+  });
+  row("Total Runs per Option", [](const CampaignResults& c) {
+    return with_commas(2LL * c.num_programs * c.inputs_per_program);
+  });
+  row("Total Runs", [](const CampaignResults& c) {
+    return with_commas(static_cast<long long>(c.runs_total()));
+  });
+  row("Runs on NVCC", [](const CampaignResults& c) {
+    return with_commas(static_cast<long long>(c.comparisons_total()));
+  });
+  row("Runs on HIPCC", [](const CampaignResults& c) {
+    return with_commas(static_cast<long long>(c.comparisons_total()));
+  });
+  row("Total Discrepancies", [](const CampaignResults& c) {
+    return with_commas(static_cast<long long>(c.discrepancies_total()));
+  });
+  row("Total Discrepancies (% of Total Runs)", [](const CampaignResults& c) {
+    return pct(c.discrepancy_percent());
+  });
+  return t.render();
+}
+
+std::string render_per_level(const CampaignResults& results,
+                             const std::string& title) {
+  Table t(title);
+  t.set_header({"Opt Flags", "Disc. Count", "NaN, Inf", "NaN, Zero", "NaN, Num",
+                "Inf, Zero", "Inf, Num", "Num, Zero", "Num, Num"},
+               {Align::Left});
+  std::array<std::uint64_t, kDiscrepancyClassCount> totals{};
+  std::uint64_t grand = 0;
+  for (std::size_t li = 0; li < results.levels.size(); ++li) {
+    const LevelStats& s = results.per_level[li];
+    std::vector<std::string> cells;
+    cells.push_back(opt::to_string(results.levels[li]));
+    cells.push_back(with_commas(static_cast<long long>(s.discrepancy_total())));
+    for (int ci = 0; ci < kDiscrepancyClassCount; ++ci) {
+      cells.push_back(with_commas(static_cast<long long>(s.class_counts[ci])));
+      totals[ci] += s.class_counts[ci];
+    }
+    grand += s.discrepancy_total();
+    t.add_row(std::move(cells));
+  }
+  t.add_rule();
+  std::vector<std::string> total_row{"Total",
+                                     with_commas(static_cast<long long>(grand))};
+  for (int ci = 0; ci < kDiscrepancyClassCount; ++ci)
+    total_row.push_back(with_commas(static_cast<long long>(totals[ci])));
+  t.add_row(std::move(total_row));
+  return t.render();
+}
+
+std::string render_adjacency(const CampaignResults& results,
+                             const std::string& title) {
+  static const char* kClassNames[4] = {"(±) NaN", "(±) Inf", "(±) Zero", "Num"};
+  std::string out = title + "\n";
+  for (std::size_t li = 0; li < results.levels.size(); ++li) {
+    const LevelStats& s = results.per_level[li];
+    Table t("Opt: " + opt::to_string(results.levels[li]) +
+            "   (cell \"a, b\": a = NVCC=row & HIPCC=col, b = NVCC=col & HIPCC=row)");
+    t.set_header({"NVCC \\ HIPCC", "(±) NaN", "(±) Inf", "(±) Zero", "Num"},
+                 {Align::Left});
+    for (int r = 0; r < 4; ++r) {
+      std::vector<std::string> cells{kClassNames[r]};
+      for (int c = 0; c < 4; ++c) {
+        if (c < r) {
+          cells.push_back("—");
+        } else if (c == r) {
+          // Same-class cell: only Num/Num holds discrepancies.
+          const auto n = s.adjacency[r][c];
+          cells.push_back(support::format("%llu, %llu",
+                                          static_cast<unsigned long long>(n),
+                                          static_cast<unsigned long long>(n)));
+        } else {
+          cells.push_back(support::format(
+              "%llu, %llu", static_cast<unsigned long long>(s.adjacency[r][c]),
+              static_cast<unsigned long long>(s.adjacency[c][r])));
+        }
+      }
+      t.add_row(std::move(cells));
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+std::string render_records(const CampaignResults& results, std::size_t limit) {
+  Table t("Discrepancy drill-down (first " + std::to_string(limit) + ")");
+  t.set_header({"Program", "Input", "Opt", "Class", "NVCC output", "HIPCC output"},
+               {Align::Right, Align::Right, Align::Left, Align::Left, Align::Right,
+                Align::Right});
+  std::size_t shown = 0;
+  for (const auto& rec : results.records) {
+    if (shown++ >= limit) break;
+    t.add_row({std::to_string(rec.program_index), std::to_string(rec.input_index),
+               opt::to_string(rec.level), to_string(rec.cls), rec.nvcc_printed,
+               rec.hipcc_printed});
+  }
+  return t.render();
+}
+
+}  // namespace gpudiff::diff

@@ -1,0 +1,34 @@
+#pragma once
+// Report renderers: regenerate the paper's tables from campaign results.
+//
+//   Table IV  — render_summary (FP64 / HIPIFY-FP64 / FP32 side by side)
+//   Table V   — render_per_level (FP64 campaign)
+//   Table VI  — render_adjacency (FP64 campaign)
+//   Table VII/VIII and IX/X — same renderers over the HIPIFY / FP32 runs
+
+#include <string>
+
+#include "diff/campaign.hpp"
+
+namespace gpudiff::diff {
+
+/// Paper Table IV: summary metrics for up to three campaigns.
+std::string render_summary(const CampaignResults& fp64,
+                           const CampaignResults& hipify_fp64,
+                           const CampaignResults& fp32);
+
+/// Paper Tables V/VII/IX: discrepancies per optimization option, split into
+/// the seven classes, with a Total row.
+std::string render_per_level(const CampaignResults& results,
+                             const std::string& title);
+
+/// Paper Tables VI/VIII/X: adjacency matrices per optimization level.
+/// Upper-triangular; cell (row, col) prints "a, b" where a counts runs with
+/// NVCC=row/HIPCC=col and b counts runs with NVCC=col/HIPCC=row.
+std::string render_adjacency(const CampaignResults& results,
+                             const std::string& title);
+
+/// A drill-down listing of retained discrepancy records (first `limit`).
+std::string render_records(const CampaignResults& results, std::size_t limit);
+
+}  // namespace gpudiff::diff

@@ -1,0 +1,53 @@
+#include "diff/runner.hpp"
+
+namespace gpudiff::diff {
+
+namespace {
+
+PlatformResult to_platform_result(const vgpu::RunResult& run,
+                                  ir::Precision precision) {
+  PlatformResult out;
+  out.printed = run.printed;
+  out.bits = run.value_bits;
+  out.flags = run.flags;
+  out.op_count = run.op_count;
+  if (precision == ir::Precision::FP32) {
+    out.outcome = fp::outcome_of(
+        fp::from_bits<float>(static_cast<std::uint32_t>(run.value_bits)));
+  } else {
+    out.outcome = fp::outcome_of(fp::from_bits<double>(run.value_bits));
+  }
+  return out;
+}
+
+}  // namespace
+
+CompiledPair compile_pair(const ir::Program& program, opt::OptLevel level,
+                          bool hipify_converted) {
+  opt::CompileOptions nv;
+  nv.toolchain = opt::Toolchain::Nvcc;
+  nv.level = level;
+  opt::CompileOptions amd;
+  amd.toolchain = opt::Toolchain::Hipcc;
+  amd.level = level;
+  amd.hipify_converted = hipify_converted;
+  return {opt::compile(program, nv), opt::compile(program, amd)};
+}
+
+ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args) {
+  const ir::Precision prec = pair.nvcc.program.precision();
+  ComparisonResult out;
+  out.nvcc = to_platform_result(vgpu::run_kernel(pair.nvcc, args), prec);
+  out.hipcc = to_platform_result(vgpu::run_kernel(pair.hipcc, args), prec);
+  out.cls = classify_pair(out.nvcc.outcome, out.nvcc.bits, out.hipcc.outcome,
+                          out.hipcc.bits);
+  return out;
+}
+
+ComparisonResult run_differential(const ir::Program& program,
+                                  const vgpu::KernelArgs& args,
+                                  opt::OptLevel level, bool hipify_converted) {
+  return compare_run(compile_pair(program, level, hipify_converted), args);
+}
+
+}  // namespace gpudiff::diff

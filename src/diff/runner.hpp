@@ -1,0 +1,51 @@
+#pragma once
+// Single-test differential runner: compile once per (toolchain, level),
+// run per input, classify the pair (paper Fig. 1 pipeline).
+
+#include <string>
+
+#include "diff/discrepancy.hpp"
+#include "fp/exceptions.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/args.hpp"
+#include "vgpu/interp.hpp"
+
+namespace gpudiff::diff {
+
+/// One platform's view of one run.
+struct PlatformResult {
+  std::string printed;          ///< %.17g output line
+  std::uint64_t bits = 0;       ///< IEEE bits of comp (32 or 64 wide)
+  fp::Outcome outcome;          ///< paper outcome class + sign
+  fp::ExceptionFlags flags;     ///< virtual-FPU exception record
+  std::uint64_t op_count = 0;
+};
+
+/// A compiled (nvcc-sim, hipcc-sim) pair at one optimization level.
+struct CompiledPair {
+  opt::Executable nvcc;
+  opt::Executable hipcc;
+};
+
+/// Compile `program` for both platforms at `level`.  `hipify_converted`
+/// selects the CUDA-compat binding on the hipcc side (Tables VII/VIII).
+CompiledPair compile_pair(const ir::Program& program, opt::OptLevel level,
+                          bool hipify_converted = false);
+
+/// One differential comparison.
+struct ComparisonResult {
+  PlatformResult nvcc;
+  PlatformResult hipcc;
+  DiscrepancyClass cls = DiscrepancyClass::None;
+  bool discrepant() const noexcept { return cls != DiscrepancyClass::None; }
+};
+
+ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args);
+
+/// Convenience: compile + run one input at one level.
+ComparisonResult run_differential(const ir::Program& program,
+                                  const vgpu::KernelArgs& args,
+                                  opt::OptLevel level,
+                                  bool hipify_converted = false);
+
+}  // namespace gpudiff::diff

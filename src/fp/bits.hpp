@@ -1,0 +1,187 @@
+#pragma once
+// Bit-level IEEE-754 helpers for binary32 and binary64.
+//
+// All simulator numerics go through these helpers rather than <cmath>
+// classification so that behaviour is identical regardless of the host
+// libm and of -ffast-math settings in client builds.
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace gpudiff::fp {
+
+// ---- trait layer: one set of algorithms for float and double ----
+
+template <typename T>
+struct FloatTraits;
+
+template <>
+struct FloatTraits<double> {
+  using Bits = std::uint64_t;
+  using SignedBits = std::int64_t;
+  static constexpr int mantissa_bits = 52;
+  static constexpr int exponent_bits = 11;
+  static constexpr int exponent_bias = 1023;
+  static constexpr Bits sign_mask = 0x8000000000000000ULL;
+  static constexpr Bits exponent_mask = 0x7FF0000000000000ULL;
+  static constexpr Bits mantissa_mask = 0x000FFFFFFFFFFFFFULL;
+  static constexpr Bits quiet_bit = 0x0008000000000000ULL;
+  static constexpr int max_exponent = 1024;    // unbiased, exclusive
+  static constexpr int min_normal_exponent = -1022;
+};
+
+template <>
+struct FloatTraits<float> {
+  using Bits = std::uint32_t;
+  using SignedBits = std::int32_t;
+  static constexpr int mantissa_bits = 23;
+  static constexpr int exponent_bits = 8;
+  static constexpr int exponent_bias = 127;
+  static constexpr Bits sign_mask = 0x80000000U;
+  static constexpr Bits exponent_mask = 0x7F800000U;
+  static constexpr Bits mantissa_mask = 0x007FFFFFU;
+  static constexpr Bits quiet_bit = 0x00400000U;
+  static constexpr int max_exponent = 128;
+  static constexpr int min_normal_exponent = -126;
+};
+
+template <typename T>
+constexpr typename FloatTraits<T>::Bits to_bits(T x) noexcept {
+  return std::bit_cast<typename FloatTraits<T>::Bits>(x);
+}
+
+template <typename T>
+constexpr T from_bits(typename FloatTraits<T>::Bits b) noexcept {
+  return std::bit_cast<T>(b);
+}
+
+template <typename T>
+constexpr bool sign_bit(T x) noexcept {
+  return (to_bits(x) & FloatTraits<T>::sign_mask) != 0;
+}
+
+/// Biased exponent field (0 = zero/subnormal, all-ones = inf/nan).
+template <typename T>
+constexpr int raw_exponent(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  return static_cast<int>((to_bits(x) & Tr::exponent_mask) >> Tr::mantissa_bits);
+}
+
+/// Unbiased exponent of a *normal* number (undefined for zero/subnormal/special).
+template <typename T>
+constexpr int unbiased_exponent(T x) noexcept {
+  return raw_exponent(x) - FloatTraits<T>::exponent_bias;
+}
+
+template <typename T>
+constexpr typename FloatTraits<T>::Bits mantissa_field(T x) noexcept {
+  return to_bits(x) & FloatTraits<T>::mantissa_mask;
+}
+
+template <typename T>
+constexpr bool is_nan_bits(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  return (to_bits(x) & Tr::exponent_mask) == Tr::exponent_mask &&
+         (to_bits(x) & Tr::mantissa_mask) != 0;
+}
+
+template <typename T>
+constexpr bool is_inf_bits(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  return (to_bits(x) & ~Tr::sign_mask) == Tr::exponent_mask;
+}
+
+template <typename T>
+constexpr bool is_zero_bits(T x) noexcept {
+  return (to_bits(x) & ~FloatTraits<T>::sign_mask) == 0;
+}
+
+template <typename T>
+constexpr bool is_subnormal_bits(T x) noexcept {
+  return raw_exponent(x) == 0 && mantissa_field(x) != 0;
+}
+
+template <typename T>
+constexpr bool is_finite_bits(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  return (to_bits(x) & Tr::exponent_mask) != Tr::exponent_mask;
+}
+
+template <typename T>
+constexpr T abs_bits(T x) noexcept {
+  return from_bits<T>(to_bits(x) & ~FloatTraits<T>::sign_mask);
+}
+
+template <typename T>
+constexpr T copysign_bits(T mag, T sgn) noexcept {
+  using Tr = FloatTraits<T>;
+  return from_bits<T>((to_bits(mag) & ~Tr::sign_mask) | (to_bits(sgn) & Tr::sign_mask));
+}
+
+template <typename T>
+constexpr T negate_bits(T x) noexcept {
+  return from_bits<T>(to_bits(x) ^ FloatTraits<T>::sign_mask);
+}
+
+/// Canonical quiet NaN of the given sign.
+template <typename T>
+constexpr T quiet_nan(bool negative = false) noexcept {
+  using Tr = FloatTraits<T>;
+  auto b = Tr::exponent_mask | Tr::quiet_bit;
+  if (negative) b |= Tr::sign_mask;
+  return from_bits<T>(b);
+}
+
+template <typename T>
+constexpr T infinity(bool negative = false) noexcept {
+  using Tr = FloatTraits<T>;
+  auto b = Tr::exponent_mask;
+  if (negative) b |= Tr::sign_mask;
+  return from_bits<T>(b);
+}
+
+/// Map a float onto a monotone signed integer line (for ULP distance):
+/// ... -2 (-minsub), -1 (-0), 0 (+0), 1 (+minsub) ...
+template <typename T>
+constexpr typename FloatTraits<T>::SignedBits ordered_bits(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  const auto b = to_bits(x);
+  using S = typename Tr::SignedBits;
+  if (b & Tr::sign_mask)
+    return -static_cast<S>(b & ~Tr::sign_mask) - 1;
+  return static_cast<S>(b);
+}
+
+/// ULP distance between two finite values of like type (saturating).
+template <typename T>
+constexpr std::uint64_t ulp_distance(T a, T b) noexcept {
+  if (is_nan_bits(a) || is_nan_bits(b)) return ~0ULL;
+  const auto ia = ordered_bits(a);
+  const auto ib = ordered_bits(b);
+  const auto d = ia > ib ? ia - ib : ib - ia;
+  return static_cast<std::uint64_t>(d);
+}
+
+/// Next representable value toward +inf (finite input).
+template <typename T>
+constexpr T next_up(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  if (is_nan_bits(x)) return x;
+  auto b = to_bits(x);
+  if (b == (Tr::sign_mask | 0)) return from_bits<T>(typename Tr::Bits(1));  // -0 -> min sub
+  if (b & Tr::sign_mask) return from_bits<T>(static_cast<typename Tr::Bits>(b - 1));
+  return from_bits<T>(static_cast<typename Tr::Bits>(b + 1));
+}
+
+template <typename T>
+constexpr T next_down(T x) noexcept {
+  using Tr = FloatTraits<T>;
+  if (is_nan_bits(x)) return x;
+  auto b = to_bits(x);
+  if (b == 0) return from_bits<T>(static_cast<typename Tr::Bits>(Tr::sign_mask | 1));
+  if (b & Tr::sign_mask) return from_bits<T>(static_cast<typename Tr::Bits>(b + 1));
+  return from_bits<T>(static_cast<typename Tr::Bits>(b - 1));
+}
+
+}  // namespace gpudiff::fp

@@ -1,0 +1,35 @@
+#include "fp/classify.hpp"
+
+namespace gpudiff::fp {
+
+std::string to_string(FpClass c) {
+  switch (c) {
+    case FpClass::NegNaN: return "-NaN";
+    case FpClass::NegInf: return "-Inf";
+    case FpClass::NegNormal: return "-Normal";
+    case FpClass::NegSubnormal: return "-Subnormal";
+    case FpClass::NegZero: return "-Zero";
+    case FpClass::PosZero: return "+Zero";
+    case FpClass::PosSubnormal: return "+Subnormal";
+    case FpClass::PosNormal: return "+Normal";
+    case FpClass::PosInf: return "+Inf";
+    case FpClass::PosNaN: return "+NaN";
+  }
+  return "?";
+}
+
+std::string to_string(OutcomeClass c) {
+  switch (c) {
+    case OutcomeClass::NaN: return "NaN";
+    case OutcomeClass::Inf: return "Inf";
+    case OutcomeClass::Zero: return "Zero";
+    case OutcomeClass::Number: return "Num";
+  }
+  return "?";
+}
+
+std::string to_string(const Outcome& o) {
+  return (o.negative ? "-" : "+") + to_string(o.cls);
+}
+
+}  // namespace gpudiff::fp

@@ -1,0 +1,57 @@
+#pragma once
+// Floating-point value classification used throughout the framework.
+//
+// Two granularities:
+//   * FpClass      — full IEEE taxonomy (NaN/Inf/Zero/Subnormal/Normal, signed)
+//   * OutcomeClass — the paper's 4 test-outcome buckets {NaN, Inf, Zero, Number}
+//     (Section IV-B: "We identified four possible outcomes from any test").
+//     "Number" = non-zero real-valued FP number; subnormals count as Number.
+
+#include <cstdint>
+#include <string>
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::fp {
+
+enum class FpClass : std::uint8_t {
+  NegNaN, NegInf, NegNormal, NegSubnormal, NegZero,
+  PosZero, PosSubnormal, PosNormal, PosInf, PosNaN,
+};
+
+enum class OutcomeClass : std::uint8_t { NaN = 0, Inf = 1, Zero = 2, Number = 3 };
+
+/// A classified value: outcome bucket plus sign (the paper distinguishes
+/// ±NaN, ±Inf, ±Zero in its adjacency matrices but excludes sign-only
+/// differences from the discrepancy counts).
+struct Outcome {
+  OutcomeClass cls = OutcomeClass::Number;
+  bool negative = false;
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+template <typename T>
+FpClass classify(T x) noexcept {
+  const bool neg = sign_bit(x);
+  if (is_nan_bits(x)) return neg ? FpClass::NegNaN : FpClass::PosNaN;
+  if (is_inf_bits(x)) return neg ? FpClass::NegInf : FpClass::PosInf;
+  if (is_zero_bits(x)) return neg ? FpClass::NegZero : FpClass::PosZero;
+  if (is_subnormal_bits(x)) return neg ? FpClass::NegSubnormal : FpClass::PosSubnormal;
+  return neg ? FpClass::NegNormal : FpClass::PosNormal;
+}
+
+template <typename T>
+Outcome outcome_of(T x) noexcept {
+  const bool neg = sign_bit(x);
+  if (is_nan_bits(x)) return {OutcomeClass::NaN, neg};
+  if (is_inf_bits(x)) return {OutcomeClass::Inf, neg};
+  if (is_zero_bits(x)) return {OutcomeClass::Zero, neg};
+  return {OutcomeClass::Number, neg};
+}
+
+std::string to_string(FpClass c);
+std::string to_string(OutcomeClass c);
+std::string to_string(const Outcome& o);
+
+}  // namespace gpudiff::fp

@@ -1,0 +1,35 @@
+#include "fp/exceptions.hpp"
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::fp {
+
+std::string ExceptionFlags::to_string() const {
+  if (flags_ == 0) return "none";
+  std::string out;
+  const auto add = [&](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (invalid()) add("invalid");
+  if (divide_by_zero()) add("div-by-zero");
+  if (overflow()) add("overflow");
+  if (underflow()) add("underflow");
+  if (inexact()) add("inexact");
+  return out;
+}
+
+template <typename T>
+std::uint8_t infer_arith_exceptions(T result, bool operands_finite, bool exact) noexcept {
+  std::uint8_t bits = 0;
+  if (is_nan_bits(result) && operands_finite) bits |= kInvalid;
+  if (is_inf_bits(result) && operands_finite) bits |= kOverflow;
+  if (is_subnormal_bits(result)) bits |= kUnderflow | kInexact;
+  if (!exact) bits |= kInexact;
+  return bits;
+}
+
+template std::uint8_t infer_arith_exceptions<double>(double, bool, bool) noexcept;
+template std::uint8_t infer_arith_exceptions<float>(float, bool, bool) noexcept;
+
+}  // namespace gpudiff::fp

@@ -1,0 +1,52 @@
+#pragma once
+// Software IEEE-754 exception-flag tracking (paper Table II).
+//
+// NVIDIA GPUs expose no FP status register and raise no SIGFPE; the paper
+// (Section II-B) works around this by classifying *values*.  Our virtual
+// FPU can do better: every arithmetic operation and math call reports the
+// exceptions it would raise, and the interpreter accumulates them per run.
+// The five classes: Inexact, Underflow, Overflow, DivideByZero, Invalid.
+
+#include <cstdint>
+#include <string>
+
+namespace gpudiff::fp {
+
+enum ExceptionBits : std::uint8_t {
+  kInexact = 1u << 0,
+  kUnderflow = 1u << 1,
+  kOverflow = 1u << 2,
+  kDivideByZero = 1u << 3,
+  kInvalid = 1u << 4,
+};
+
+/// Accumulated exception flags for one kernel execution.
+class ExceptionFlags {
+ public:
+  void raise(std::uint8_t bits) noexcept { flags_ |= bits; }
+  void clear() noexcept { flags_ = 0; }
+
+  bool inexact() const noexcept { return flags_ & kInexact; }
+  bool underflow() const noexcept { return flags_ & kUnderflow; }
+  bool overflow() const noexcept { return flags_ & kOverflow; }
+  bool divide_by_zero() const noexcept { return flags_ & kDivideByZero; }
+  bool invalid() const noexcept { return flags_ & kInvalid; }
+  bool any() const noexcept { return flags_ != 0; }
+  /// Any event other than Inexact — the paper discards Inexact as noise.
+  bool any_serious() const noexcept { return (flags_ & ~kInexact) != 0; }
+
+  std::uint8_t raw() const noexcept { return flags_; }
+  std::string to_string() const;
+
+ private:
+  std::uint8_t flags_ = 0;
+};
+
+/// Classify the exceptions implied by computing `result` from finite inputs
+/// by observing the value transition (exact semantics are supplied by the
+/// virtual FPU in vgpu; this helper covers the common arithmetic case).
+template <typename T>
+std::uint8_t infer_arith_exceptions(T result, bool operands_finite,
+                                    bool exact) noexcept;
+
+}  // namespace gpudiff::fp

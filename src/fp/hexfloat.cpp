@@ -1,0 +1,142 @@
+#include "fp/hexfloat.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::fp {
+
+std::string print_g17(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+std::string print_g9(float x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(x));
+  return buf;
+}
+
+std::string print_varity(double x) {
+  if (is_nan_bits(x)) return sign_bit(x) ? "-nan" : "+nan";
+  if (is_inf_bits(x)) return sign_bit(x) ? "-inf" : "+inf";
+  if (is_zero_bits(x)) return sign_bit(x) ? "-0.0" : "+0.0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.17E", x);
+  return buf;
+}
+
+std::string print_varity(float x) {
+  if (is_nan_bits(x)) return sign_bit(x) ? "-nan" : "+nan";
+  if (is_inf_bits(x)) return sign_bit(x) ? "-inf" : "+inf";
+  if (is_zero_bits(x)) return sign_bit(x) ? "-0.0" : "+0.0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.9E", static_cast<double>(x));
+  return buf;
+}
+
+namespace {
+
+// Case-insensitive match helper for inf/nan spellings.
+bool imatch(std::string_view s, std::string_view word) {
+  if (s.size() != word.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char a = s[i] >= 'A' && s[i] <= 'Z' ? static_cast<char>(s[i] - 'A' + 'a') : s[i];
+    if (a != word[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  bool neg = false;
+  std::string_view body = text;
+  if (body.front() == '+' || body.front() == '-') {
+    neg = body.front() == '-';
+    body.remove_prefix(1);
+  }
+  if (imatch(body, "inf") || imatch(body, "infinity"))
+    return infinity<double>(neg);
+  if (imatch(body, "nan") || imatch(body, "nan(snan)"))
+    return quiet_nan<double>(neg);
+
+  const std::string z(text);
+  char* end = nullptr;
+  const double v = std::strtod(z.c_str(), &end);
+  if (end != z.c_str() + z.size() || end == z.c_str()) return std::nullopt;
+  return v;
+}
+
+std::optional<float> parse_float(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  bool neg = false;
+  std::string_view body = text;
+  if (body.front() == '+' || body.front() == '-') {
+    neg = body.front() == '-';
+    body.remove_prefix(1);
+  }
+  if (imatch(body, "inf") || imatch(body, "infinity"))
+    return infinity<float>(neg);
+  if (imatch(body, "nan"))
+    return quiet_nan<float>(neg);
+  // Allow the CUDA-style 'F'/'f' literal suffix (checked after the special
+  // spellings: "inf" also ends in 'f').
+  if (!body.empty() && (body.back() == 'f' || body.back() == 'F') &&
+      body.find_first_of("xX") == std::string_view::npos) {
+    body.remove_suffix(1);
+    std::string with_sign = (neg ? "-" : "+") + std::string(body);
+    return parse_float(with_sign);
+  }
+
+  const std::string z(text);
+  char* end = nullptr;
+  const float v = std::strtof(z.c_str(), &end);
+  if (end != z.c_str() + z.size() || end == z.c_str()) return std::nullopt;
+  return v;
+}
+
+std::string encode_bits(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "64:%016" PRIX64, to_bits(x));
+  return buf;
+}
+
+std::string encode_bits(float x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "32:%08" PRIX32, to_bits(x));
+  return buf;
+}
+
+std::optional<double> decode_bits64(std::string_view text) {
+  if (text.size() != 3 + 16 || text.substr(0, 3) != "64:") return std::nullopt;
+  std::uint64_t bits = 0;
+  for (char c : text.substr(3)) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'A' && c <= 'F') bits |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return from_bits<double>(bits);
+}
+
+std::optional<float> decode_bits32(std::string_view text) {
+  if (text.size() != 3 + 8 || text.substr(0, 3) != "32:") return std::nullopt;
+  std::uint32_t bits = 0;
+  for (char c : text.substr(3)) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'A' && c <= 'F') bits |= static_cast<std::uint32_t>(c - 'A' + 10);
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return from_bits<float>(bits);
+}
+
+}  // namespace gpudiff::fp

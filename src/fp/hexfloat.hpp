@@ -1,0 +1,38 @@
+#pragma once
+// Exact textual round-trips for floating-point values.
+//
+// Varity prints kernel results with printf("%.17g") and writes inputs in
+// scientific notation with explicit signs (e.g. "+1.5955E-125", "-0.0").
+// This module reproduces both conventions and guarantees
+// parse(print(x)) == x bit-for-bit, including signed zeros, infinities and
+// NaNs, plus IEEE-bit hex encodings for the metadata JSON.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gpudiff::fp {
+
+/// printf("%.17g")-equivalent (shortest17) formatting; "inf"/"-inf"/"nan"/"-nan"
+/// match glibc's printf output, which both CUDA and HIP device printf follow.
+std::string print_g17(double x);
+/// printf("%.9g")-equivalent for binary32 values.
+std::string print_g9(float x);
+
+/// Varity input-file style: sign-prefixed scientific ("+1.2374E-306", "-0.0").
+std::string print_varity(double x);
+std::string print_varity(float x);
+
+/// Parse either convention (also accepts hex-float "0x1.8p+3" and
+/// "inf"/"nan" spellings).  Returns nullopt on malformed input.
+std::optional<double> parse_double(std::string_view text);
+std::optional<float> parse_float(std::string_view text);
+
+/// Lossless IEEE-bit string for metadata: "64:HHHHHHHHHHHHHHHH" / "32:HHHHHHHH".
+std::string encode_bits(double x);
+std::string encode_bits(float x);
+std::optional<double> decode_bits64(std::string_view text);
+std::optional<float> decode_bits32(std::string_view text);
+
+}  // namespace gpudiff::fp

@@ -1,0 +1,41 @@
+#include "gen/config.hpp"
+
+#include "support/strings.hpp"
+
+namespace gpudiff::gen {
+
+std::vector<ir::MathFn> GenConfig::default_functions() {
+  using ir::MathFn;
+  // All 20 libm functions; the ones scientific codes lean on hardest (and
+  // the ones the paper's case studies revolve around: fmod, ceil, cos,
+  // cosh) appear with higher weight, mirroring Varity's bias toward
+  // numerically interesting calls.
+  return {MathFn::Fabs, MathFn::Sqrt, MathFn::Exp,  MathFn::Log,
+          MathFn::Sin,  MathFn::Cos,  MathFn::Tan,  MathFn::Asin,
+          MathFn::Acos, MathFn::Atan, MathFn::Sinh, MathFn::Cosh,
+          MathFn::Tanh, MathFn::Ceil, MathFn::Floor, MathFn::Trunc,
+          MathFn::Fmod, MathFn::Pow,  MathFn::Fmin, MathFn::Fmax,
+          // weighted repeats
+          MathFn::Fmod, MathFn::Fmod, MathFn::Exp,  MathFn::Log,
+          MathFn::Cos,  MathFn::Sin,  MathFn::Cosh, MathFn::Pow};
+}
+
+std::string GenConfig::describe() const {
+  std::string fns;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (i) fns += ", ";
+    fns += ir::name_of(functions[i]);
+  }
+  return support::format(
+      "Floating-Point Types : %s variables (single configuration per test)\n"
+      "Arithmetic Expressions: operators {+, -, *, /}, parentheses, depth <= %d,\n"
+      "                        math functions: %s\n"
+      "Loops                : for loops, nesting depth <= %d\n"
+      "Conditions           : if conditions over boolean comparisons\n"
+      "Variables            : <= %d temporaries, %d..%d scalar params, <= %d arrays\n",
+      precision == ir::Precision::FP32 ? "float" : "double", max_expr_depth,
+      fns.c_str(), max_loop_nest, 3, min_scalar_params, max_scalar_params,
+      max_array_params);
+}
+
+}  // namespace gpudiff::gen

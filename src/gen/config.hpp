@@ -1,0 +1,68 @@
+#pragma once
+// Generator configuration: the tunable grammar of random test programs
+// (paper Table III — floating-point types, arithmetic expressions, loops,
+// conditions, temporary variables/arrays, C math library calls).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace gpudiff::gen {
+
+struct GenConfig {
+  ir::Precision precision = ir::Precision::FP64;
+
+  // --- structure limits ---
+  int max_expr_depth = 4;     ///< arithmetic expression nesting
+  int min_stmts = 2;          ///< top-level statements per kernel
+  int max_stmts = 6;
+  int max_loop_nest = 2;      ///< paper: "multiple levels of nesting"
+  int max_block_stmts = 3;    ///< statements inside a loop/if body
+  int min_scalar_params = 3;
+  int max_scalar_params = 8;
+  int max_int_params = 2;     ///< loop-bound parameters
+  int max_array_params = 2;
+
+  // --- feature toggles ---
+  bool allow_loops = true;
+  bool allow_ifs = true;
+  bool allow_arrays = true;
+  bool allow_calls = true;
+
+  // --- expression shape weights (relative) ---
+  std::uint32_t w_bin = 44;
+  std::uint32_t w_call = 16;
+  std::uint32_t w_neg = 6;
+  std::uint32_t w_leaf = 34;
+
+  // --- leaf weights ---
+  std::uint32_t w_leaf_literal = 35;
+  std::uint32_t w_leaf_param = 40;
+  std::uint32_t w_leaf_temp = 12;
+  std::uint32_t w_leaf_array = 13;
+
+  /// Math functions the generator may call (all 20 by default).
+  std::vector<ir::MathFn> functions = default_functions();
+
+  static std::vector<ir::MathFn> default_functions();
+
+  /// Render the grammar characteristics as the rows of paper Table III.
+  std::string describe() const;
+};
+
+/// Literal and input value classes (Varity samples floating values from
+/// extreme regions of the format: the Fig. 4/6 inputs are 1e+306-scale,
+/// subnormal-scale and signed zeros).
+enum class ValueClass : std::uint8_t {
+  Zero,        // +-0.0
+  Subnormal,   // below the normal range
+  TinyNormal,  // just above the subnormal boundary
+  Small,       // ~1e-5 .. 1e-1 scale
+  Moderate,    // ~0.1 .. 1e3
+  Large,       // upper decades of the format
+  Huge,        // near overflow
+};
+
+}  // namespace gpudiff::gen

@@ -1,0 +1,282 @@
+#include "gen/generator.hpp"
+
+#include <cmath>
+
+#include "fp/hexfloat.hpp"
+#include "support/strings.hpp"
+
+namespace gpudiff::gen {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Precision;
+using support::Rng;
+
+/// Pick a literal value class with Varity-like emphasis on extremes.
+ValueClass pick_class(Rng& rng) {
+  static constexpr std::uint32_t weights[] = {
+      6,   // Zero
+      10,  // Subnormal
+      16,  // TinyNormal
+      12,  // Small
+      20,  // Moderate
+      16,  // Large
+      20,  // Huge
+  };
+  return static_cast<ValueClass>(rng.weighted(weights, std::size(weights)));
+}
+
+/// Decimal exponent range for a class, per precision.
+void exponent_range(ValueClass cls, Precision prec, int* lo, int* hi) {
+  const bool f32 = prec == Precision::FP32;
+  switch (cls) {
+    case ValueClass::Zero: *lo = *hi = 0; break;
+    case ValueClass::Subnormal:
+      if (f32) { *lo = -45; *hi = -39; } else { *lo = -323; *hi = -309; }
+      break;
+    case ValueClass::TinyNormal:
+      if (f32) { *lo = -38; *hi = -30; } else { *lo = -307; *hi = -290; }
+      break;
+    case ValueClass::Small:
+      *lo = -6; *hi = -1;
+      break;
+    case ValueClass::Moderate:
+      *lo = -1; *hi = 3;
+      break;
+    case ValueClass::Large:
+      if (f32) { *lo = 20; *hi = 33; } else { *lo = 150; *hi = 290; }
+      break;
+    case ValueClass::Huge:
+      if (f32) { *lo = 34; *hi = 38; } else { *lo = 291; *hi = 308; }
+      break;
+  }
+}
+
+}  // namespace
+
+ir::ExprPtr random_literal(Rng& rng, Precision precision) {
+  const ValueClass cls = pick_class(rng);
+  const bool negative = rng.chance(0.5);
+  if (cls == ValueClass::Zero) {
+    const char* text = negative ? "-0.0" : "+0.0";
+    return ir::make_literal(negative ? -0.0 : 0.0,
+                            precision == Precision::FP32 ? std::string(text) + "F"
+                                                         : text);
+  }
+  int lo = 0, hi = 0;
+  exponent_range(cls, precision, &lo, &hi);
+  const int exp10 = static_cast<int>(rng.range(lo, hi));
+  // Varity-style mantissa: 1.0000 .. 1.9999 with 4 fractional digits.
+  const int mant = static_cast<int>(rng.range(0, 9999));
+  const std::string text = support::format("%c1.%04dE%d", negative ? '-' : '+',
+                                           mant, exp10);
+  double value = 0.0;
+  if (precision == Precision::FP32) {
+    const auto parsed = fp::parse_float(text);
+    value = static_cast<double>(parsed.value_or(0.0f));
+    return ir::make_literal(value, text + "F");
+  }
+  const auto parsed = fp::parse_double(text);
+  value = parsed.value_or(0.0);
+  return ir::make_literal(value, text);
+}
+
+namespace {
+
+/// Per-program generation state.
+class ProgramGen {
+ public:
+  ProgramGen(const GenConfig& cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  ir::Program run() {
+    // --- signature ---
+    params_.push_back({ir::ParamKind::Comp, "comp"});
+    const int n_ints = cfg_.allow_loops
+                           ? static_cast<int>(rng_.range(1, cfg_.max_int_params))
+                           : 0;
+    const int n_scalars = static_cast<int>(
+        rng_.range(cfg_.min_scalar_params, cfg_.max_scalar_params));
+    const int n_arrays = cfg_.allow_arrays
+                             ? static_cast<int>(rng_.range(0, cfg_.max_array_params))
+                             : 0;
+    // Varity interleaves parameter kinds in declaration order; we shuffle
+    // kinds into a flat list for the same flavour.
+    std::vector<ir::ParamKind> kinds;
+    for (int i = 0; i < n_ints; ++i) kinds.push_back(ir::ParamKind::Int);
+    for (int i = 0; i < n_scalars; ++i) kinds.push_back(ir::ParamKind::Scalar);
+    for (int i = 0; i < n_arrays; ++i) kinds.push_back(ir::ParamKind::Array);
+    for (std::size_t i = kinds.size(); i > 1; --i) {
+      const std::size_t j = rng_.below(i);
+      std::swap(kinds[i - 1], kinds[j]);
+    }
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const int index = static_cast<int>(i) + 1;
+      params_.push_back({kinds[i], "var_" + std::to_string(index)});
+      switch (kinds[i]) {
+        case ir::ParamKind::Int: int_params_.push_back(index); break;
+        case ir::ParamKind::Scalar: scalar_params_.push_back(index); break;
+        case ir::ParamKind::Array: array_params_.push_back(index); break;
+        default: break;
+      }
+    }
+
+    // --- body ---
+    const int n_stmts = static_cast<int>(rng_.range(cfg_.min_stmts, cfg_.max_stmts));
+    std::vector<ir::StmtPtr> body;
+    for (int i = 0; i < n_stmts; ++i) body.push_back(gen_stmt(/*loop_depth=*/0));
+    return ir::Program(cfg_.precision, std::move(params_), std::move(body));
+  }
+
+ private:
+  // --- expressions ---
+
+  ExprPtr gen_leaf(int loop_depth) {
+    const std::uint32_t weights[] = {
+        cfg_.w_leaf_literal,
+        cfg_.w_leaf_param,
+        temps_ > 0 ? cfg_.w_leaf_temp : 0,
+        (loop_depth > 0 && !array_params_.empty()) ? cfg_.w_leaf_array : 0,
+    };
+    switch (rng_.weighted(weights, std::size(weights))) {
+      case 0:
+        return random_literal(rng_, cfg_.precision);
+      case 1:
+        if (!scalar_params_.empty())
+          return ir::make_param(scalar_params_[rng_.below(scalar_params_.size())]);
+        return random_literal(rng_, cfg_.precision);
+      case 2:
+        return ir::make_temp(static_cast<int>(rng_.range(1, temps_)));
+      default:
+        return ir::make_array(array_params_[rng_.below(array_params_.size())],
+                              ir::make_loop_var(static_cast<int>(
+                                  rng_.below(static_cast<std::uint64_t>(loop_depth)))));
+    }
+  }
+
+  ExprPtr gen_expr(int depth, int loop_depth) {
+    if (depth <= 0) return gen_leaf(loop_depth);
+    const std::uint32_t weights[] = {
+        cfg_.w_bin,
+        cfg_.allow_calls && !cfg_.functions.empty() ? cfg_.w_call : 0,
+        cfg_.w_neg,
+        cfg_.w_leaf,
+    };
+    switch (rng_.weighted(weights, std::size(weights))) {
+      case 0: {
+        static constexpr ir::BinOp ops[] = {ir::BinOp::Add, ir::BinOp::Sub,
+                                            ir::BinOp::Mul, ir::BinOp::Div};
+        const auto op = ops[rng_.below(4)];
+        return ir::make_bin(op, gen_expr(depth - 1, loop_depth),
+                            gen_expr(depth - 1, loop_depth));
+      }
+      case 1: {
+        const ir::MathFn fn = cfg_.functions[rng_.below(cfg_.functions.size())];
+        if (ir::arity(fn) == 2)
+          return ir::make_call(fn, gen_expr(depth - 1, loop_depth),
+                               gen_expr(depth - 1, loop_depth));
+        return ir::make_call(fn, gen_expr(depth - 1, loop_depth));
+      }
+      case 2:
+        return ir::make_neg(gen_expr(depth - 1, loop_depth));
+      default:
+        return gen_leaf(loop_depth);
+    }
+  }
+
+  ExprPtr gen_condition(int loop_depth) {
+    static constexpr ir::CmpOp cmps[] = {ir::CmpOp::Eq, ir::CmpOp::Ne,
+                                         ir::CmpOp::Lt, ir::CmpOp::Le,
+                                         ir::CmpOp::Gt, ir::CmpOp::Ge};
+    auto cmp = [&] {
+      return ir::make_cmp(cmps[rng_.below(6)], gen_expr(2, loop_depth),
+                          gen_expr(2, loop_depth));
+    };
+    if (rng_.chance(0.15))
+      return ir::make_bool(rng_.chance(0.5) ? ir::BoolOp::And : ir::BoolOp::Or,
+                           cmp(), cmp());
+    if (rng_.chance(0.05)) return ir::make_not(cmp());
+    return cmp();
+  }
+
+  // --- statements ---
+
+  ir::StmtPtr gen_comp_update(int loop_depth) {
+    // Varity favours accumulation into comp.
+    static constexpr ir::AssignOp ops[] = {ir::AssignOp::Add, ir::AssignOp::Add,
+                                           ir::AssignOp::Add, ir::AssignOp::Sub,
+                                           ir::AssignOp::Mul, ir::AssignOp::Set,
+                                           ir::AssignOp::Div};
+    const auto op = ops[rng_.below(std::size(ops))];
+    return ir::make_assign_comp(op, gen_expr(cfg_.max_expr_depth, loop_depth));
+  }
+
+  ir::StmtPtr gen_stmt(int loop_depth) {
+    const bool can_loop = cfg_.allow_loops && !int_params_.empty() &&
+                          loop_depth < cfg_.max_loop_nest;
+    const bool can_store = loop_depth > 0 && !array_params_.empty();
+    const std::uint32_t weights[] = {
+        45,                                          // comp update
+        temps_ < 3 && loop_depth == 0 ? 12u : 0u,    // temp declaration
+        can_loop ? 16u : 0u,                         // for loop
+        cfg_.allow_ifs ? 14u : 0u,                   // if block
+        can_store ? 13u : 0u,                        // array store
+    };
+    switch (rng_.weighted(weights, std::size(weights))) {
+      case 0:
+        return gen_comp_update(loop_depth);
+      case 1: {
+        // Generate the initializer before publishing the new temp id so the
+        // declaration cannot reference itself.
+        auto init = gen_expr(cfg_.max_expr_depth, loop_depth);
+        ++temps_;
+        return ir::make_decl_temp(temps_, std::move(init));
+      }
+      case 2: {
+        const int bound = int_params_[rng_.below(int_params_.size())];
+        std::vector<ir::StmtPtr> body;
+        const int n = static_cast<int>(rng_.range(1, cfg_.max_block_stmts));
+        for (int i = 0; i < n; ++i) body.push_back(gen_stmt(loop_depth + 1));
+        return ir::make_for(loop_depth, bound, std::move(body));
+      }
+      case 3: {
+        std::vector<ir::StmtPtr> body;
+        const int n = static_cast<int>(rng_.range(1, cfg_.max_block_stmts));
+        for (int i = 0; i < n; ++i) {
+          // Avoid nested structured statements directly under if to keep
+          // kernels in Varity's observed shape.
+          body.push_back(gen_comp_update(loop_depth));
+        }
+        return ir::make_if(gen_condition(loop_depth), std::move(body));
+      }
+      default: {
+        const int arr = array_params_[rng_.below(array_params_.size())];
+        const int lv = static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+            loop_depth > 0 ? loop_depth : 1)));
+        return ir::make_store_array(arr, ir::make_loop_var(lv),
+                                    gen_expr(cfg_.max_expr_depth, loop_depth));
+      }
+    }
+  }
+
+  const GenConfig& cfg_;
+  Rng rng_;
+  std::vector<ir::Param> params_;
+  std::vector<int> int_params_;
+  std::vector<int> scalar_params_;
+  std::vector<int> array_params_;
+  int temps_ = 0;
+};
+
+}  // namespace
+
+ir::Program Generator::generate(std::uint64_t program_index) const {
+  // Independent deterministic stream per program.
+  Rng base(seed_);
+  Rng child = base.split(program_index);
+  ProgramGen g(config_, child);
+  return g.run();
+}
+
+}  // namespace gpudiff::gen

@@ -1,0 +1,36 @@
+#pragma once
+// Varity-style random program generator.
+//
+// Programs are a pure function of (config, seed, program_index): the same
+// triple regenerates the same kernel bit-for-bit on any platform, which the
+// between-platform protocol (paper Fig. 3) relies on.
+
+#include <cstdint>
+
+#include "gen/config.hpp"
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+
+namespace gpudiff::gen {
+
+class Generator {
+ public:
+  Generator(GenConfig config, std::uint64_t seed)
+      : config_(std::move(config)), seed_(seed) {}
+
+  const GenConfig& config() const noexcept { return config_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Generate the index-th program of this (config, seed) stream.
+  ir::Program generate(std::uint64_t program_index) const;
+
+ private:
+  GenConfig config_;
+  std::uint64_t seed_;
+};
+
+/// Random Varity-style literal (value + source spelling) for a precision.
+/// Exposed for reuse by the input generator and tests.
+ir::ExprPtr random_literal(support::Rng& rng, ir::Precision precision);
+
+}  // namespace gpudiff::gen

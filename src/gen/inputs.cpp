@@ -1,0 +1,124 @@
+#include "gen/inputs.hpp"
+
+#include <cmath>
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::gen {
+
+namespace {
+
+using support::Rng;
+
+/// Input class weights: extremes dominate, as in Varity's sampling.  The
+/// binary32 mix leans more on the live arithmetic range — the format's
+/// dynamic range is 2^277, so "huge" float chains saturate to Inf/NaN far
+/// faster than double chains and would otherwise mask divergences.
+ValueClass pick_input_class(Rng& rng, ir::Precision prec) {
+  static constexpr std::uint32_t weights64[] = {
+      14,  // Zero
+      12,  // Subnormal
+      16,  // TinyNormal
+      10,  // Small
+      18,  // Moderate
+      12,  // Large
+      18,  // Huge
+  };
+  static constexpr std::uint32_t weights32[] = {
+      6,   // Zero
+      10,  // Subnormal
+      10,  // TinyNormal
+      24,  // Small
+      36,  // Moderate
+      6,   // Large
+      8,   // Huge
+  };
+  if (prec == ir::Precision::FP32)
+    return static_cast<ValueClass>(rng.weighted(weights32, std::size(weights32)));
+  return static_cast<ValueClass>(rng.weighted(weights64, std::size(weights64)));
+}
+
+double random_in_exp_range(Rng& rng, int lo10, int hi10, ir::Precision prec) {
+  const int e = static_cast<int>(rng.range(lo10, hi10));
+  const double mant = 1.0 + rng.uniform01() * 0.9999;
+  double v = mant * std::pow(10.0, e);
+  if (prec == ir::Precision::FP32) v = static_cast<double>(static_cast<float>(v));
+  return v;
+}
+
+}  // namespace
+
+double random_value(Rng& rng, ValueClass cls, ir::Precision prec) {
+  const bool f32 = prec == ir::Precision::FP32;
+  const bool neg = rng.chance(0.5);
+  double v = 0.0;
+  switch (cls) {
+    case ValueClass::Zero:
+      v = 0.0;
+      break;
+    case ValueClass::Subnormal: {
+      // Uniform over the subnormal mantissa field (never zero).
+      if (f32) {
+        const auto mant = static_cast<std::uint32_t>(rng.range(1, 0x7FFFFF));
+        v = static_cast<double>(fp::from_bits<float>(mant));
+      } else {
+        const auto mant = static_cast<std::uint64_t>(
+            rng.range(1, 0xFFFFFFFFFFFFFLL));
+        v = fp::from_bits<double>(mant);
+      }
+      break;
+    }
+    case ValueClass::TinyNormal:
+      v = f32 ? random_in_exp_range(rng, -38, -30, prec)
+              : random_in_exp_range(rng, -307, -290, prec);
+      break;
+    case ValueClass::Small:
+      v = random_in_exp_range(rng, -6, -1, prec);
+      break;
+    case ValueClass::Moderate:
+      v = random_in_exp_range(rng, -1, 3, prec);
+      break;
+    case ValueClass::Large:
+      v = f32 ? random_in_exp_range(rng, 20, 33, prec)
+              : random_in_exp_range(rng, 150, 290, prec);
+      break;
+    case ValueClass::Huge:
+      // Upper bounds keep mantissa * 10^e below the format maximum
+      // (1.9999e308 would overflow to infinity).
+      v = f32 ? random_in_exp_range(rng, 34, 38, prec)
+              : random_in_exp_range(rng, 291, 307, prec);
+      break;
+  }
+  return neg ? fp::negate_bits(v) : v;
+}
+
+vgpu::KernelArgs InputGenerator::generate(const ir::Program& program,
+                                          std::uint64_t program_index,
+                                          std::uint64_t input_index) const {
+  Rng base(seed_ ^ 0xA5A5A5A5A5A5A5A5ULL);
+  Rng rng = base.split(program_index * 1000003ULL + input_index);
+  const auto& params = program.params();
+  vgpu::KernelArgs args;
+  args.fp.assign(params.size(), 0.0);
+  args.ints.assign(params.size(), 0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    switch (params[i].kind) {
+      case ir::ParamKind::Int:
+        // Loop bounds: small positive counts (paper examples use 5);
+        // occasionally 0 to exercise never-entered loops.
+        args.ints[i] = rng.chance(0.08)
+                           ? 0
+                           : static_cast<int>(rng.range(1, max_trip_));
+        break;
+      case ir::ParamKind::Comp:
+      case ir::ParamKind::Scalar:
+      case ir::ParamKind::Array:
+        args.fp[i] = random_value(rng, pick_input_class(rng, program.precision()),
+                                  program.precision());
+        break;
+    }
+  }
+  return args;
+}
+
+}  // namespace gpudiff::gen

@@ -1,0 +1,33 @@
+#pragma once
+// Random input generator: one KernelArgs per (program, input_index).
+//
+// Floating inputs are drawn from the extreme value classes Varity samples
+// (signed zeros, subnormals, near-overflow magnitudes — see the Fig. 4/6
+// input lines); integer loop bounds stay small (the paper's examples use 5).
+
+#include <cstdint>
+
+#include "gen/config.hpp"
+#include "support/rng.hpp"
+#include "vgpu/args.hpp"
+
+namespace gpudiff::gen {
+
+class InputGenerator {
+ public:
+  explicit InputGenerator(std::uint64_t seed, int max_trip_count = 8)
+      : seed_(seed), max_trip_(max_trip_count) {}
+
+  /// Deterministic inputs for the given (program, input_index) pair.
+  vgpu::KernelArgs generate(const ir::Program& program, std::uint64_t program_index,
+                            std::uint64_t input_index) const;
+
+ private:
+  std::uint64_t seed_;
+  int max_trip_;
+};
+
+/// One random floating value of the given class (exposed for tests).
+double random_value(support::Rng& rng, ValueClass cls, ir::Precision precision);
+
+}  // namespace gpudiff::gen

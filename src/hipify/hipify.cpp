@@ -1,0 +1,172 @@
+#include "hipify/hipify.hpp"
+
+#include <cstddef>
+
+#include "support/strings.hpp"
+
+namespace gpudiff::hipify {
+
+namespace {
+
+/// Identifier-boundary-aware replacement (so cudaMemcpyAsync is not mangled
+/// by the cudaMemcpy rule: longer spellings are listed first).
+struct Rename {
+  const char* from;
+  const char* to;
+};
+
+constexpr Rename kRenames[] = {
+    {"cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"},
+    {"cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"},
+    {"cudaDeviceSynchronize", "hipDeviceSynchronize"},
+    {"cudaGetErrorString", "hipGetErrorString"},
+    {"cudaGetLastError", "hipGetLastError"},
+    {"cudaMemcpyAsync", "hipMemcpyAsync"},
+    {"cudaEventCreate", "hipEventCreate"},
+    {"cudaEventRecord", "hipEventRecord"},
+    {"cudaMemcpy", "hipMemcpy"},
+    {"cudaMalloc", "hipMalloc"},
+    {"cudaError_t", "hipError_t"},
+    {"cudaSuccess", "hipSuccess"},
+    {"cudaStream_t", "hipStream_t"},
+    {"cudaFree", "hipFree"},
+};
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Replace whole-identifier occurrences of `from` with `to`.
+int replace_ident(std::string& text, const std::string& from, const std::string& to) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + from.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) {
+      text.replace(pos, from.size(), to);
+      pos += to.size();
+      ++count;
+    } else {
+      pos = end;
+    }
+  }
+  return count;
+}
+
+/// Rewrite one kernel-launch site starting at `pos` (where "<<<" begins).
+/// Returns the position after the rewritten call, or npos on parse failure.
+std::size_t rewrite_launch(std::string& text, std::size_t pos, int* converted,
+                           std::vector<std::string>* warnings) {
+  // Scan back for the kernel name.
+  std::size_t name_end = pos;
+  while (name_end > 0 && (text[name_end - 1] == ' ')) --name_end;
+  std::size_t name_begin = name_end;
+  while (name_begin > 0 && is_ident_char(text[name_begin - 1])) --name_begin;
+  if (name_begin == name_end) {
+    warnings->push_back("hipify: launch site without kernel name");
+    return std::string::npos;
+  }
+  const std::string kernel = text.substr(name_begin, name_end - name_begin);
+
+  // Parse <<<config>>>.
+  const std::size_t cfg_begin = pos + 3;
+  const std::size_t cfg_end = text.find(">>>", cfg_begin);
+  if (cfg_end == std::string::npos) {
+    warnings->push_back("hipify: unterminated <<< >>> at launch of " + kernel);
+    return std::string::npos;
+  }
+  std::string cfg = std::string(support::trim(
+      std::string_view(text).substr(cfg_begin, cfg_end - cfg_begin)));
+  // Config is "grid, block[, shmem[, stream]]"; split at top-level commas.
+  std::vector<std::string> cfg_parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : cfg) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      cfg_parts.push_back(std::string(support::trim(cur)));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!support::trim(cur).empty()) cfg_parts.push_back(std::string(support::trim(cur)));
+  while (cfg_parts.size() < 2) cfg_parts.push_back("dim3(1)");
+  if (cfg_parts.size() < 3) cfg_parts.push_back("0");
+  if (cfg_parts.size() < 4) cfg_parts.push_back("0");
+
+  // Parse the argument list "(args);".
+  std::size_t args_begin = cfg_end + 3;
+  while (args_begin < text.size() && text[args_begin] == ' ') ++args_begin;
+  if (args_begin >= text.size() || text[args_begin] != '(') {
+    warnings->push_back("hipify: launch of " + kernel + " missing argument list");
+    return std::string::npos;
+  }
+  int paren = 0;
+  std::size_t args_end = args_begin;
+  for (; args_end < text.size(); ++args_end) {
+    if (text[args_end] == '(') ++paren;
+    if (text[args_end] == ')') {
+      --paren;
+      if (paren == 0) break;
+    }
+  }
+  const std::string args = text.substr(args_begin + 1, args_end - args_begin - 1);
+
+  const std::string replacement = support::format(
+      "hipLaunchKernelGGL(%s, %s, %s, %s, %s%s%s)", kernel.c_str(),
+      cfg_parts[0].c_str(), cfg_parts[1].c_str(), cfg_parts[2].c_str(),
+      cfg_parts[3].c_str(), args.empty() ? "" : ", ", args.c_str());
+  text.replace(name_begin, args_end + 1 - name_begin, replacement);
+  ++*converted;
+  return name_begin + replacement.size();
+}
+
+}  // namespace
+
+HipifyResult hipify_source(const std::string& cuda_source) {
+  HipifyResult result;
+  result.source = cuda_source;
+
+  // Headers.
+  result.replacements += replace_ident(result.source, "#include <cuda_runtime.h>",
+                                       "#include \"hip/hip_runtime.h\"");
+  if (result.source.find("cuda_runtime.h") != std::string::npos) {
+    // Non-standard include spelling: rewrite the path only.
+    result.replacements +=
+        replace_ident(result.source, "cuda_runtime.h", "hip/hip_runtime.h");
+  }
+
+  // Runtime API identifiers.
+  for (const auto& r : kRenames)
+    result.replacements += replace_ident(result.source, r.from, r.to);
+
+  // Kernel launches.
+  std::size_t pos = 0;
+  while ((pos = result.source.find("<<<", pos)) != std::string::npos) {
+    const std::size_t next =
+        rewrite_launch(result.source, pos, &result.launches_converted,
+                       &result.warnings);
+    if (next == std::string::npos) {
+      pos += 3;  // skip unparseable site
+    } else {
+      pos = next;
+    }
+  }
+
+  // Leftover CUDA spellings are worth flagging (hipify-perl prints similar
+  // warnings for unsupported constructs).
+  if (result.source.find("cuda") != std::string::npos ||
+      result.source.find("cu_") != std::string::npos) {
+    std::size_t at = result.source.find("cuda");
+    result.warnings.push_back(
+        support::format("hipify: unconverted CUDA reference at offset %zu", at));
+  }
+  return result;
+}
+
+}  // namespace gpudiff::hipify

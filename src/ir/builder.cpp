@@ -1,0 +1,79 @@
+#include "ir/builder.hpp"
+
+namespace gpudiff::ir {
+
+ProgramBuilder::ProgramBuilder(Precision precision) : precision_(precision) {
+  params_.push_back({ParamKind::Comp, "comp"});
+}
+
+int ProgramBuilder::add_int_param() {
+  params_.push_back({ParamKind::Int, "var_" + std::to_string(params_.size())});
+  return static_cast<int>(params_.size()) - 1;
+}
+
+int ProgramBuilder::add_scalar_param() {
+  params_.push_back({ParamKind::Scalar, "var_" + std::to_string(params_.size())});
+  return static_cast<int>(params_.size()) - 1;
+}
+
+int ProgramBuilder::add_array_param() {
+  params_.push_back({ParamKind::Array, "var_" + std::to_string(params_.size())});
+  return static_cast<int>(params_.size()) - 1;
+}
+
+void ProgramBuilder::append(StmtPtr s) {
+  if (built_) throw std::logic_error("ProgramBuilder: already built");
+  if (open_.empty())
+    top_.push_back(std::move(s));
+  else
+    open_.back()->body.push_back(std::move(s));
+}
+
+int ProgramBuilder::decl_temp(ExprPtr init) {
+  const int id = next_temp_++;
+  append(make_decl_temp(id, std::move(init)));
+  return id;
+}
+
+void ProgramBuilder::assign_comp(AssignOp op, ExprPtr value) {
+  append(make_assign_comp(op, std::move(value)));
+}
+
+void ProgramBuilder::store_array(int array_param, ExprPtr subscript, ExprPtr value) {
+  if (params_.at(static_cast<std::size_t>(array_param)).kind != ParamKind::Array)
+    throw std::logic_error("ProgramBuilder: store target is not an array param");
+  append(make_store_array(array_param, std::move(subscript), std::move(value)));
+}
+
+void ProgramBuilder::begin_for(int bound_param) {
+  if (params_.at(static_cast<std::size_t>(bound_param)).kind != ParamKind::Int)
+    throw std::logic_error("ProgramBuilder: loop bound is not an int param");
+  auto s = make_for(loop_depth_, bound_param, {});
+  Stmt* raw = s.get();
+  append(std::move(s));
+  open_.push_back(raw);
+  ++loop_depth_;
+}
+
+void ProgramBuilder::begin_if(ExprPtr cond) {
+  if (!cond->is_bool_valued())
+    throw std::logic_error("ProgramBuilder: if condition must be boolean-valued");
+  auto s = make_if(std::move(cond), {});
+  Stmt* raw = s.get();
+  append(std::move(s));
+  open_.push_back(raw);
+}
+
+void ProgramBuilder::end_block() {
+  if (open_.empty()) throw std::logic_error("ProgramBuilder: no open block");
+  if (open_.back()->kind == StmtKind::For) --loop_depth_;
+  open_.pop_back();
+}
+
+Program ProgramBuilder::build() {
+  if (!open_.empty()) throw std::logic_error("ProgramBuilder: unclosed block");
+  built_ = true;
+  return Program(precision_, std::move(params_), std::move(top_));
+}
+
+}  // namespace gpudiff::ir

@@ -1,0 +1,63 @@
+#pragma once
+// Fluent construction of kernels: used by hand-written example kernels
+// (port_audit, Table I's mini-ADI kernel) and by the random generator.
+//
+//   ProgramBuilder b(Precision::FP64);
+//   int n = b.add_int_param();
+//   int x = b.add_scalar_param();
+//   b.begin_for(n);
+//   b.assign_comp(AssignOp::Add, make_call(MathFn::Sqrt, make_param(x)));
+//   b.end_block();
+//   Program p = b.build();
+
+#include <stdexcept>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace gpudiff::ir {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Precision precision);
+
+  /// Parameter declaration; returns the parameter index usable in
+  /// make_param/make_int_param/make_array. Parameters are named var_1..var_N
+  /// in declaration order (comp is parameter 0).
+  int add_int_param();
+  int add_scalar_param();
+  int add_array_param();
+
+  /// Declare a fresh temporary initialized with `init`; returns its id.
+  int decl_temp(ExprPtr init);
+
+  void assign_comp(AssignOp op, ExprPtr value);
+  void store_array(int array_param, ExprPtr subscript, ExprPtr value);
+
+  /// Open a counted loop over the given int parameter. Nesting depth is
+  /// tracked automatically (i, j, k, ...). Close with end_block().
+  void begin_for(int bound_param);
+  /// Open a guarded block. Close with end_block().
+  void begin_if(ExprPtr cond);
+  void end_block();
+
+  /// Current loop nesting depth (0 outside any loop).
+  int loop_depth() const noexcept { return loop_depth_; }
+
+  /// Finalize; throws if blocks remain open.
+  Program build();
+
+ private:
+  void append(StmtPtr s);
+
+  Precision precision_;
+  std::vector<Param> params_;
+  std::vector<StmtPtr> top_;
+  // Stack of open structured statements; statements append to the innermost.
+  std::vector<Stmt*> open_;
+  int next_temp_ = 1;
+  int loop_depth_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace gpudiff::ir

@@ -1,0 +1,105 @@
+#pragma once
+// Expression IR for Varity-style test kernels.
+//
+// One tagged struct (not a class hierarchy) keeps the tree cheap to clone,
+// walk and serialize — the optimizer and interpreter are simple recursive
+// switches.  Expressions are floating-point-valued except Cmp/BoolBin/
+// BoolNot which are boolean-valued and may appear only in `if`/`for`
+// conditions or under BoolToFp (the if-conversion artifact, §Case Study 3).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpudiff::ir {
+
+enum class Precision : std::uint8_t { FP32, FP64 };
+std::string to_string(Precision p);
+
+enum class ExprKind : std::uint8_t {
+  Literal,     // floating constant (value + original spelling)
+  ParamRef,    // kernel scalar parameter (index into Program::params)
+  ArrayRef,    // array parameter element: params[index][ kids[0] ]
+  LoopVarRef,  // loop induction variable at nesting depth `index`
+  TempRef,     // temporary variable tmp_<index>
+  IntParamRef, // integer parameter used arithmetically (rare; loop bounds)
+  Neg,         // -kids[0]
+  Bin,         // kids[0] <bin_op> kids[1]
+  Fma,         // fma(kids[0], kids[1], kids[2]) — produced by contraction
+  Call,        // math fn over kids (1 or 2 args)
+  Cmp,         // kids[0] <cmp> kids[1]           (boolean)
+  BoolBin,     // kids[0] &&/|| kids[1]           (boolean)
+  BoolNot,     // !kids[0]                        (boolean)
+  BoolToFp,    // (T)(bool) — if-conversion predicate materialization
+};
+
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div };
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+enum class BoolOp : std::uint8_t { And, Or };
+
+/// The C math library subset Varity draws from (paper Table III:
+/// "functions from the C math library").  FP32 variants append 'f' in
+/// emitted source (cosf, fmodf, ...).
+enum class MathFn : std::uint8_t {
+  Fabs, Sqrt, Exp, Log, Sin, Cos, Tan, Asin, Acos, Atan,
+  Sinh, Cosh, Tanh, Ceil, Floor, Trunc,
+  Fmod, Pow, Fmin, Fmax,
+};
+
+/// Number of arguments `fn` takes (1 or 2).
+int arity(MathFn fn) noexcept;
+/// C99 name ("fmod"); FP32 spelling appends 'f'.
+std::string name_of(MathFn fn, Precision p = Precision::FP64);
+
+const char* spelling(BinOp op) noexcept;
+const char* spelling(CmpOp op) noexcept;
+const char* spelling(BoolOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  // --- payload (which fields are live depends on `kind`) ---
+  double lit_value = 0.0;   ///< Literal: value (already rounded to Precision)
+  std::string lit_text;     ///< Literal: source spelling ("+1.5955E-125")
+  int index = -1;           ///< ParamRef/ArrayRef/LoopVarRef/TempRef/IntParamRef
+  BinOp bin_op{};           ///< Bin
+  CmpOp cmp_op{};           ///< Cmp
+  BoolOp bool_op{};         ///< BoolBin
+  MathFn fn{};              ///< Call
+  std::vector<ExprPtr> kids;
+
+  Expr() = default;
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  ExprPtr clone() const;
+  bool is_bool_valued() const noexcept {
+    return kind == ExprKind::Cmp || kind == ExprKind::BoolBin ||
+           kind == ExprKind::BoolNot;
+  }
+  /// Total node count of this subtree.
+  std::size_t node_count() const noexcept;
+  /// Structural equality (ignores literal spelling, compares values by bits).
+  bool equals(const Expr& other) const noexcept;
+};
+
+// --- constructors (free functions keep call sites terse) ---
+ExprPtr make_literal(double value, std::string text = {});
+ExprPtr make_param(int index);
+ExprPtr make_int_param(int index);
+ExprPtr make_array(int index, ExprPtr subscript);
+ExprPtr make_loop_var(int depth);
+ExprPtr make_temp(int id);
+ExprPtr make_neg(ExprPtr a);
+ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr make_fma(ExprPtr a, ExprPtr b, ExprPtr c);
+ExprPtr make_call(MathFn fn, ExprPtr a);
+ExprPtr make_call(MathFn fn, ExprPtr a, ExprPtr b);
+ExprPtr make_cmp(CmpOp op, ExprPtr a, ExprPtr b);
+ExprPtr make_bool(BoolOp op, ExprPtr a, ExprPtr b);
+ExprPtr make_not(ExprPtr a);
+ExprPtr make_bool_to_fp(ExprPtr cond);
+
+}  // namespace gpudiff::ir

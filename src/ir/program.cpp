@@ -1,0 +1,157 @@
+#include "ir/program.hpp"
+
+#include "fp/hexfloat.hpp"
+#include "support/strings.hpp"
+
+namespace gpudiff::ir {
+
+std::size_t Program::node_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : body_) n += s->node_count();
+  return n;
+}
+
+namespace {
+int max_temp_in(const std::vector<StmtPtr>& body) {
+  int m = -1;
+  for (const auto& s : body) {
+    if (s->kind == StmtKind::DeclTemp && s->index > m) m = s->index;
+    const int inner = max_temp_in(s->body);
+    if (inner > m) m = inner;
+  }
+  return m;
+}
+}  // namespace
+
+int Program::max_temp_id() const noexcept { return max_temp_in(body_); }
+
+namespace {
+
+/// Loop variable name at nesting depth d: i, j, k, i3, i4, ...
+std::string loop_var_name(int depth) {
+  static const char* names[] = {"i", "j", "k"};
+  if (depth >= 0 && depth < 3) return names[depth];
+  return "i" + std::to_string(depth);
+}
+
+std::string literal_source(const Expr& e, const Program& prog) {
+  if (!e.lit_text.empty()) return e.lit_text;
+  // Fallback spelling: Varity-style signed scientific with the FP32 suffix.
+  if (prog.precision() == Precision::FP32)
+    return fp::print_varity(static_cast<float>(e.lit_value)) + "F";
+  return fp::print_varity(e.lit_value);
+}
+
+}  // namespace
+
+std::string expr_to_source(const Expr& e, const Program& prog) {
+  switch (e.kind) {
+    case ExprKind::Literal:
+      return literal_source(e, prog);
+    case ExprKind::ParamRef:
+    case ExprKind::IntParamRef:
+      return prog.params().at(static_cast<std::size_t>(e.index)).name;
+    case ExprKind::ArrayRef:
+      return prog.params().at(static_cast<std::size_t>(e.index)).name + "[" +
+             expr_to_source(*e.kids[0], prog) + "]";
+    case ExprKind::LoopVarRef:
+      return loop_var_name(e.index);
+    case ExprKind::TempRef:
+      return "tmp_" + std::to_string(e.index);
+    case ExprKind::Neg:
+      return "-" + expr_to_source(*e.kids[0], prog);
+    case ExprKind::Bin:
+      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.bin_op) +
+             " " + expr_to_source(*e.kids[1], prog) + ")";
+    case ExprKind::Fma:
+      return std::string(prog.precision() == Precision::FP32 ? "fmaf" : "fma") +
+             "(" + expr_to_source(*e.kids[0], prog) + ", " +
+             expr_to_source(*e.kids[1], prog) + ", " +
+             expr_to_source(*e.kids[2], prog) + ")";
+    case ExprKind::Call: {
+      std::string out = name_of(e.fn, prog.precision()) + "(";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i) out += ", ";
+        out += expr_to_source(*e.kids[i], prog);
+      }
+      return out + ")";
+    }
+    case ExprKind::Cmp:
+      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.cmp_op) +
+             " " + expr_to_source(*e.kids[1], prog) + ")";
+    case ExprKind::BoolBin:
+      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.bool_op) +
+             " " + expr_to_source(*e.kids[1], prog) + ")";
+    case ExprKind::BoolNot:
+      return "!" + expr_to_source(*e.kids[0], prog);
+    case ExprKind::BoolToFp:
+      return std::string("(") + prog.scalar_type() + ")" +
+             expr_to_source(*e.kids[0], prog);
+  }
+  return "?";
+}
+
+std::string body_to_source(const std::vector<StmtPtr>& body, const Program& prog,
+                           int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out;
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::DeclTemp:
+        out += pad + prog.scalar_type() + " tmp_" + std::to_string(s->index) +
+               " = " + expr_to_source(*s->a, prog) + ";\n";
+        break;
+      case StmtKind::AssignComp:
+        out += pad + "comp " + spelling(s->assign_op) + " " +
+               expr_to_source(*s->a, prog) + ";\n";
+        break;
+      case StmtKind::StoreArray:
+        out += pad + prog.params().at(static_cast<std::size_t>(s->index)).name +
+               "[" + expr_to_source(*s->a, prog) + "] = " +
+               expr_to_source(*s->b, prog) + ";\n";
+        break;
+      case StmtKind::For: {
+        const std::string v = loop_var_name(s->index);
+        const std::string bound =
+            prog.params().at(static_cast<std::size_t>(s->bound_param)).name;
+        out += pad + "for (int " + v + " = 0; " + v + " < " + bound + "; ++" + v +
+               ") {\n";
+        out += body_to_source(s->body, prog, indent + 1);
+        out += pad + "}\n";
+        break;
+      }
+      case StmtKind::If:
+        out += pad + "if (" + expr_to_source(*s->a, prog) + ") {\n";
+        out += body_to_source(s->body, prog, indent + 1);
+        out += pad + "}\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Program::dump() const {
+  std::string out = "__global__ void compute(";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i) out += ", ";
+    const Param& p = params_[i];
+    switch (p.kind) {
+      case ParamKind::Comp:
+      case ParamKind::Scalar:
+        out += std::string(scalar_type()) + " " + p.name;
+        break;
+      case ParamKind::Int:
+        out += "int " + p.name;
+        break;
+      case ParamKind::Array:
+        out += std::string(scalar_type()) + "* " + p.name;
+        break;
+    }
+  }
+  out += ") {\n";
+  out += body_to_source(body_, *this, 1);
+  out += "  printf(\"%.17g\\n\", comp);\n}\n";
+  return out;
+}
+
+}  // namespace gpudiff::ir

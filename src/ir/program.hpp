@@ -1,0 +1,90 @@
+#pragma once
+// A complete Varity-style test kernel: signature + body.
+//
+// Every generated test is a single kernel named `compute` whose first
+// parameter `comp` doubles as the accumulator; the kernel prints comp with
+// printf("%.17g\n", comp) at the end (paper §III-B).  Remaining parameters
+// are integer loop bounds, floating scalars and floating arrays, named
+// var_1, var_2, ... in declaration order as Varity does.
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace gpudiff::ir {
+
+enum class ParamKind : std::uint8_t {
+  Comp,    ///< the FP accumulator (always parameter 0)
+  Int,     ///< integer loop bound
+  Scalar,  ///< FP scalar
+  Array,   ///< FP array (device buffer)
+};
+
+struct Param {
+  ParamKind kind{};
+  std::string name;  // "comp", "var_1", ...
+};
+
+/// Number of elements allocated for every array parameter, both in the
+/// virtual GPU and in emitted CUDA/HIP `main()` code.  Loop bounds are
+/// capped well below this by the input generator.
+inline constexpr int kArrayExtent = 256;
+
+class Program {
+ public:
+  Program() = default;
+  Program(Precision precision, std::vector<Param> params, std::vector<StmtPtr> body)
+      : precision_(precision), params_(std::move(params)), body_(std::move(body)) {}
+
+  Program(const Program& other) { *this = other; }
+  Program& operator=(const Program& other) {
+    if (this != &other) {
+      precision_ = other.precision_;
+      params_ = other.params_;
+      body_ = clone_body(other.body_);
+    }
+    return *this;
+  }
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  Precision precision() const noexcept { return precision_; }
+  void set_precision(Precision p) noexcept { precision_ = p; }
+
+  const std::vector<Param>& params() const noexcept { return params_; }
+  std::vector<Param>& params() noexcept { return params_; }
+
+  const std::vector<StmtPtr>& body() const noexcept { return body_; }
+  std::vector<StmtPtr>& body() noexcept { return body_; }
+
+  /// Total IR node count (used by size-based generation limits & stats).
+  std::size_t node_count() const noexcept;
+
+  /// Highest temporary id declared (or -1 if none).
+  int max_temp_id() const noexcept;
+
+  /// Scalar C type for the program's precision ("float"/"double").
+  const char* scalar_type() const noexcept {
+    return precision_ == Precision::FP32 ? "float" : "double";
+  }
+
+  /// Render the kernel body as C-like text (debug aid; emitters produce the
+  /// full compilable files).
+  std::string dump() const;
+
+ private:
+  Precision precision_ = Precision::FP64;
+  std::vector<Param> params_;
+  std::vector<StmtPtr> body_;
+};
+
+/// Render one expression as C-like source (shared by Program::dump and the
+/// CUDA/HIP emitters; literal spellings are preserved when present).
+std::string expr_to_source(const Expr& e, const Program& prog);
+
+/// Render statements at the given indentation depth.
+std::string body_to_source(const std::vector<StmtPtr>& body, const Program& prog,
+                           int indent);
+
+}  // namespace gpudiff::ir

@@ -1,0 +1,281 @@
+#include "ir/serialize.hpp"
+
+#include <stdexcept>
+
+#include "fp/hexfloat.hpp"
+
+namespace gpudiff::ir {
+
+using support::Json;
+using support::JsonArray;
+
+namespace {
+
+const char* expr_tag(ExprKind k) {
+  switch (k) {
+    case ExprKind::Literal: return "lit";
+    case ExprKind::ParamRef: return "param";
+    case ExprKind::ArrayRef: return "array";
+    case ExprKind::LoopVarRef: return "loopvar";
+    case ExprKind::TempRef: return "temp";
+    case ExprKind::IntParamRef: return "iparam";
+    case ExprKind::Neg: return "neg";
+    case ExprKind::Bin: return "bin";
+    case ExprKind::Fma: return "fma";
+    case ExprKind::Call: return "call";
+    case ExprKind::Cmp: return "cmp";
+    case ExprKind::BoolBin: return "bool";
+    case ExprKind::BoolNot: return "not";
+    case ExprKind::BoolToFp: return "b2f";
+  }
+  return "?";
+}
+
+ExprKind expr_kind_of(const std::string& tag) {
+  if (tag == "lit") return ExprKind::Literal;
+  if (tag == "param") return ExprKind::ParamRef;
+  if (tag == "array") return ExprKind::ArrayRef;
+  if (tag == "loopvar") return ExprKind::LoopVarRef;
+  if (tag == "temp") return ExprKind::TempRef;
+  if (tag == "iparam") return ExprKind::IntParamRef;
+  if (tag == "neg") return ExprKind::Neg;
+  if (tag == "bin") return ExprKind::Bin;
+  if (tag == "fma") return ExprKind::Fma;
+  if (tag == "call") return ExprKind::Call;
+  if (tag == "cmp") return ExprKind::Cmp;
+  if (tag == "bool") return ExprKind::BoolBin;
+  if (tag == "not") return ExprKind::BoolNot;
+  if (tag == "b2f") return ExprKind::BoolToFp;
+  throw std::runtime_error("ir: unknown expr tag '" + tag + "'");
+}
+
+}  // namespace
+
+Json expr_to_json(const Expr& e) {
+  Json j = Json::object();
+  j["k"] = expr_tag(e.kind);
+  switch (e.kind) {
+    case ExprKind::Literal:
+      j["v"] = fp::encode_bits(e.lit_value);
+      if (!e.lit_text.empty()) j["t"] = e.lit_text;
+      break;
+    case ExprKind::ParamRef:
+    case ExprKind::ArrayRef:
+    case ExprKind::LoopVarRef:
+    case ExprKind::TempRef:
+    case ExprKind::IntParamRef:
+      j["i"] = e.index;
+      break;
+    case ExprKind::Bin:
+      j["op"] = spelling(e.bin_op);
+      break;
+    case ExprKind::Cmp:
+      j["op"] = spelling(e.cmp_op);
+      break;
+    case ExprKind::BoolBin:
+      j["op"] = spelling(e.bool_op);
+      break;
+    case ExprKind::Call:
+      j["fn"] = name_of(e.fn);
+      break;
+    default:
+      break;
+  }
+  if (!e.kids.empty()) {
+    Json kids = Json::array();
+    for (const auto& k : e.kids) kids.push_back(expr_to_json(*k));
+    j["a"] = std::move(kids);
+  }
+  return j;
+}
+
+namespace {
+
+BinOp bin_of(const std::string& s) {
+  if (s == "+") return BinOp::Add;
+  if (s == "-") return BinOp::Sub;
+  if (s == "*") return BinOp::Mul;
+  if (s == "/") return BinOp::Div;
+  throw std::runtime_error("ir: unknown binop " + s);
+}
+
+CmpOp cmp_of(const std::string& s) {
+  if (s == "==") return CmpOp::Eq;
+  if (s == "!=") return CmpOp::Ne;
+  if (s == "<") return CmpOp::Lt;
+  if (s == "<=") return CmpOp::Le;
+  if (s == ">") return CmpOp::Gt;
+  if (s == ">=") return CmpOp::Ge;
+  throw std::runtime_error("ir: unknown cmpop " + s);
+}
+
+MathFn fn_of(const std::string& s) {
+  static const std::pair<const char*, MathFn> table[] = {
+      {"fabs", MathFn::Fabs}, {"sqrt", MathFn::Sqrt}, {"exp", MathFn::Exp},
+      {"log", MathFn::Log},   {"sin", MathFn::Sin},   {"cos", MathFn::Cos},
+      {"tan", MathFn::Tan},   {"asin", MathFn::Asin}, {"acos", MathFn::Acos},
+      {"atan", MathFn::Atan}, {"sinh", MathFn::Sinh}, {"cosh", MathFn::Cosh},
+      {"tanh", MathFn::Tanh}, {"ceil", MathFn::Ceil}, {"floor", MathFn::Floor},
+      {"trunc", MathFn::Trunc}, {"fmod", MathFn::Fmod}, {"pow", MathFn::Pow},
+      {"fmin", MathFn::Fmin}, {"fmax", MathFn::Fmax},
+  };
+  for (const auto& [name, fn] : table)
+    if (s == name) return fn;
+  throw std::runtime_error("ir: unknown math fn " + s);
+}
+
+}  // namespace
+
+ExprPtr expr_from_json(const Json& j) {
+  auto e = std::make_unique<Expr>(expr_kind_of(j.at("k").as_string()));
+  switch (e->kind) {
+    case ExprKind::Literal: {
+      auto v = fp::decode_bits64(j.at("v").as_string());
+      if (!v) throw std::runtime_error("ir: bad literal bits");
+      e->lit_value = *v;
+      if (j.contains("t")) e->lit_text = j.at("t").as_string();
+      break;
+    }
+    case ExprKind::ParamRef:
+    case ExprKind::ArrayRef:
+    case ExprKind::LoopVarRef:
+    case ExprKind::TempRef:
+    case ExprKind::IntParamRef:
+      e->index = static_cast<int>(j.at("i").as_int());
+      break;
+    case ExprKind::Bin:
+      e->bin_op = bin_of(j.at("op").as_string());
+      break;
+    case ExprKind::Cmp:
+      e->cmp_op = cmp_of(j.at("op").as_string());
+      break;
+    case ExprKind::BoolBin:
+      e->bool_op = j.at("op").as_string() == "&&" ? BoolOp::And : BoolOp::Or;
+      break;
+    case ExprKind::Call:
+      e->fn = fn_of(j.at("fn").as_string());
+      break;
+    default:
+      break;
+  }
+  if (j.contains("a"))
+    for (const auto& kid : j.at("a").as_array())
+      e->kids.push_back(expr_from_json(kid));
+  return e;
+}
+
+Json stmt_to_json(const Stmt& s) {
+  Json j = Json::object();
+  switch (s.kind) {
+    case StmtKind::DeclTemp:
+      j["k"] = "decl";
+      j["i"] = s.index;
+      j["init"] = expr_to_json(*s.a);
+      break;
+    case StmtKind::AssignComp:
+      j["k"] = "comp";
+      j["op"] = spelling(s.assign_op);
+      j["v"] = expr_to_json(*s.a);
+      break;
+    case StmtKind::StoreArray:
+      j["k"] = "store";
+      j["i"] = s.index;
+      j["idx"] = expr_to_json(*s.a);
+      j["v"] = expr_to_json(*s.b);
+      break;
+    case StmtKind::For: {
+      j["k"] = "for";
+      j["depth"] = s.index;
+      j["bound"] = s.bound_param;
+      Json body = Json::array();
+      for (const auto& t : s.body) body.push_back(stmt_to_json(*t));
+      j["body"] = std::move(body);
+      break;
+    }
+    case StmtKind::If: {
+      j["k"] = "if";
+      j["cond"] = expr_to_json(*s.a);
+      Json body = Json::array();
+      for (const auto& t : s.body) body.push_back(stmt_to_json(*t));
+      j["body"] = std::move(body);
+      break;
+    }
+  }
+  return j;
+}
+
+StmtPtr stmt_from_json(const Json& j) {
+  const std::string& k = j.at("k").as_string();
+  if (k == "decl")
+    return make_decl_temp(static_cast<int>(j.at("i").as_int()),
+                          expr_from_json(j.at("init")));
+  if (k == "comp") {
+    const std::string& op = j.at("op").as_string();
+    AssignOp ao = AssignOp::Set;
+    if (op == "+=") ao = AssignOp::Add;
+    else if (op == "-=") ao = AssignOp::Sub;
+    else if (op == "*=") ao = AssignOp::Mul;
+    else if (op == "/=") ao = AssignOp::Div;
+    else if (op != "=") throw std::runtime_error("ir: bad assign op " + op);
+    return make_assign_comp(ao, expr_from_json(j.at("v")));
+  }
+  if (k == "store")
+    return make_store_array(static_cast<int>(j.at("i").as_int()),
+                            expr_from_json(j.at("idx")), expr_from_json(j.at("v")));
+  if (k == "for") {
+    std::vector<StmtPtr> body;
+    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(t));
+    return make_for(static_cast<int>(j.at("depth").as_int()),
+                    static_cast<int>(j.at("bound").as_int()), std::move(body));
+  }
+  if (k == "if") {
+    std::vector<StmtPtr> body;
+    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(t));
+    return make_if(expr_from_json(j.at("cond")), std::move(body));
+  }
+  throw std::runtime_error("ir: unknown stmt tag '" + k + "'");
+}
+
+Json program_to_json(const Program& p) {
+  Json j = Json::object();
+  j["precision"] = to_string(p.precision());
+  Json params = Json::array();
+  for (const auto& prm : p.params()) {
+    Json pj = Json::object();
+    switch (prm.kind) {
+      case ParamKind::Comp: pj["kind"] = "comp"; break;
+      case ParamKind::Int: pj["kind"] = "int"; break;
+      case ParamKind::Scalar: pj["kind"] = "scalar"; break;
+      case ParamKind::Array: pj["kind"] = "array"; break;
+    }
+    pj["name"] = prm.name;
+    params.push_back(std::move(pj));
+  }
+  j["params"] = std::move(params);
+  Json body = Json::array();
+  for (const auto& s : p.body()) body.push_back(stmt_to_json(*s));
+  j["body"] = std::move(body);
+  return j;
+}
+
+Program program_from_json(const Json& j) {
+  const Precision prec =
+      j.at("precision").as_string() == "FP32" ? Precision::FP32 : Precision::FP64;
+  std::vector<Param> params;
+  for (const auto& pj : j.at("params").as_array()) {
+    Param p;
+    const std::string& kind = pj.at("kind").as_string();
+    if (kind == "comp") p.kind = ParamKind::Comp;
+    else if (kind == "int") p.kind = ParamKind::Int;
+    else if (kind == "scalar") p.kind = ParamKind::Scalar;
+    else if (kind == "array") p.kind = ParamKind::Array;
+    else throw std::runtime_error("ir: bad param kind " + kind);
+    p.name = pj.at("name").as_string();
+    params.push_back(std::move(p));
+  }
+  std::vector<StmtPtr> body;
+  for (const auto& sj : j.at("body").as_array()) body.push_back(stmt_from_json(sj));
+  return Program(prec, std::move(params), std::move(body));
+}
+
+}  // namespace gpudiff::ir

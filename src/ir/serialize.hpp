@@ -1,0 +1,26 @@
+#pragma once
+// IR <-> JSON serialization.
+//
+// The between-platform protocol (paper Fig. 3) ships every test — program,
+// inputs, compiler, flags — to the second system as JSON metadata.  Literal
+// values are stored as IEEE bit strings so programs re-materialize
+// bit-identically; literal spellings are preserved so re-emitted source is
+// byte-identical too.
+
+#include <string>
+
+#include "ir/program.hpp"
+#include "support/json.hpp"
+
+namespace gpudiff::ir {
+
+support::Json expr_to_json(const Expr& e);
+ExprPtr expr_from_json(const support::Json& j);
+
+support::Json stmt_to_json(const Stmt& s);
+StmtPtr stmt_from_json(const support::Json& j);
+
+support::Json program_to_json(const Program& p);
+Program program_from_json(const support::Json& j);
+
+}  // namespace gpudiff::ir

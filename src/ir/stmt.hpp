@@ -1,0 +1,52 @@
+#pragma once
+// Statement IR: the structured constructs of Varity kernels (Table III) —
+// temporary declarations, compound assignments to the `comp` accumulator,
+// array stores, counted `for` loops and `if` guards (no else branch).
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace gpudiff::ir {
+
+enum class StmtKind : std::uint8_t {
+  DeclTemp,    // double tmp_<index> = <a>;
+  AssignComp,  // comp <assign_op> <a>;
+  StoreArray,  // params[index][ <a> ] = <b>;
+  For,         // for (int i<index> = 0; i<index> < var_<bound>; ++i<index>) body
+  If,          // if (<a>) body
+};
+
+/// Assignment operators Varity emits for `comp`.
+enum class AssignOp : std::uint8_t { Set, Add, Sub, Mul, Div };
+const char* spelling(AssignOp op) noexcept;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind{};
+  int index = -1;        ///< DeclTemp: temp id; StoreArray: param; For: depth
+  int bound_param = -1;  ///< For: index of the integer parameter bounding the loop
+  AssignOp assign_op = AssignOp::Set;  ///< AssignComp
+  ExprPtr a;             ///< init / value / subscript / condition
+  ExprPtr b;             ///< StoreArray value
+  std::vector<StmtPtr> body;  ///< For / If
+
+  Stmt() = default;
+  explicit Stmt(StmtKind k) : kind(k) {}
+
+  StmtPtr clone() const;
+  std::size_t node_count() const noexcept;
+};
+
+StmtPtr make_decl_temp(int id, ExprPtr init);
+StmtPtr make_assign_comp(AssignOp op, ExprPtr value);
+StmtPtr make_store_array(int param_index, ExprPtr subscript, ExprPtr value);
+StmtPtr make_for(int depth, int bound_param, std::vector<StmtPtr> body);
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> body);
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+
+}  // namespace gpudiff::ir

@@ -1,0 +1,324 @@
+#include "opt/passes.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::opt {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Precision;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+namespace {
+
+/// Apply `fn` to every expression root in the program (stmt operands),
+/// allowing replacement: fn receives an owned pointer and returns the new one.
+void transform_exprs(std::vector<StmtPtr>& body,
+                     const std::function<ExprPtr(ExprPtr)>& fn) {
+  for (auto& s : body) {
+    if (s->a) s->a = fn(std::move(s->a));
+    if (s->b) s->b = fn(std::move(s->b));
+    transform_exprs(s->body, fn);
+  }
+}
+
+/// Post-order expression rewrite.
+ExprPtr rewrite_post(ExprPtr e, const std::function<ExprPtr(ExprPtr)>& fn) {
+  for (auto& kid : e->kids) kid = rewrite_post(std::move(kid), fn);
+  return fn(std::move(e));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+double fold_bin(ir::BinOp op, double a, double b) {
+  const T x = static_cast<T>(a);
+  const T y = static_cast<T>(b);
+  T r{};
+  switch (op) {
+    case ir::BinOp::Add: r = x + y; break;
+    case ir::BinOp::Sub: r = x - y; break;
+    case ir::BinOp::Mul: r = x * y; break;
+    case ir::BinOp::Div: r = x / y; break;
+  }
+  return static_cast<double>(r);
+}
+
+}  // namespace
+
+void fold_constants(ir::Program& prog) {
+  const Precision prec = prog.precision();
+  const auto fold = [prec](ExprPtr e) -> ExprPtr {
+    switch (e->kind) {
+      case ExprKind::Neg:
+        if (e->kids[0]->kind == ExprKind::Literal) {
+          // Exact sign flip; spelling is dropped (the value is canonical).
+          return ir::make_literal(fp::negate_bits(e->kids[0]->lit_value));
+        }
+        break;
+      case ExprKind::Bin:
+        if (e->kids[0]->kind == ExprKind::Literal &&
+            e->kids[1]->kind == ExprKind::Literal) {
+          const double a = e->kids[0]->lit_value;
+          const double b = e->kids[1]->lit_value;
+          const double r = prec == Precision::FP32
+                               ? fold_bin<float>(e->bin_op, a, b)
+                               : fold_bin<double>(e->bin_op, a, b);
+          return ir::make_literal(r);
+        }
+        break;
+      default:
+        break;
+    }
+    return e;
+  };
+  transform_exprs(prog.body(), [&](ExprPtr root) {
+    return rewrite_post(std::move(root), fold);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// FMA contraction
+// ---------------------------------------------------------------------------
+
+void contract_fma(ir::Program& prog, FmaPreference pref) {
+  const auto contract = [pref](ExprPtr e) -> ExprPtr {
+    if (e->kind != ExprKind::Bin) return e;
+    if (e->bin_op != ir::BinOp::Add && e->bin_op != ir::BinOp::Sub) return e;
+    const bool lhs_mul =
+        e->kids[0]->kind == ExprKind::Bin && e->kids[0]->bin_op == ir::BinOp::Mul;
+    const bool rhs_mul =
+        e->kids[1]->kind == ExprKind::Bin && e->kids[1]->bin_op == ir::BinOp::Mul;
+    if (!lhs_mul && !rhs_mul) return e;
+
+    const bool subtract = e->bin_op == ir::BinOp::Sub;
+    auto lhs = std::move(e->kids[0]);
+    auto rhs = std::move(e->kids[1]);
+
+    if (lhs_mul && rhs_mul) {
+      // a*b (+/-) c*d — tie-break differs between the toolchains.
+      if (pref == FmaPreference::LeftProduct) {
+        auto a = std::move(lhs->kids[0]);
+        auto b = std::move(lhs->kids[1]);
+        if (subtract) rhs = ir::make_neg(std::move(rhs));
+        return ir::make_fma(std::move(a), std::move(b), std::move(rhs));
+      }
+      auto c = std::move(rhs->kids[0]);
+      auto d = std::move(rhs->kids[1]);
+      if (subtract) {
+        // a*b - c*d = fma(-c, d, a*b)
+        c = ir::make_neg(std::move(c));
+      }
+      return ir::make_fma(std::move(c), std::move(d), std::move(lhs));
+    }
+    if (lhs_mul) {
+      // a*b + c -> fma(a,b,c);  a*b - c -> fma(a,b,-c)
+      auto a = std::move(lhs->kids[0]);
+      auto b = std::move(lhs->kids[1]);
+      if (subtract) rhs = ir::make_neg(std::move(rhs));
+      return ir::make_fma(std::move(a), std::move(b), std::move(rhs));
+    }
+    // c + a*b -> fma(a,b,c);  c - a*b -> fma(-a,b,c)
+    auto a = std::move(rhs->kids[0]);
+    auto b = std::move(rhs->kids[1]);
+    if (subtract) a = ir::make_neg(std::move(a));
+    return ir::make_fma(std::move(a), std::move(b), std::move(lhs));
+  };
+  transform_exprs(prog.body(), [&](ExprPtr root) {
+    return rewrite_post(std::move(root), contract);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-multiply if-conversion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void if_convert_body(std::vector<StmtPtr>& body) {
+  for (auto& s : body) {
+    if_convert_body(s->body);
+    if (s->kind != StmtKind::If) continue;
+    if (s->body.size() != 1) continue;
+    Stmt& inner = *s->body[0];
+    if (inner.kind != StmtKind::AssignComp || inner.assign_op != ir::AssignOp::Add)
+      continue;
+    // Speculation is only profitable for cheap right-hand sides; real
+    // if-converters bail out on large expressions (and on calls, which may
+    // not be speculatable at all).
+    if (inner.a->node_count() > 4) continue;
+    bool has_call = false;
+    const std::function<void(const ir::Expr&)> scan = [&](const ir::Expr& e) {
+      if (e.kind == ir::ExprKind::Call) has_call = true;
+      for (const auto& k : e.kids) scan(*k);
+    };
+    scan(*inner.a);
+    if (has_call) continue;
+    // if (cond) comp += e;  ==>  comp += (T)cond * e;
+    auto predicate = ir::make_bool_to_fp(std::move(s->a));
+    auto value = ir::make_bin(ir::BinOp::Mul, std::move(predicate),
+                              std::move(inner.a));
+    s = ir::make_assign_comp(ir::AssignOp::Add, std::move(value));
+  }
+}
+
+}  // namespace
+
+void if_convert(ir::Program& prog) { if_convert_body(prog.body()); }
+
+// ---------------------------------------------------------------------------
+// Reassociation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Collect the leaves of a same-op chain (Add or Mul, left/right nested).
+void collect_chain(ExprPtr e, ir::BinOp op, std::vector<ExprPtr>& leaves) {
+  if (e->kind == ExprKind::Bin && e->bin_op == op) {
+    auto lhs = std::move(e->kids[0]);
+    auto rhs = std::move(e->kids[1]);
+    collect_chain(std::move(lhs), op, leaves);
+    collect_chain(std::move(rhs), op, leaves);
+    return;
+  }
+  leaves.push_back(std::move(e));
+}
+
+ExprPtr build_left(std::vector<ExprPtr>& leaves, ir::BinOp op, std::size_t lo,
+                   std::size_t hi) {
+  ExprPtr acc = std::move(leaves[lo]);
+  for (std::size_t i = lo + 1; i < hi; ++i)
+    acc = ir::make_bin(op, std::move(acc), std::move(leaves[i]));
+  return acc;
+}
+
+ExprPtr build_balanced(std::vector<ExprPtr>& leaves, ir::BinOp op, std::size_t lo,
+                       std::size_t hi) {
+  if (hi - lo == 1) return std::move(leaves[lo]);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return ir::make_bin(op, build_balanced(leaves, op, lo, mid),
+                      build_balanced(leaves, op, mid, hi));
+}
+
+}  // namespace
+
+void reassociate(ir::Program& prog, ReassocStyle style, int min_chain) {
+  const auto reassoc = [&](ExprPtr e) -> ExprPtr {
+    if (e->kind != ExprKind::Bin) return e;
+    if (e->bin_op != ir::BinOp::Add && e->bin_op != ir::BinOp::Mul) return e;
+    const ir::BinOp op = e->bin_op;
+    // Only rewrite the chain root: if the parent will also match, let the
+    // outermost invocation handle it (rewrite_post runs bottom-up, so we
+    // check that neither child is the same op *after* children were
+    // processed — i.e. this node is the root of a maximal chain only if its
+    // parent isn't the same op; we conservatively rebuild at every level,
+    // which converges because rebuilt subtrees are in canonical shape).
+    std::vector<ExprPtr> leaves;
+    collect_chain(std::move(e), op, leaves);
+    if (static_cast<int>(leaves.size()) < min_chain)
+      return build_left(leaves, op, 0, leaves.size());
+    if (style == ReassocStyle::FlattenLeft)
+      return build_left(leaves, op, 0, leaves.size());
+    return build_balanced(leaves, op, 0, leaves.size());
+  };
+  // Top-down single pass at expression roots: find maximal chains.
+  const std::function<ExprPtr(ExprPtr)> walk = [&](ExprPtr e) -> ExprPtr {
+    e = reassoc(std::move(e));
+    for (auto& kid : e->kids) kid = walk(std::move(kid));
+    return e;
+  };
+  transform_exprs(prog.body(), walk);
+}
+
+// ---------------------------------------------------------------------------
+// Reciprocal division
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_power_of_two_literal(const Expr& e) {
+  if (e.kind != ExprKind::Literal) return false;
+  const double v = fp::abs_bits(e.lit_value);
+  if (fp::is_zero_bits(v) || !fp::is_finite_bits(v)) return false;
+  return fp::mantissa_field(v) == 0;
+}
+
+}  // namespace
+
+namespace {
+
+ExprPtr recip_rewrite(ExprPtr e) {
+  if (e->kind != ExprKind::Bin || e->bin_op != ir::BinOp::Div) return e;
+  if (is_power_of_two_literal(*e->kids[1])) return e;  // exact either way
+  auto num = std::move(e->kids[0]);
+  auto den = std::move(e->kids[1]);
+  auto inv = ir::make_bin(ir::BinOp::Div, ir::make_literal(1.0, "1.0"),
+                          std::move(den));
+  return ir::make_bin(ir::BinOp::Mul, std::move(num), std::move(inv));
+}
+
+/// Reciprocal substitution pays off when the reciprocal can be hoisted, so
+/// the pass (like the real -freciprocal-math heuristics) only rewrites
+/// divisions inside loop bodies.
+void reciprocal_in_loops(std::vector<StmtPtr>& body, bool in_loop) {
+  for (auto& s : body) {
+    const bool next_in_loop = in_loop || s->kind == StmtKind::For;
+    reciprocal_in_loops(s->body, next_in_loop);
+    if (!in_loop) continue;
+    if (s->a)
+      s->a = rewrite_post(std::move(s->a), recip_rewrite);
+    if (s->b)
+      s->b = rewrite_post(std::move(s->b), recip_rewrite);
+  }
+}
+
+}  // namespace
+
+void reciprocal_division(ir::Program& prog) {
+  reciprocal_in_loops(prog.body(), /*in_loop=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t count_expr_matching(const Expr& e, ExprKind kind) {
+  std::size_t n = e.kind == kind ? 1 : 0;
+  for (const auto& k : e.kids) n += count_expr_matching(*k, kind);
+  return n;
+}
+
+std::size_t count_stmt_matching(const std::vector<StmtPtr>& body, ExprKind kind) {
+  std::size_t n = 0;
+  for (const auto& s : body) {
+    if (s->a) n += count_expr_matching(*s->a, kind);
+    if (s->b) n += count_expr_matching(*s->b, kind);
+    n += count_stmt_matching(s->body, kind);
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t count_fma_nodes(const ir::Program& prog) {
+  return count_stmt_matching(prog.body(), ExprKind::Fma);
+}
+
+std::size_t count_nodes(const ir::Program& prog) { return prog.node_count(); }
+
+}  // namespace gpudiff::opt

@@ -1,0 +1,99 @@
+#include "opt/pipeline.hpp"
+
+#include "opt/passes.hpp"
+
+namespace gpudiff::opt {
+
+std::string to_string(Toolchain t) {
+  return t == Toolchain::Nvcc ? "nvcc-sim" : "hipcc-sim";
+}
+
+std::string to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::O0: return "O0";
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+    case OptLevel::O3: return "O3";
+    case OptLevel::O3_FastMath: return "O3_FM";
+  }
+  return "?";
+}
+
+bool parse_opt_level(const std::string& text, OptLevel* out) {
+  if (text == "O0") *out = OptLevel::O0;
+  else if (text == "O1") *out = OptLevel::O1;
+  else if (text == "O2") *out = OptLevel::O2;
+  else if (text == "O3") *out = OptLevel::O3;
+  else if (text == "O3_FM" || text == "O3_FastMath") *out = OptLevel::O3_FastMath;
+  else return false;
+  return true;
+}
+
+std::string Executable::description() const {
+  std::string out = to_string(toolchain) + " -" +
+                    (level == OptLevel::O3_FastMath ? std::string("O3")
+                                                    : to_string(level));
+  if (level == OptLevel::O3_FastMath)
+    out += toolchain == Toolchain::Nvcc ? " -use_fast_math" : " -DHIP_FAST_MATH";
+  return out;
+}
+
+namespace {
+
+const vmath::MathLib* select_mathlib(const CompileOptions& o) {
+  const bool fast = o.level == OptLevel::O3_FastMath;
+  if (o.toolchain == Toolchain::Nvcc)
+    return fast ? &vmath::nv_fast() : &vmath::nv_libdevice();
+  if (o.hipify_converted)
+    return fast ? &vmath::hip_cuda_compat_native() : &vmath::hip_cuda_compat();
+  return fast ? &vmath::amd_ocml_native() : &vmath::amd_ocml();
+}
+
+}  // namespace
+
+Executable compile(const ir::Program& program, const CompileOptions& options) {
+  Executable exe;
+  exe.program = program;  // deep copy
+  exe.toolchain = options.toolchain;
+  exe.level = options.level;
+  exe.mathlib = select_mathlib(options);
+
+  const bool optimized = options.level != OptLevel::O0;
+  const bool fast = options.level == OptLevel::O3_FastMath;
+
+  if (optimized) {
+    fold_constants(exe.program);
+    if (options.toolchain == Toolchain::Nvcc) {
+      contract_fma(exe.program, FmaPreference::LeftProduct);
+    } else {
+      contract_fma(exe.program, FmaPreference::RightProduct);
+      if_convert(exe.program);
+    }
+  }
+
+  if (fast) {
+    if (options.toolchain == Toolchain::Nvcc) {
+      reassociate(exe.program, ReassocStyle::FlattenLeft, /*min_chain=*/4);
+      // -use_fast_math: .ftz on FP32 ops, approximate FP32 division; FP64
+      // arithmetic stays IEEE on real nvcc.
+      exe.env.ftz32 = true;
+      exe.env.daz32 = true;
+      exe.env.div32 = fp::Div32Mode::NvApprox;
+    } else {
+      reassociate(exe.program, ReassocStyle::BalancedTree, /*min_chain=*/4);
+      // -ffast-math / -DHIP_FAST_MATH: reciprocal math applies to FP64 too.
+      if (exe.program.precision() == ir::Precision::FP64)
+        reciprocal_division(exe.program);
+      exe.env.div32 = fp::Div32Mode::AmdApprox;
+      // -ffinite-math-only lowers FP32 fmin/fmax to a bare compare-select;
+      // the FP64 entry points keep IEEE NaN semantics because the paper's
+      // recommended -DHIP_FAST_MATH spelling only swaps FP32 intrinsics
+      // (paper §III-D, footnote on ROCm issue #28).
+      if (exe.program.precision() == ir::Precision::FP32)
+        exe.env.naive_minmax = true;
+    }
+  }
+  return exe;
+}
+
+}  // namespace gpudiff::opt

@@ -1,0 +1,67 @@
+#pragma once
+// Virtual compilers: nvcc-sim and hipcc-sim.
+//
+// compile() lowers a test kernel into an Executable — optimized IR plus the
+// math-library binding and floating-point environment the real toolchain
+// would configure.  Pipelines (paper §IV-B: O0, O1, O2, O3, O3 -ffast-math):
+//
+//             nvcc-sim                      hipcc-sim
+//   O0        (none)                        (none)
+//   O1..O3    fold, fma(left)               fold, fma(right), if-convert
+//   O3+FM     + reassoc(flatten-left),      + reassoc(balanced), reciprocal
+//             FTZ/DAZ fp32, approx div32,   div (fp64), approx div32,
+//             __sinf-family fp32 binding    native_* fp32 binding,
+//                                           finite-math fmin/fmax
+//
+// O1, O2 and O3 run identical numerics-relevant passes — higher levels add
+// only value-preserving cleanup on real compilers too, which reproduces the
+// identical per-level counts of paper Tables V/VII/IX.
+//
+// HIPIFY-converted sources (CompileOptions::hipify_converted) bind the
+// CUDA-compat math wrapper instead of plain OCML (see compat_math.cpp).
+
+#include <string>
+
+#include "fp/env.hpp"
+#include "ir/program.hpp"
+#include "vmath/mathlib.hpp"
+
+namespace gpudiff::opt {
+
+enum class Toolchain : std::uint8_t { Nvcc, Hipcc };
+std::string to_string(Toolchain t);
+
+enum class OptLevel : std::uint8_t { O0, O1, O2, O3, O3_FastMath };
+std::string to_string(OptLevel level);
+/// Parse "O0".."O3"/"O3_FM" (returns false on unknown spelling).
+bool parse_opt_level(const std::string& text, OptLevel* out);
+
+/// All five levels in campaign order.
+inline constexpr OptLevel kAllOptLevels[] = {
+    OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3,
+    OptLevel::O3_FastMath};
+
+struct CompileOptions {
+  Toolchain toolchain = Toolchain::Nvcc;
+  OptLevel level = OptLevel::O0;
+  /// hipcc only: source was produced by HIPIFY rather than generated as HIP.
+  bool hipify_converted = false;
+};
+
+/// A compiled test: what the virtual GPU executes.
+struct Executable {
+  ir::Program program;                       ///< optimized kernel
+  const vmath::MathLib* mathlib = nullptr;   ///< bound device math library
+  fp::FpEnv env;                             ///< FP execution environment
+  Toolchain toolchain = Toolchain::Nvcc;
+  OptLevel level = OptLevel::O0;
+
+  /// "nvcc-sim -O3 -use_fast_math"-style description.
+  std::string description() const;
+};
+
+/// Run the toolchain's pipeline for the given level.  The input program is
+/// copied; generation artifacts are never mutated.
+Executable compile(const ir::Program& program, const CompileOptions& options);
+
+}  // namespace gpudiff::opt

@@ -1,0 +1,61 @@
+#pragma once
+// Tiny declarative command-line parser for the bench/example binaries.
+//
+//   CliParser cli("bench_table4", "Regenerates Table IV");
+//   cli.add_int("programs", 'p', "number of random programs", 400);
+//   cli.add_flag("paper-scale", "use the paper's full test counts");
+//   if (!cli.parse(argc, argv)) return 1;   // prints error or --help
+//   int n = cli.get_int("programs");
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpudiff::support {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, char short_name, const std::string& help,
+               std::int64_t default_value);
+  void add_string(const std::string& name, char short_name, const std::string& help,
+                  std::string default_value);
+  void add_double(const std::string& name, char short_name, const std::string& help,
+                  double default_value);
+
+  /// Returns false if parsing failed or --help was requested (message printed).
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  enum class Kind { Flag, Int, String, Double };
+  struct Option {
+    Kind kind;
+    char short_name = 0;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    std::string string_value;
+    double double_value = 0;
+  };
+  const Option* find(const std::string& name, Kind kind) const;
+  Option* find_by_short(char c);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace gpudiff::support

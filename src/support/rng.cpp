@@ -1,0 +1,40 @@
+#include "support/rng.hpp"
+
+namespace gpudiff::support {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+std::size_t Rng::weighted(const std::uint32_t* weights, std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  if (total == 0) return 0;
+  std::uint64_t pick = below(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return n - 1;
+}
+
+}  // namespace gpudiff::support

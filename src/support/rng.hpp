@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible campaigns.
+//
+// gpudiff test campaigns must be a pure function of (seed, configuration):
+// the between-platform protocol (paper Fig. 3) re-runs the *same* tests on a
+// second system, so generation must be bit-reproducible across platforms and
+// standard-library implementations.  std::mt19937 + std::uniform_* are not
+// guaranteed to be portable across library versions, so we ship our own
+// xoshiro256++ engine and distributions.
+
+#include <cstdint>
+#include <limits>
+
+namespace gpudiff::support {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state and to
+/// derive independent child seeds (one per generated program).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), public-domain reference algorithm.
+/// Fast, high-quality, and fully specified — identical streams everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derive an independent child generator; children with distinct salts are
+  /// decorrelated from the parent and from each other.
+  Rng split(std::uint64_t salt) noexcept {
+    return Rng(next() ^ (0x9e3779b97f4a7c15ULL * (salt + 1)));
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Pick an index according to integer weights (sum must be > 0).
+  std::size_t weighted(const std::uint32_t* weights, std::size_t n) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gpudiff::support

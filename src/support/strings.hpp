@@ -1,0 +1,34 @@
+#pragma once
+// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpudiff::support {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Indent every line of `text` by `spaces` spaces.
+std::string indent(std::string_view text, int spaces);
+
+/// Render `n` with thousands separators ("24,750") as the paper's tables do.
+std::string with_commas(long long n);
+
+}  // namespace gpudiff::support

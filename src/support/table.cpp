@@ -1,0 +1,82 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+namespace gpudiff::support {
+
+void Table::set_header(std::vector<std::string> header, std::vector<Align> align) {
+  header_ = std::move(header);
+  align_ = std::move(align);
+  align_.resize(header_.size(), Align::Right);
+  if (!align_.empty()) align_[0] = align_[0] == Align::Right && !header_.empty()
+                                       ? Align::Left
+                                       : align_[0];
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), false});
+}
+
+void Table::add_rule() { rows_.push_back({{}, true}); }
+
+std::string Table::render() const {
+  // Column widths.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    width[i] = std::max(width[i], header_[i].size());
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.cells.size(); ++i)
+      width[i] = std::max(width[i], r.cells[i].size());
+
+  const auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    const std::size_t extra = w > s.size() ? w - s.size() : 0;
+    switch (a) {
+      case Align::Left: return s + std::string(extra, ' ');
+      case Align::Right: return std::string(extra, ' ') + s;
+      case Align::Center: {
+        const std::size_t l = extra / 2;
+        return std::string(l, ' ') + s + std::string(extra - l, ' ');
+      }
+    }
+    return s;
+  };
+
+  const auto align_of = [&](std::size_t i) {
+    return i < align_.size() ? align_[i] : Align::Right;
+  };
+
+  std::string sep = "+";
+  for (std::size_t i = 0; i < ncols; ++i) sep += std::string(width[i] + 2, '-') + "+";
+  sep += '\n';
+
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  out += sep;
+  if (!header_.empty()) {
+    out += "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& h = i < header_.size() ? header_[i] : std::string();
+      out += " " + pad(h, width[i], Align::Center) + " |";
+    }
+    out += '\n';
+    out += sep;
+  }
+  for (const auto& r : rows_) {
+    if (r.rule) {
+      out += sep;
+      continue;
+    }
+    out += "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < r.cells.size() ? r.cells[i] : std::string();
+      out += " " + pad(c, width[i], align_of(i)) + " |";
+    }
+    out += '\n';
+  }
+  out += sep;
+  return out;
+}
+
+}  // namespace gpudiff::support

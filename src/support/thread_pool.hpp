@@ -1,0 +1,23 @@
+#pragma once
+// Parallel execution of embarrassingly-parallel test campaigns.
+//
+// The paper runs 652,600 test instances; even our scaled campaigns execute
+// tens of thousands of (compile, run, compare) triples.  parallel_for
+// partitions the index space dynamically (atomic grab of fixed-size chunks)
+// so irregular per-test cost (loop trip counts vary) balances well.
+
+#include <cstddef>
+#include <functional>
+
+namespace gpudiff::support {
+
+/// Number of worker threads used by default (hardware concurrency, >= 1).
+unsigned default_thread_count() noexcept;
+
+/// Run fn(i) for every i in [0, n) on `threads` threads (0 = default).
+/// fn must be safe to call concurrently for distinct i.  Exceptions thrown
+/// by fn are captured and the first one is rethrown on the calling thread.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0, std::size_t chunk = 16);
+
+}  // namespace gpudiff::support

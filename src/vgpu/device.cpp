@@ -1,0 +1,23 @@
+#include "vgpu/device.hpp"
+
+namespace gpudiff::vgpu {
+
+const DeviceDescriptor& nvidia_v100_sim() {
+  static const DeviceDescriptor d = {
+      "V100-sim", "NVIDIA (simulated)", "PTX/SASS-sim", "Lassen",
+      opt::Toolchain::Nvcc};
+  return d;
+}
+
+const DeviceDescriptor& amd_mi250x_sim() {
+  static const DeviceDescriptor d = {
+      "MI250X-sim", "AMD (simulated)", "GCN/CDNA-sim", "Tioga",
+      opt::Toolchain::Hipcc};
+  return d;
+}
+
+const DeviceDescriptor& device_for(opt::Toolchain t) {
+  return t == opt::Toolchain::Nvcc ? nvidia_v100_sim() : amd_mi250x_sim();
+}
+
+}  // namespace gpudiff::vgpu

@@ -1,0 +1,30 @@
+#pragma once
+// Virtual GPU device descriptors.
+//
+// Each descriptor pairs a toolchain with the device identity it targets in
+// the paper's clusters: nvcc-sim -> "V100-sim" (Lassen), hipcc-sim ->
+// "MI250X-sim" (Tioga).  The descriptor carries presentation metadata (ISA
+// name for disassembly, marketing name for reports); numerical behaviour
+// lives in the compiled Executable (math binding + FP environment).
+
+#include <string>
+
+#include "opt/pipeline.hpp"
+
+namespace gpudiff::vgpu {
+
+struct DeviceDescriptor {
+  std::string name;       ///< "V100-sim"
+  std::string vendor;     ///< "NVIDIA (simulated)"
+  std::string isa;        ///< "PTX/SASS-sim"
+  std::string cluster;    ///< paper cluster the device stands in for
+  opt::Toolchain toolchain{};
+};
+
+const DeviceDescriptor& nvidia_v100_sim();
+const DeviceDescriptor& amd_mi250x_sim();
+
+/// Device for a toolchain (the pairing used throughout the campaigns).
+const DeviceDescriptor& device_for(opt::Toolchain t);
+
+}  // namespace gpudiff::vgpu

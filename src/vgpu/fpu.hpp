@@ -1,0 +1,132 @@
+#pragma once
+// The virtual floating-point unit: IEEE arithmetic under an FpEnv, with
+// software exception-flag tracking (paper Table II — NVIDIA GPUs have no
+// status register; our virtual FPU restores that visibility).
+//
+// Exactness of add/mul/div is detected with error-free transformations so
+// the Inexact flag is precise, not heuristic.
+
+#include <cmath>
+
+#include "fp/bits.hpp"
+#include "fp/env.hpp"
+#include "fp/exceptions.hpp"
+
+namespace gpudiff::vgpu {
+
+template <typename T>
+class Fpu {
+ public:
+  Fpu(const fp::FpEnv& env, fp::ExceptionFlags& flags) noexcept
+      : env_(env), flags_(flags) {}
+
+  T add(T a, T b) noexcept {
+    a = daz(a);
+    b = daz(b);
+    const T r = a + b;
+    if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
+      if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);       // inf - inf: n/a here
+      if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
+      else if (r - a != b || r - b != a) flags_.raise(fp::kInexact);
+    } else if (fp::is_nan_bits(r) && !fp::is_nan_bits(a) && !fp::is_nan_bits(b)) {
+      flags_.raise(fp::kInvalid);  // (+inf) + (-inf)
+    }
+    return ftz(r);
+  }
+
+  T sub(T a, T b) noexcept { return add(a, fp::negate_bits(b)); }
+
+  T mul(T a, T b) noexcept {
+    a = daz(a);
+    b = daz(b);
+    const T r = a * b;
+    if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
+      if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
+      else if (std::fma(a, b, -r) != T(0)) flags_.raise(fp::kInexact);
+      if (fp::is_subnormal_bits(r) ||
+          (fp::is_zero_bits(r) && !fp::is_zero_bits(a) && !fp::is_zero_bits(b)))
+        flags_.raise(fp::kUnderflow | fp::kInexact);
+    } else if (fp::is_nan_bits(r) && !fp::is_nan_bits(a) && !fp::is_nan_bits(b)) {
+      flags_.raise(fp::kInvalid);  // 0 * inf
+    }
+    return ftz(r);
+  }
+
+  T div(T a, T b) noexcept {
+    a = daz(a);
+    b = daz(b);
+    if constexpr (sizeof(T) == 4) {
+      if (env_.div32 != fp::Div32Mode::IEEE) return div32_approx(a, b);
+    }
+    const T r = a / b;
+    if (fp::is_zero_bits(b) && fp::is_finite_bits(a) && !fp::is_zero_bits(a) &&
+        !fp::is_nan_bits(a)) {
+      flags_.raise(fp::kDivideByZero);
+    } else if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
+      if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);  // 0/0
+      else if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
+      else if (std::fma(r, b, -a) != T(0)) flags_.raise(fp::kInexact);
+      if (fp::is_subnormal_bits(r) ||
+          (fp::is_zero_bits(r) && !fp::is_zero_bits(a)))
+        flags_.raise(fp::kUnderflow | fp::kInexact);
+    } else if (fp::is_nan_bits(r) && !fp::is_nan_bits(a) && !fp::is_nan_bits(b)) {
+      flags_.raise(fp::kInvalid);  // inf/inf
+    }
+    return ftz(r);
+  }
+
+  T fma_op(T a, T b, T c) noexcept {
+    a = daz(a);
+    b = daz(b);
+    c = daz(c);
+    const T r = std::fma(a, b, c);
+    const bool fin = fp::is_finite_bits(a) && fp::is_finite_bits(b) &&
+                     fp::is_finite_bits(c);
+    if (fin) {
+      if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);
+      else if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
+      else flags_.raise(fp::kInexact);  // conservatively inexact
+      if (fp::is_subnormal_bits(r)) flags_.raise(fp::kUnderflow);
+    } else if (fp::is_nan_bits(r) && !fp::is_nan_bits(a) && !fp::is_nan_bits(b) &&
+               !fp::is_nan_bits(c)) {
+      flags_.raise(fp::kInvalid);
+    }
+    return ftz(r);
+  }
+
+  T neg(T a) noexcept { return fp::negate_bits(a); }
+
+  /// Classify a math-library result's exceptions from values (libraries run
+  /// outside the virtual FPU; Table II visibility is restored heuristically).
+  void note_call_result(T result, bool args_all_non_nan, bool args_finite) noexcept {
+    if (fp::is_nan_bits(result) && args_all_non_nan) flags_.raise(fp::kInvalid);
+    if (fp::is_inf_bits(result) && args_finite)
+      flags_.raise(fp::kOverflow | fp::kInexact);
+    if (fp::is_subnormal_bits(result)) flags_.raise(fp::kUnderflow);
+  }
+
+ private:
+  T daz(T x) const noexcept { return fp::apply_daz(x, env_); }
+  T ftz(T x) noexcept { return fp::apply_ftz(x, env_, &flags_); }
+
+  float div32_approx(float a, float b) noexcept {
+    flags_.raise(fp::kInexact);
+    if (env_.div32 == fp::Div32Mode::NvApprox) {
+      // __fdividef: documented to return 0 when 2^126 < |b| < 2^128.
+      if (fp::is_finite_bits(b) && fp::abs_bits(b) > 0x1p126f) {
+        const bool neg = fp::sign_bit(a) != fp::sign_bit(b);
+        return neg ? -0.0f : 0.0f;
+      }
+      const float recip = static_cast<float>(1.0 / static_cast<double>(b));
+      return ftz(a * recip);  // two float roundings
+    }
+    // AmdApprox (v_rcp + refined multiply): double product, single rounding.
+    const double r = static_cast<double>(a) * (1.0 / static_cast<double>(b));
+    return static_cast<float>(r);  // no FTZ: MI250X keeps FP32 denormals
+  }
+
+  const fp::FpEnv& env_;
+  fp::ExceptionFlags& flags_;
+};
+
+}  // namespace gpudiff::vgpu

@@ -1,0 +1,37 @@
+#pragma once
+// Kernel execution on the virtual GPU.
+//
+// run_kernel() interprets a compiled Executable with one thread — Varity
+// kernels are launched <<<1,1>>> and compute a single `comp` value which
+// the kernel prints with printf("%.17g\n", comp).  The result captures the
+// printed string (the artifact the differential tester compares), the raw
+// IEEE bits, the accumulated exception flags (Table II) and an operation
+// count used for the deterministic runtime shape of Table I.
+
+#include <cstdint>
+#include <string>
+
+#include "fp/exceptions.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/args.hpp"
+
+namespace gpudiff::vgpu {
+
+struct RunResult {
+  std::string printed;        ///< printf("%.17g\n", comp) payload (no \n)
+  double value = 0.0;         ///< comp widened to double (exact for FP32)
+  std::uint64_t value_bits = 0;  ///< IEEE bits of comp in its own precision
+  fp::ExceptionFlags flags;   ///< accumulated FP exceptions
+  std::uint64_t op_count = 0; ///< FP operations executed (deterministic cost)
+  /// Deterministic cost under a simple device timing model (issue cycles:
+  /// add/mul/fma = 1, IEEE divide = 16 (FP64) / 8 (FP32), approximate
+  /// divide = 2, library call = 24, fast-math intrinsic = 6).  Drives the
+  /// runtime column of the Table I reproduction.
+  std::uint64_t cycle_count = 0;
+};
+
+/// Execute the kernel once.  Throws std::runtime_error on malformed IR
+/// (e.g. argument/parameter mismatch); numerical misbehaviour never throws.
+RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args);
+
+}  // namespace gpudiff::vgpu

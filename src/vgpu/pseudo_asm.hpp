@@ -1,0 +1,19 @@
+#pragma once
+// Pseudo-assembly listing of a compiled Executable.
+//
+// The paper's case studies identify root causes by inspecting the SASS/PTX
+// (NVIDIA) and GCN ISA (AMD) the real compilers emit — e.g. hipcc calling
+// __ocml_fmod_f64 where nvcc inlines an FP/bitwise sequence.  disassemble()
+// renders the same story for the virtual toolchains: a PTX-flavoured
+// listing for nvcc-sim and a GCN-flavoured listing for hipcc-sim, with
+// math calls shown against their library symbols (MathLib::symbol).
+
+#include <string>
+
+#include "opt/pipeline.hpp"
+
+namespace gpudiff::vgpu {
+
+std::string disassemble(const opt::Executable& exe);
+
+}  // namespace gpudiff::vgpu

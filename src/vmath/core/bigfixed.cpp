@@ -1,0 +1,139 @@
+#include "vmath/core/bigfixed.hpp"
+
+#include <stdexcept>
+
+namespace gpudiff::vmath::core {
+
+void BigFixed::set_quotient(const BigFixed& a, std::uint32_t d) {
+  if (d == 0) throw std::invalid_argument("BigFixed: divide by zero");
+  if (frac_.size() != a.frac_.size())
+    throw std::invalid_argument("BigFixed: limb mismatch");
+  std::uint64_t rem = a.int_part;
+  int_part = static_cast<std::uint32_t>(rem / d);
+  rem %= d;
+  for (std::size_t i = 0; i < frac_.size(); ++i) {
+    const std::uint64_t cur = (rem << 32) | a.frac_[i];
+    frac_[i] = static_cast<std::uint32_t>(cur / d);
+    rem = cur % d;
+  }
+}
+
+void BigFixed::add(const BigFixed& a) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = frac_.size(); i-- > 0;) {
+    const std::uint64_t s = static_cast<std::uint64_t>(frac_[i]) + a.frac_[i] + carry;
+    frac_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  int_part += a.int_part + static_cast<std::uint32_t>(carry);
+}
+
+void BigFixed::sub(const BigFixed& a) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = frac_.size(); i-- > 0;) {
+    std::int64_t s = static_cast<std::int64_t>(frac_[i]) - a.frac_[i] - borrow;
+    borrow = 0;
+    if (s < 0) {
+      s += (std::int64_t{1} << 32);
+      borrow = 1;
+    }
+    frac_[i] = static_cast<std::uint32_t>(s);
+  }
+  int_part = int_part - a.int_part - static_cast<std::uint32_t>(borrow);
+}
+
+void BigFixed::mul_small(std::uint32_t m) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = frac_.size(); i-- > 0;) {
+    const std::uint64_t p = static_cast<std::uint64_t>(frac_[i]) * m + carry;
+    frac_[i] = static_cast<std::uint32_t>(p);
+    carry = p >> 32;
+  }
+  int_part = static_cast<std::uint32_t>(static_cast<std::uint64_t>(int_part) * m + carry);
+}
+
+bool BigFixed::is_zero() const noexcept {
+  if (int_part != 0) return false;
+  for (auto l : frac_)
+    if (l != 0) return false;
+  return true;
+}
+
+int BigFixed::compare(const BigFixed& a) const noexcept {
+  if (int_part != a.int_part) return int_part < a.int_part ? -1 : 1;
+  for (std::size_t i = 0; i < frac_.size(); ++i)
+    if (frac_[i] != a.frac_[i]) return frac_[i] < a.frac_[i] ? -1 : 1;
+  return 0;
+}
+
+std::uint64_t BigFixed::extract_bits(std::size_t pos, unsigned count) const noexcept {
+  std::uint64_t out = 0;
+  for (unsigned b = 0; b < count; ++b) {
+    const std::size_t bit = pos + b;           // fraction bit index
+    const std::size_t limb_idx = bit / 32;
+    const unsigned within = static_cast<unsigned>(bit % 32);
+    std::uint32_t limb_value = limb_idx < frac_.size() ? frac_[limb_idx] : 0;
+    const std::uint32_t bit_value = (limb_value >> (31 - within)) & 1u;
+    out = (out << 1) | bit_value;
+  }
+  return out;
+}
+
+BigFixed big_atan_inv(std::uint32_t x, std::size_t limbs) {
+  // atan(1/x) = sum_{k>=0} (-1)^k / ((2k+1) * x^(2k+1)).
+  BigFixed sum(limbs);
+  BigFixed power(limbs);  // 1 / x^(2k+1)
+  BigFixed one(limbs);
+  one.int_part = 1;
+  power.set_quotient(one, x);
+  const std::uint32_t xsq = x * x;
+  BigFixed term(limbs);
+  for (std::uint32_t k = 0;; ++k) {
+    term.set_quotient(power, 2 * k + 1);
+    if (term.is_zero()) break;
+    if (k % 2 == 0) sum.add(term);
+    else sum.sub(term);
+    BigFixed next(limbs);
+    next.set_quotient(power, xsq);
+    power = next;
+    if (power.is_zero()) break;
+  }
+  return sum;
+}
+
+BigFixed big_pi(std::size_t limbs) {
+  // Machin: pi = 16*atan(1/5) - 4*atan(1/239).
+  BigFixed a = big_atan_inv(5, limbs);
+  a.mul_small(16);
+  BigFixed b = big_atan_inv(239, limbs);
+  b.mul_small(4);
+  a.sub(b);
+  return a;
+}
+
+void BigFixed::set_fraction_bit(std::size_t pos) noexcept {
+  const std::size_t limb_idx = pos / 32;
+  if (limb_idx >= frac_.size()) return;
+  const unsigned within = static_cast<unsigned>(pos % 32);
+  frac_[limb_idx] |= (1u << (31 - within));
+}
+
+BigFixed big_two_over_pi(std::size_t limbs) {
+  // Long division: 2 / pi, bit by bit.  pi in [3,4), so 2/pi in (0.5, 1).
+  const BigFixed pi = big_pi(limbs);
+  BigFixed quotient(limbs);
+  // Remainder r starts at 2; repeatedly r *= 2 and subtract pi when possible.
+  BigFixed r(limbs);
+  r.int_part = 2;
+  const std::size_t total_bits = limbs * 32;
+  for (std::size_t bit = 0; bit < total_bits; ++bit) {
+    r.mul_small(2);
+    if (r.compare(pi) >= 0) {
+      r.sub(pi);
+      quotient.set_fraction_bit(bit);
+    }
+  }
+  return quotient;
+}
+
+}  // namespace gpudiff::vmath::core

@@ -1,0 +1,95 @@
+#pragma once
+// Shared math-library cores.
+//
+// Functions that NVIDIA and AMD GPUs compute identically in practice (IEEE
+// sqrt, exp/log within 1 ulp of each other rarely enough to matter, the
+// polynomial trig kernels applied to an exactly reduced argument) live here
+// and are *shared* by both vendor libraries so that campaign discrepancy
+// rates stay near the paper's observed ~1-2% instead of diverging on every
+// transcendental call (DESIGN.md decision #2).  Vendor-specific algorithms
+// (fmod, ceil/floor, cosh/sinh composition, reduction style) live in
+// nv_math.cpp / amd_math.cpp.
+
+#include <cmath>
+#include <cstdint>
+
+#include "fp/bits.hpp"
+#include "vmath/core/reduce.hpp"
+
+namespace gpudiff::vmath::core {
+
+// --- scaling -------------------------------------------------------------
+
+/// x * 2^k with one correct rounding (handles overflow/underflow/subnormal).
+double scale_by_pow2(double x, int k) noexcept;
+
+// --- exponential / logarithmic family ------------------------------------
+//
+// Both vendors use the same reduction and the same minimax coefficients, but
+// evaluate the core polynomial with a different association (NVIDIA-like
+// Horner vs AMD-like Estrin).  The two schemes round identically for most
+// arguments and differ in the last ULP for a small fraction — the gentle
+// Number-vs-Number trickle that dominates the paper's discrepancy classes.
+
+enum class PolyScheme { Horner, Estrin };
+
+double exp64(double x, PolyScheme scheme = PolyScheme::Horner) noexcept;
+double log64(double x, PolyScheme scheme = PolyScheme::Horner) noexcept;
+double tanh64(double x, PolyScheme scheme = PolyScheme::Horner) noexcept;
+double atan64(double x) noexcept;
+double asin64(double x) noexcept;
+double acos64(double x) noexcept;
+double pow64(double x, double y, PolyScheme scheme = PolyScheme::Horner) noexcept;
+
+// --- trig kernels on reduced args (|r| <= pi/4) ---------------------------
+//
+// Same minimax coefficients on both vendors; the polynomial chain is
+// evaluated with separate mul/add on the NVIDIA-like path and with fused
+// multiply-adds on the AMD-like path (OCML leans on v_fma_f64 pervasively).
+// Each fusion removes one rounding, so the two kernels disagree in the last
+// ULP on a fraction of live arguments — with the reduction-style band, the
+// main source of the paper's dominant Number-vs-Number class.
+
+double kernel_sin(double r, double r_lo, bool fused = false) noexcept;
+double kernel_cos(double r, double r_lo, bool fused = false) noexcept;
+
+/// Full sin/cos/tan built from a reduction style + the shared kernels
+/// (CodyWaite3 pairs with the fused kernels on the AMD-like path).
+double sin64(double x, ReduceStyle style) noexcept;
+double cos64(double x, ReduceStyle style) noexcept;
+double tan64(double x, ReduceStyle style) noexcept;
+
+// --- exact generic operations (IEEE-correct on both real GPU targets) ----
+
+/// Correctly rounded (exact) fmod via the shift-subtract integer algorithm.
+template <typename T>
+T fmod_exact(T x, T y) noexcept;
+
+/// Exact ceil/floor/trunc via exponent-based bit masking.
+template <typename T>
+T ceil_exact(T x) noexcept;
+template <typename T>
+T floor_exact(T x) noexcept;
+template <typename T>
+T trunc_exact(T x) noexcept;
+
+/// IEEE 754 minNum/maxNum semantics (NaN loses against a number).
+template <typename T>
+T fmin_ieee(T x, T y) noexcept;
+template <typename T>
+T fmax_ieee(T x, T y) noexcept;
+
+extern template double fmod_exact<double>(double, double) noexcept;
+extern template float fmod_exact<float>(float, float) noexcept;
+extern template double ceil_exact<double>(double) noexcept;
+extern template float ceil_exact<float>(float) noexcept;
+extern template double floor_exact<double>(double) noexcept;
+extern template float floor_exact<float>(float) noexcept;
+extern template double trunc_exact<double>(double) noexcept;
+extern template float trunc_exact<float>(float) noexcept;
+extern template double fmin_ieee<double>(double, double) noexcept;
+extern template float fmin_ieee<float>(float, float) noexcept;
+extern template double fmax_ieee<double>(double, double) noexcept;
+extern template float fmax_ieee<float>(float, float) noexcept;
+
+}  // namespace gpudiff::vmath::core

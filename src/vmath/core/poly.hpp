@@ -1,0 +1,24 @@
+#pragma once
+// Polynomial evaluation helpers for math-library kernels.
+
+#include <cstddef>
+
+namespace gpudiff::vmath::core {
+
+/// Horner evaluation: c[0] + x*(c[1] + x*(... c[n-1])).
+template <typename T, std::size_t N>
+constexpr T horner(T x, const T (&c)[N]) noexcept {
+  T r = c[N - 1];
+  for (std::size_t i = N - 1; i-- > 0;) r = r * x + c[i];
+  return r;
+}
+
+/// Horner with highest-degree coefficient first: c[0]*x^(n-1) + ... + c[n-1].
+template <typename T, std::size_t N>
+constexpr T horner_desc(T x, const T (&c)[N]) noexcept {
+  T r = c[0];
+  for (std::size_t i = 1; i < N; ++i) r = r * x + c[i];
+  return r;
+}
+
+}  // namespace gpudiff::vmath::core

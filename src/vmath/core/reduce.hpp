@@ -1,0 +1,41 @@
+#pragma once
+// Trigonometric argument reduction: x = n*(pi/2) + r, returning n mod 4 and
+// r as an unevaluated double-double (hi + lo).
+//
+// Two medium-range styles model the vendor difference exploited in the
+// campaigns (both fall back to the same exact Payne-Hanek reduction for
+// |x| >= 2^20 * pi/2, so huge arguments agree bit-for-bit):
+//
+//  * CodyWaite2 ("NV-sim"): two-constant reduction. Accurate to ~2^-70
+//    absolute, which is NOT enough when x lies very close to a multiple of
+//    pi/2 — deep cancellation exposes the missing tail of pi/2.
+//  * CodyWaite3 ("AMD-sim"): detects cancellation and reruns with a second
+//    and third 33-bit piece of pi/2 (fdlibm-style), staying accurate.
+//
+// The 1408 bits of 2/pi used by Payne-Hanek are *computed at first use*
+// with Machin's formula in fixed-point integer arithmetic (bigfixed.hpp) —
+// no embedded magic tables.
+
+#include <cstdint>
+
+namespace gpudiff::vmath::core {
+
+enum class ReduceStyle { CodyWaite2, CodyWaite3 };
+
+struct Reduced {
+  double hi = 0.0;
+  double lo = 0.0;
+  int quadrant = 0;  // n mod 4
+};
+
+/// Reduce finite |x| > pi/4.  (Callers handle smaller args, inf and NaN.)
+Reduced rem_pio2(double x, ReduceStyle style);
+
+/// pi/2 as a double-double (hi is the correctly rounded double).
+void pio2_dd(double* hi, double* lo);
+
+/// Exposed for tests: the n-th 64-bit word of the fraction of 2/pi
+/// (word 0 holds the most significant bits).
+std::uint64_t two_over_pi_word(std::size_t n);
+
+}  // namespace gpudiff::vmath::core

@@ -1,0 +1,37 @@
+#pragma once
+// Helpers shared by the vendor library translation units.
+
+#include <cmath>
+
+#include "fp/bits.hpp"
+#include "vmath/core/kernels.hpp"
+
+namespace gpudiff::vmath::detail {
+
+/// FP32 entry point computed through the FP64 implementation and rounded
+/// once — the "promote to double" strategy both real vendors use for the
+/// correctly-rounded FP32 math functions.
+template <double (*F)(double)>
+float via64(float x) noexcept {
+  return static_cast<float>(F(static_cast<double>(x)));
+}
+
+template <double (*F)(double, double)>
+float via64_2(float x, float y) noexcept {
+  return static_cast<float>(F(static_cast<double>(x), static_cast<double>(y)));
+}
+
+/// Hardware-exact scalar ops (identical instruction on both GPU targets).
+inline double hw_fabs(double x) noexcept { return fp::abs_bits(x); }
+inline float hw_fabsf(float x) noexcept { return fp::abs_bits(x); }
+inline double hw_sqrt(double x) noexcept {
+  // IEEE-correct on V100 and MI250X alike; the host instruction matches.
+  if (fp::sign_bit(x) && !fp::is_zero_bits(x)) return fp::quiet_nan<double>();
+  return std::sqrt(x);
+}
+inline float hw_sqrtf(float x) noexcept {
+  if (fp::sign_bit(x) && !fp::is_zero_bits(x)) return fp::quiet_nan<float>();
+  return std::sqrt(x);
+}
+
+}  // namespace gpudiff::vmath::detail

@@ -1,0 +1,17 @@
+#pragma once
+// Internal: base vendor dispatch tables, exposed so the fast-math and
+// CUDA-compat bindings can copy a vendor table and override a few entries
+// (exactly how the real toolchains relink selected symbols).
+
+#include "vmath/mathlib.hpp"
+
+namespace gpudiff::vmath::detail {
+
+const Fn64& nv_table64();
+const Fn32& nv_table32();
+const Fn64& amd_table64();
+const Fn32& amd_table32();
+/// amd_table32 with the native_* fast-math overrides applied.
+const Fn32& amd_native_table32();
+
+}  // namespace gpudiff::vmath::detail

@@ -1,0 +1,174 @@
+// Tests for the CUDA/HIP emitters and the HIPIFY source translator.
+
+#include <gtest/gtest.h>
+
+#include "emit/emit.hpp"
+#include "gen/generator.hpp"
+#include "hipify/hipify.hpp"
+#include "ir/builder.hpp"
+
+namespace {
+
+using namespace gpudiff;
+using namespace gpudiff::ir;
+
+Program tiny_program() {
+  ProgramBuilder b(Precision::FP64);
+  const int n = b.add_int_param();
+  const int x = b.add_scalar_param();
+  const int arr = b.add_array_param();
+  b.begin_for(n);
+  b.assign_comp(AssignOp::Add,
+                make_call(MathFn::Fmod, make_array(arr, make_loop_var(0)),
+                          make_param(x)));
+  b.end_block();
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// emit
+// ---------------------------------------------------------------------------
+
+TEST(Emit, KernelViewMatchesPaperFigure2Shape) {
+  const std::string k = emit::emit_kernel(tiny_program());
+  EXPECT_NE(k.find("__global__"), std::string::npos);
+  EXPECT_NE(k.find("void compute(double comp, int var_1, double var_2, double* var_3)"),
+            std::string::npos);
+  EXPECT_NE(k.find("printf(\"%.17g\\n\", comp);"), std::string::npos);
+  EXPECT_NE(k.find("fmod(var_3[i], var_2)"), std::string::npos);
+}
+
+TEST(Emit, CudaTranslationUnitIsComplete) {
+  const std::string cu = emit::emit_cuda(tiny_program());
+  EXPECT_NE(cu.find("#include <cuda_runtime.h>"), std::string::npos);
+  EXPECT_NE(cu.find("cudaMalloc"), std::string::npos);
+  EXPECT_NE(cu.find("cudaMemcpy"), std::string::npos);
+  EXPECT_NE(cu.find("cudaMemcpyHostToDevice"), std::string::npos);
+  EXPECT_NE(cu.find("compute<<<dim3(1), dim3(1)>>>"), std::string::npos);
+  EXPECT_NE(cu.find("cudaDeviceSynchronize"), std::string::npos);
+  EXPECT_NE(cu.find("cudaFree"), std::string::npos);
+  EXPECT_NE(cu.find("int main(int argc, char** argv)"), std::string::npos);
+  EXPECT_NE(cu.find("atof(argv["), std::string::npos);
+  EXPECT_NE(cu.find("atoi(argv["), std::string::npos);
+}
+
+TEST(Emit, HipTranslationUnitUsesHipApi) {
+  const std::string hip = emit::emit_hip(tiny_program());
+  EXPECT_NE(hip.find("#include \"hip/hip_runtime.h\""), std::string::npos);
+  EXPECT_NE(hip.find("hipMalloc"), std::string::npos);
+  EXPECT_NE(hip.find("hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0,"),
+            std::string::npos);
+  EXPECT_NE(hip.find("hipDeviceSynchronize"), std::string::npos);
+  // No CUDA API spellings anywhere.
+  EXPECT_EQ(hip.find("cuda"), std::string::npos);
+  EXPECT_EQ(hip.find("<<<"), std::string::npos);
+}
+
+TEST(Emit, Fp32UsesFloatTypesAndSuffixedCalls) {
+  ProgramBuilder b(Precision::FP32);
+  const int x = b.add_scalar_param();
+  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  const std::string cu = emit::emit_cuda(b.build());
+  EXPECT_NE(cu.find("void compute(float comp, float var_1)"), std::string::npos);
+  EXPECT_NE(cu.find("cosf(var_1)"), std::string::npos);
+  EXPECT_NE(cu.find("(float)atof"), std::string::npos);
+}
+
+TEST(Emit, ArrayInitializationLoop) {
+  const std::string cu = emit::emit_cuda(tiny_program());
+  EXPECT_NE(cu.find("for (int i = 0; i < 256; ++i) init_var_3[i] = host_var_3_init;"),
+            std::string::npos);
+  EXPECT_NE(cu.find("256 * sizeof(double)"), std::string::npos);
+}
+
+TEST(Emit, GeneratedProgramsEmitBothDialects) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 31);
+  for (int i = 0; i < 20; ++i) {
+    const Program p = g.generate(i);
+    const std::string cu = emit::emit_cuda(p);
+    const std::string hip = emit::emit_hip(p);
+    EXPECT_NE(cu.find("__global__"), std::string::npos);
+    EXPECT_EQ(hip.find("cuda"), std::string::npos) << "program " << i;
+    // The kernel body itself is dialect-independent.
+    EXPECT_EQ(emit::emit_kernel(p),
+              emit::emit_kernel(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hipify
+// ---------------------------------------------------------------------------
+
+TEST(Hipify, TranslatesEmittedCudaCompletely) {
+  const std::string cu = emit::emit_cuda(tiny_program());
+  const auto result = hipify::hipify_source(cu);
+  EXPECT_GT(result.replacements, 0);
+  EXPECT_EQ(result.launches_converted, 1);
+  EXPECT_EQ(result.source.find("cuda"), std::string::npos)
+      << "unconverted CUDA API left behind";
+  EXPECT_EQ(result.source.find("<<<"), std::string::npos);
+  EXPECT_NE(result.source.find("hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0,"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("\"hip/hip_runtime.h\""), std::string::npos);
+  EXPECT_TRUE(result.warnings.empty());
+}
+
+TEST(Hipify, ConvertedSourceMatchesNativeHipApiUsage) {
+  // HIPIFY output and native HIP emission use the same runtime calls (the
+  // sources differ only in incidental formatting).
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 32);
+  for (int i = 0; i < 10; ++i) {
+    const Program p = g.generate(i);
+    const auto converted = hipify::hipify_source(emit::emit_cuda(p));
+    const std::string native = emit::emit_hip(p);
+    for (const char* api : {"hipMalloc", "hipMemcpy", "hipLaunchKernelGGL",
+                            "hipDeviceSynchronize", "hipFree"}) {
+      EXPECT_EQ(converted.source.find(api) == std::string::npos,
+                native.find(api) == std::string::npos)
+          << api << " program " << i;
+    }
+  }
+}
+
+TEST(Hipify, RenamesRespectIdentifierBoundaries) {
+  const auto r = hipify::hipify_source("int my_cudaMalloc_thing = 0;");
+  EXPECT_NE(r.source.find("my_cudaMalloc_thing"), std::string::npos);
+  const auto r2 = hipify::hipify_source("cudaMemcpyAsync(a, b, n, k, s);");
+  EXPECT_NE(r2.source.find("hipMemcpyAsync"), std::string::npos);
+}
+
+TEST(Hipify, LaunchConfigVariants) {
+  const auto r = hipify::hipify_source("kern<<<grid, block>>>(a, b);");
+  EXPECT_NE(r.source.find("hipLaunchKernelGGL(kern, grid, block, 0, 0, a, b)"),
+            std::string::npos);
+  const auto r2 = hipify::hipify_source("kern<<<g, b, 128, stream>>>(x);");
+  EXPECT_NE(r2.source.find("hipLaunchKernelGGL(kern, g, b, 128, stream, x)"),
+            std::string::npos);
+  const auto r3 = hipify::hipify_source("kern<<<dim3(2,2), dim3(8,8)>>>();");
+  EXPECT_NE(r3.source.find("hipLaunchKernelGGL(kern, dim3(2,2), dim3(8,8), 0, 0)"),
+            std::string::npos);
+}
+
+TEST(Hipify, WarnsOnMalformedLaunch) {
+  const auto r = hipify::hipify_source("kern<<<g, b>>> missing_args;");
+  EXPECT_FALSE(r.warnings.empty());
+  const auto r2 = hipify::hipify_source("kern<<<unterminated");
+  EXPECT_FALSE(r2.warnings.empty());
+}
+
+TEST(Hipify, WarnsOnLeftoverCudaReferences) {
+  const auto r = hipify::hipify_source("cudaExoticNewApi(x);");
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(Hipify, IdempotentOnHipSource) {
+  const std::string hip = emit::emit_hip(tiny_program());
+  const auto r = hipify::hipify_source(hip);
+  EXPECT_EQ(r.source, hip);
+  EXPECT_EQ(r.replacements, 0);
+  EXPECT_EQ(r.launches_converted, 0);
+}
+
+}  // namespace

@@ -1,0 +1,288 @@
+// Unit tests for the IEEE-754 toolkit: bit helpers, classification,
+// exact printing/parsing, exception flags, FTZ/DAZ environment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fp/bits.hpp"
+#include "fp/classify.hpp"
+#include "fp/env.hpp"
+#include "fp/exceptions.hpp"
+#include "fp/hexfloat.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace gpudiff::fp;
+
+// ---------------------------------------------------------------------------
+// bits
+// ---------------------------------------------------------------------------
+
+TEST(Bits, ClassPredicates64) {
+  EXPECT_TRUE(is_nan_bits(std::nan("")));
+  EXPECT_TRUE(is_inf_bits(infinity<double>()));
+  EXPECT_TRUE(is_inf_bits(infinity<double>(true)));
+  EXPECT_TRUE(is_zero_bits(0.0));
+  EXPECT_TRUE(is_zero_bits(-0.0));
+  EXPECT_TRUE(is_subnormal_bits(1e-310));
+  EXPECT_FALSE(is_subnormal_bits(1e-300));
+  EXPECT_TRUE(is_finite_bits(1.5));
+  EXPECT_FALSE(is_finite_bits(infinity<double>()));
+  EXPECT_FALSE(is_finite_bits(quiet_nan<double>()));
+}
+
+TEST(Bits, ClassPredicates32) {
+  EXPECT_TRUE(is_nan_bits(quiet_nan<float>()));
+  EXPECT_TRUE(is_inf_bits(infinity<float>()));
+  EXPECT_TRUE(is_zero_bits(-0.0f));
+  EXPECT_TRUE(is_subnormal_bits(1e-44f));
+  EXPECT_FALSE(is_subnormal_bits(1e-37f));
+}
+
+TEST(Bits, SignHandling) {
+  EXPECT_TRUE(sign_bit(-0.0));
+  EXPECT_FALSE(sign_bit(0.0));
+  EXPECT_TRUE(sign_bit(-std::nan("")));
+  EXPECT_EQ(negate_bits(3.5), -3.5);
+  EXPECT_EQ(to_bits(negate_bits(-0.0)), to_bits(0.0));
+  EXPECT_EQ(copysign_bits(2.0, -1.0), -2.0);
+  EXPECT_EQ(copysign_bits(-2.0, 1.0), 2.0);
+  EXPECT_EQ(abs_bits(-7.0f), 7.0f);
+}
+
+TEST(Bits, Exponents) {
+  EXPECT_EQ(unbiased_exponent(1.0), 0);
+  EXPECT_EQ(unbiased_exponent(2.0), 1);
+  EXPECT_EQ(unbiased_exponent(0.5), -1);
+  EXPECT_EQ(unbiased_exponent(1.0f), 0);
+  EXPECT_EQ(raw_exponent(0.0), 0);
+  EXPECT_EQ(raw_exponent(1e-310), 0);  // subnormal
+}
+
+TEST(Bits, UlpDistance) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 0.0)), 1u);
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 1u);  // adjacent on the ordered line
+  EXPECT_EQ(ulp_distance(quiet_nan<double>(), 1.0), ~0ULL);
+  // Symmetry.
+  EXPECT_EQ(ulp_distance(-1.5, 2.5), ulp_distance(2.5, -1.5));
+}
+
+TEST(Bits, NextUpDown) {
+  EXPECT_GT(next_up(1.0), 1.0);
+  EXPECT_LT(next_down(1.0), 1.0);
+  EXPECT_EQ(next_up(next_down(1.0)), 1.0);
+  // Crossing zero.
+  EXPECT_GT(next_up(-0.0), 0.0);
+  EXPECT_TRUE(is_subnormal_bits(next_up(0.0)));
+  EXPECT_TRUE(sign_bit(next_down(0.0)));
+}
+
+struct NextUpCase {
+  double value;
+};
+
+class NextUpMonotone : public ::testing::TestWithParam<NextUpCase> {};
+
+TEST_P(NextUpMonotone, StrictlyIncreasing) {
+  const double v = GetParam().value;
+  const double up = next_up(v);
+  EXPECT_GT(up, v);
+  EXPECT_EQ(ulp_distance(v, up), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepValues, NextUpMonotone,
+    ::testing::Values(NextUpCase{1.0}, NextUpCase{-1.0}, NextUpCase{1e-310},
+                      NextUpCase{-1e-310}, NextUpCase{1e308},
+                      NextUpCase{-1e308}, NextUpCase{0.5}, NextUpCase{-2.5}));
+
+// ---------------------------------------------------------------------------
+// classify
+// ---------------------------------------------------------------------------
+
+TEST(Classify, FullTaxonomy) {
+  EXPECT_EQ(classify(quiet_nan<double>()), FpClass::PosNaN);
+  EXPECT_EQ(classify(quiet_nan<double>(true)), FpClass::NegNaN);
+  EXPECT_EQ(classify(infinity<double>()), FpClass::PosInf);
+  EXPECT_EQ(classify(-infinity<double>()), FpClass::NegInf);
+  EXPECT_EQ(classify(0.0), FpClass::PosZero);
+  EXPECT_EQ(classify(-0.0), FpClass::NegZero);
+  EXPECT_EQ(classify(1e-310), FpClass::PosSubnormal);
+  EXPECT_EQ(classify(-1e-310), FpClass::NegSubnormal);
+  EXPECT_EQ(classify(3.0), FpClass::PosNormal);
+  EXPECT_EQ(classify(-3.0), FpClass::NegNormal);
+}
+
+TEST(Classify, OutcomeBucketsSubnormalIsNumber) {
+  EXPECT_EQ(outcome_of(1e-310).cls, OutcomeClass::Number);
+  EXPECT_EQ(outcome_of(1e-310).negative, false);
+  EXPECT_EQ(outcome_of(-5.0).cls, OutcomeClass::Number);
+  EXPECT_TRUE(outcome_of(-5.0).negative);
+  EXPECT_EQ(outcome_of(-0.0).cls, OutcomeClass::Zero);
+  EXPECT_TRUE(outcome_of(-0.0).negative);
+  EXPECT_EQ(outcome_of(infinity<float>()).cls, OutcomeClass::Inf);
+  EXPECT_EQ(outcome_of(quiet_nan<float>(true)).cls, OutcomeClass::NaN);
+}
+
+TEST(Classify, ToStringSpellsSign) {
+  EXPECT_EQ(to_string(Outcome{OutcomeClass::Inf, true}), "-Inf");
+  EXPECT_EQ(to_string(Outcome{OutcomeClass::Number, false}), "+Num");
+  EXPECT_EQ(to_string(FpClass::NegSubnormal), "-Subnormal");
+}
+
+// ---------------------------------------------------------------------------
+// hexfloat: printing & parsing round-trips
+// ---------------------------------------------------------------------------
+
+TEST(Hexfloat, PrintG17MatchesPrintf) {
+  const double values[] = {8.6551990944767196e-306, 1.0, -0.0, 0.1, 1e300};
+  for (double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    EXPECT_EQ(print_g17(v), buf);
+  }
+}
+
+TEST(Hexfloat, VarityStyleSpecials) {
+  EXPECT_EQ(print_varity(0.0), "+0.0");
+  EXPECT_EQ(print_varity(-0.0), "-0.0");
+  EXPECT_EQ(print_varity(infinity<double>()), "+inf");
+  EXPECT_EQ(print_varity(-infinity<double>()), "-inf");
+  EXPECT_EQ(print_varity(quiet_nan<double>(true)), "-nan");
+}
+
+TEST(Hexfloat, ParsesVarityLiterals) {
+  EXPECT_EQ(parse_double("+1.5955E-125").value(), 1.5955e-125);
+  EXPECT_EQ(parse_double("-1.3857E-36").value(), -1.3857e-36);
+  EXPECT_EQ(parse_double("+0.0").value(), 0.0);
+  EXPECT_TRUE(sign_bit(parse_double("-0.0").value()));
+  EXPECT_TRUE(is_inf_bits(parse_double("-inf").value()));
+  EXPECT_TRUE(is_nan_bits(parse_double("nan").value()));
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Hexfloat, ParsesFloatSuffix) {
+  EXPECT_EQ(parse_float("1.5F").value(), 1.5f);
+  EXPECT_EQ(parse_float("+1.2345E10F").value(), 1.2345e10f);
+  EXPECT_TRUE(is_inf_bits(parse_float("+inf").value()));
+  EXPECT_FALSE(parse_float("").has_value());
+}
+
+TEST(Hexfloat, BitEncodingRoundTrip64) {
+  gpudiff::support::Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = from_bits<double>(rng.next());
+    const auto back = decode_bits64(encode_bits(v));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(to_bits(*back), to_bits(v));  // NaN payloads preserved
+  }
+}
+
+TEST(Hexfloat, BitEncodingRoundTrip32) {
+  gpudiff::support::Rng rng(2025);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = from_bits<float>(static_cast<std::uint32_t>(rng.next()));
+    const auto back = decode_bits32(encode_bits(v));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(to_bits(*back), to_bits(v));
+  }
+}
+
+TEST(Hexfloat, BitDecodingRejectsMalformed) {
+  EXPECT_FALSE(decode_bits64("64:123").has_value());
+  EXPECT_FALSE(decode_bits64("32:0000000000000000").has_value());
+  EXPECT_FALSE(decode_bits64("64:GGGGGGGGGGGGGGGG").has_value());
+  EXPECT_FALSE(decode_bits32("64:00000000").has_value());
+}
+
+/// Property: %.17g printing round-trips every double exactly.
+TEST(Hexfloat, PrintedG17RoundTripsRandomDoubles) {
+  gpudiff::support::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    double v = from_bits<double>(rng.next());
+    if (is_nan_bits(v)) continue;  // NaN payloads are not in %.17g's contract
+    const auto back = parse_double(print_g17(v));
+    ASSERT_TRUE(back.has_value()) << print_g17(v);
+    EXPECT_EQ(to_bits(*back), to_bits(v)) << print_g17(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// exceptions
+// ---------------------------------------------------------------------------
+
+TEST(Exceptions, FlagAccumulation) {
+  ExceptionFlags flags;
+  EXPECT_FALSE(flags.any());
+  flags.raise(kInexact);
+  EXPECT_TRUE(flags.inexact());
+  EXPECT_FALSE(flags.any_serious());
+  flags.raise(kOverflow | kInvalid);
+  EXPECT_TRUE(flags.overflow());
+  EXPECT_TRUE(flags.invalid());
+  EXPECT_TRUE(flags.any_serious());
+  flags.clear();
+  EXPECT_FALSE(flags.any());
+}
+
+TEST(Exceptions, ToStringListsRaised) {
+  ExceptionFlags flags;
+  EXPECT_EQ(flags.to_string(), "none");
+  flags.raise(kDivideByZero | kUnderflow);
+  const std::string s = flags.to_string();
+  EXPECT_NE(s.find("div-by-zero"), std::string::npos);
+  EXPECT_NE(s.find("underflow"), std::string::npos);
+  EXPECT_EQ(s.find("overflow"), std::string::npos);
+}
+
+TEST(Exceptions, InferArithmetic) {
+  EXPECT_TRUE(infer_arith_exceptions(quiet_nan<double>(), true, true) & kInvalid);
+  EXPECT_TRUE(infer_arith_exceptions(infinity<double>(), true, true) & kOverflow);
+  EXPECT_TRUE(infer_arith_exceptions(1e-310, true, true) & kUnderflow);
+  EXPECT_TRUE(infer_arith_exceptions(1.5, true, false) & kInexact);
+  EXPECT_EQ(infer_arith_exceptions(1.5, true, true), 0);
+}
+
+// ---------------------------------------------------------------------------
+// env (FTZ / DAZ)
+// ---------------------------------------------------------------------------
+
+TEST(Env, FtzFlushesSubnormalResults) {
+  FpEnv env;
+  env.ftz32 = true;
+  ExceptionFlags flags;
+  EXPECT_EQ(apply_ftz(1e-44f, env, &flags), 0.0f);
+  EXPECT_TRUE(flags.underflow());
+  EXPECT_TRUE(sign_bit(apply_ftz(-1e-44f, env)));
+  EXPECT_EQ(apply_ftz(1e-30f, env), 1e-30f);  // normal untouched
+  // FP64 unaffected by ftz32.
+  EXPECT_EQ(apply_ftz(1e-310, env), 1e-310);
+}
+
+TEST(Env, DazZeroesSubnormalInputs) {
+  FpEnv env;
+  env.daz32 = true;
+  EXPECT_EQ(apply_daz(1e-44f, env), 0.0f);
+  EXPECT_TRUE(sign_bit(apply_daz(-1e-44f, env)));
+  EXPECT_EQ(apply_daz(1e-44, env), 1e-44);  // double side has its own switch
+  FpEnv env64;
+  env64.daz64 = true;
+  EXPECT_EQ(apply_daz(1e-310, env64), 0.0);
+}
+
+TEST(Env, DefaultEnvIsTransparent) {
+  FpEnv env;
+  EXPECT_EQ(apply_ftz(1e-44f, env), 1e-44f);
+  EXPECT_EQ(apply_daz(1e-310, env), 1e-310);
+  EXPECT_EQ(env.div32, Div32Mode::IEEE);
+  EXPECT_FALSE(env.naive_minmax);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Unit tests for the program IR: node construction, cloning, equality,
+// builder, source rendering, JSON serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "ir/builder.hpp"
+#include "ir/program.hpp"
+#include "ir/serialize.hpp"
+
+namespace {
+
+using namespace gpudiff::ir;
+
+TEST(Expr, ConstructorsSetPayload) {
+  auto lit = make_literal(1.5, "+1.5E0");
+  EXPECT_EQ(lit->kind, ExprKind::Literal);
+  EXPECT_EQ(lit->lit_value, 1.5);
+  EXPECT_EQ(lit->lit_text, "+1.5E0");
+
+  auto bin = make_bin(BinOp::Div, make_param(1), make_temp(2));
+  EXPECT_EQ(bin->kind, ExprKind::Bin);
+  EXPECT_EQ(bin->bin_op, BinOp::Div);
+  ASSERT_EQ(bin->kids.size(), 2u);
+  EXPECT_EQ(bin->kids[0]->index, 1);
+  EXPECT_EQ(bin->kids[1]->index, 2);
+
+  auto call = make_call(MathFn::Fmod, make_param(1), make_param(2));
+  EXPECT_EQ(call->kids.size(), 2u);
+  auto fma = make_fma(make_param(1), make_param(2), make_param(3));
+  EXPECT_EQ(fma->kids.size(), 3u);
+}
+
+TEST(Expr, BoolValuedPredicates) {
+  EXPECT_TRUE(make_cmp(CmpOp::Lt, make_param(1), make_param(2))->is_bool_valued());
+  EXPECT_TRUE(make_not(make_cmp(CmpOp::Eq, make_param(1), make_param(1)))
+                  ->is_bool_valued());
+  EXPECT_FALSE(make_param(1)->is_bool_valued());
+  EXPECT_FALSE(make_bool_to_fp(make_cmp(CmpOp::Lt, make_param(1), make_param(2)))
+                   ->is_bool_valued());
+}
+
+TEST(Expr, ArityAndNames) {
+  EXPECT_EQ(arity(MathFn::Cos), 1);
+  EXPECT_EQ(arity(MathFn::Fmod), 2);
+  EXPECT_EQ(arity(MathFn::Pow), 2);
+  EXPECT_EQ(name_of(MathFn::Cos), "cos");
+  EXPECT_EQ(name_of(MathFn::Cos, Precision::FP32), "cosf");
+  EXPECT_EQ(name_of(MathFn::Fmod, Precision::FP32), "fmodf");
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = make_bin(BinOp::Add, make_call(MathFn::Sqrt, make_param(1)),
+                    make_neg(make_literal(2.0)));
+  auto c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  // Mutating the clone does not affect the original.
+  c->kids[1]->kids[0]->lit_value = 99.0;
+  EXPECT_FALSE(e->equals(*c));
+  EXPECT_EQ(e->kids[1]->kids[0]->lit_value, 2.0);
+}
+
+TEST(Expr, EqualsComparesLiteralBits) {
+  auto a = make_literal(0.0);
+  auto b = make_literal(-0.0);
+  EXPECT_FALSE(a->equals(*b));  // signed zeros are distinct
+  auto c = make_literal(0.0, "different spelling");
+  EXPECT_TRUE(a->equals(*c));  // spelling is cosmetic
+}
+
+TEST(Expr, NodeCount) {
+  auto e = make_bin(BinOp::Mul, make_param(1),
+                    make_bin(BinOp::Add, make_literal(1.0), make_temp(1)));
+  EXPECT_EQ(e->node_count(), 5u);
+}
+
+TEST(Stmt, CloneAndCount) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_assign_comp(AssignOp::Add, make_param(1)));
+  auto loop = make_for(0, 1, std::move(body));
+  auto c = loop->clone();
+  EXPECT_EQ(c->kind, StmtKind::For);
+  EXPECT_EQ(c->bound_param, 1);
+  ASSERT_EQ(c->body.size(), 1u);
+  EXPECT_EQ(loop->node_count(), c->node_count());
+}
+
+TEST(Builder, BuildsVarityShapedKernel) {
+  ProgramBuilder b(Precision::FP64);
+  const int n = b.add_int_param();
+  const int x = b.add_scalar_param();
+  const int arr = b.add_array_param();
+  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  b.begin_for(n);
+  b.store_array(arr, make_loop_var(0), make_param(x));
+  b.assign_comp(AssignOp::Sub, make_array(arr, make_loop_var(0)));
+  b.end_block();
+  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_literal(0.0)));
+  b.assign_comp(AssignOp::Mul, make_literal(2.0, "+2.0E0"));
+  b.end_block();
+  Program p = b.build();
+
+  ASSERT_EQ(p.params().size(), 4u);
+  EXPECT_EQ(p.params()[0].kind, ParamKind::Comp);
+  EXPECT_EQ(p.params()[0].name, "comp");
+  EXPECT_EQ(p.params()[1].name, "var_1");
+  EXPECT_EQ(p.body().size(), 3u);
+  EXPECT_EQ(p.body()[1]->kind, StmtKind::For);
+  const std::string src = p.dump();
+  EXPECT_NE(src.find("for (int i = 0; i < var_1; ++i)"), std::string::npos);
+  EXPECT_NE(src.find("cos(var_2)"), std::string::npos);
+  EXPECT_NE(src.find("printf(\"%.17g\\n\", comp);"), std::string::npos);
+}
+
+TEST(Builder, RejectsMisuse) {
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();
+  EXPECT_THROW(b.begin_for(x), std::logic_error);       // not an int param
+  EXPECT_THROW(b.begin_if(make_param(x)), std::logic_error);  // not boolean
+  EXPECT_THROW(b.store_array(x, make_loop_var(0), make_literal(1.0)),
+               std::logic_error);                       // not an array
+  EXPECT_THROW(b.end_block(), std::logic_error);        // nothing open
+  b.begin_if(make_cmp(CmpOp::Lt, make_param(x), make_literal(1.0)));
+  EXPECT_THROW(b.build(), std::logic_error);            // unclosed block
+}
+
+TEST(Builder, TempIdsAreSequential) {
+  ProgramBuilder b(Precision::FP32);
+  EXPECT_EQ(b.decl_temp(make_literal(1.0)), 1);
+  EXPECT_EQ(b.decl_temp(make_literal(2.0)), 2);
+  Program p = b.build();
+  EXPECT_EQ(p.max_temp_id(), 2);
+  EXPECT_EQ(std::string(p.scalar_type()), "float");
+}
+
+TEST(Program, SourceRenderingPreservesLiteralSpelling) {
+  ProgramBuilder b(Precision::FP64);
+  b.assign_comp(AssignOp::Add, make_literal(1.5955e-125, "+1.5955E-125"));
+  Program p = b.build();
+  EXPECT_NE(p.dump().find("+1.5955E-125"), std::string::npos);
+}
+
+TEST(Program, Fp32FallbackSpellingHasSuffix) {
+  ProgramBuilder b(Precision::FP32);
+  b.assign_comp(AssignOp::Add, make_literal(1.5));  // no spelling recorded
+  Program p = b.build();
+  EXPECT_NE(p.dump().find("F"), std::string::npos);
+}
+
+TEST(Program, CopyIsDeep) {
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();
+  b.assign_comp(AssignOp::Add, make_param(x));
+  Program p = b.build();
+  Program q = p;  // copy
+  q.body()[0]->assign_op = AssignOp::Mul;
+  EXPECT_EQ(p.body()[0]->assign_op, AssignOp::Add);
+}
+
+// ---------------------------------------------------------------------------
+// serialization round-trips
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, ExprRoundTrip) {
+  auto e = make_bin(
+      BinOp::Div,
+      make_call(MathFn::Fmod, make_param(2), make_literal(1.5793e-307, "+1.5793E-307")),
+      make_fma(make_temp(1), make_loop_var(0), make_array(3, make_loop_var(0))));
+  auto back = expr_from_json(expr_to_json(*e));
+  EXPECT_TRUE(e->equals(*back));
+  EXPECT_EQ(back->kids[0]->kids[1]->lit_text, "+1.5793E-307");
+}
+
+TEST(Serialize, BooleanExprRoundTrip) {
+  auto e = make_bool(BoolOp::And,
+                     make_cmp(CmpOp::Ge, make_param(1), make_literal(0.0)),
+                     make_not(make_cmp(CmpOp::Ne, make_temp(1), make_param(2))));
+  auto back = expr_from_json(expr_to_json(*e));
+  EXPECT_TRUE(e->equals(*back));
+}
+
+TEST(Serialize, SignedZeroLiteralSurvives) {
+  auto e = make_literal(-0.0, "-0.0");
+  auto back = expr_from_json(expr_to_json(*e));
+  EXPECT_TRUE(e->equals(*back));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  using gpudiff::support::Json;
+  EXPECT_THROW(expr_from_json(Json::parse(R"({"k":"wat"})")), std::runtime_error);
+  EXPECT_THROW(stmt_from_json(Json::parse(R"({"k":"wat"})")), std::runtime_error);
+}
+
+/// Property: random generated programs survive JSON round-trips with
+/// structural equality and byte-identical rendered source.
+class ProgramRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramRoundTrip, JsonPreservesProgram) {
+  gpudiff::gen::GenConfig cfg;
+  cfg.precision = GetParam() % 2 == 0 ? Precision::FP64 : Precision::FP32;
+  gpudiff::gen::Generator g(cfg, 99);
+  const Program p = g.generate(static_cast<std::uint64_t>(GetParam()));
+  const Program q = program_from_json(program_to_json(p));
+  ASSERT_EQ(p.params().size(), q.params().size());
+  EXPECT_EQ(p.precision(), q.precision());
+  EXPECT_EQ(p.dump(), q.dump());
+  ASSERT_EQ(p.body().size(), q.body().size());
+  EXPECT_EQ(p.node_count(), q.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramRoundTrip, ::testing::Range(0, 24));
+
+}  // namespace

@@ -1,0 +1,423 @@
+// Tests for the virtual compilers: individual passes and the vendor
+// pipelines (level semantics, library binding, environment flags).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/bits.hpp"
+#include "gen/generator.hpp"
+#include "gen/inputs.hpp"
+#include "ir/builder.hpp"
+#include "opt/passes.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/interp.hpp"
+
+namespace {
+
+using namespace gpudiff;
+using namespace gpudiff::ir;
+using namespace gpudiff::opt;
+
+Program one_stmt_program(ExprPtr value, Precision prec = Precision::FP64) {
+  ProgramBuilder b(prec);
+  b.add_scalar_param();  // var_1
+  b.add_scalar_param();  // var_2
+  b.add_scalar_param();  // var_3
+  b.add_scalar_param();  // var_4
+  b.assign_comp(AssignOp::Add, std::move(value));
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// fold_constants
+// ---------------------------------------------------------------------------
+
+TEST(FoldConstants, FoldsLiteralSubtrees) {
+  Program p = one_stmt_program(make_bin(
+      BinOp::Mul, make_bin(BinOp::Add, make_literal(1.5), make_literal(2.5)),
+      make_param(1)));
+  fold_constants(p);
+  const Expr& root = *p.body()[0]->a;
+  ASSERT_EQ(root.kind, ExprKind::Bin);
+  EXPECT_EQ(root.kids[0]->kind, ExprKind::Literal);
+  EXPECT_EQ(root.kids[0]->lit_value, 4.0);
+}
+
+TEST(FoldConstants, FoldsNegation) {
+  Program p = one_stmt_program(make_neg(make_literal(-0.0)));
+  fold_constants(p);
+  const Expr& root = *p.body()[0]->a;
+  EXPECT_EQ(root.kind, ExprKind::Literal);
+  EXPECT_FALSE(fp::sign_bit(root.lit_value));  // -(-0.0) == +0.0
+}
+
+TEST(FoldConstants, RespectsFp32Precision) {
+  // 1e30f * 1e30f overflows float but not double.
+  Program p = one_stmt_program(
+      make_bin(BinOp::Mul, make_literal(1e30), make_literal(1e30)),
+      Precision::FP32);
+  fold_constants(p);
+  EXPECT_TRUE(fp::is_inf_bits(p.body()[0]->a->lit_value));
+}
+
+TEST(FoldConstants, LeavesCallsAlone) {
+  Program p = one_stmt_program(make_call(MathFn::Cos, make_literal(1.0)));
+  fold_constants(p);
+  EXPECT_EQ(p.body()[0]->a->kind, ExprKind::Call);
+}
+
+// ---------------------------------------------------------------------------
+// contract_fma
+// ---------------------------------------------------------------------------
+
+TEST(ContractFma, SingleProductContractsIdenticallyBothWays) {
+  for (auto pref : {FmaPreference::LeftProduct, FmaPreference::RightProduct}) {
+    Program p = one_stmt_program(make_bin(
+        BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+        make_param(3)));
+    contract_fma(p, pref);
+    const Expr& root = *p.body()[0]->a;
+    ASSERT_EQ(root.kind, ExprKind::Fma);
+    EXPECT_EQ(root.kids[0]->index, 1);
+    EXPECT_EQ(root.kids[1]->index, 2);
+    EXPECT_EQ(root.kids[2]->index, 3);
+  }
+}
+
+TEST(ContractFma, TieBreakDiffersOnDoubleProduct) {
+  const auto make = [] {
+    return one_stmt_program(make_bin(
+        BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+        make_bin(BinOp::Mul, make_param(3), make_param(4))));
+  };
+  Program left = make();
+  contract_fma(left, FmaPreference::LeftProduct);
+  const Expr& lr = *left.body()[0]->a;
+  ASSERT_EQ(lr.kind, ExprKind::Fma);
+  EXPECT_EQ(lr.kids[0]->index, 1);  // fma(a, b, c*d)
+  EXPECT_EQ(lr.kids[2]->kind, ExprKind::Bin);
+
+  Program right = make();
+  contract_fma(right, FmaPreference::RightProduct);
+  const Expr& rr = *right.body()[0]->a;
+  ASSERT_EQ(rr.kind, ExprKind::Fma);
+  EXPECT_EQ(rr.kids[0]->index, 3);  // fma(c, d, a*b)
+  EXPECT_EQ(rr.kids[2]->kind, ExprKind::Bin);
+}
+
+TEST(ContractFma, SubtractionNegatesCorrectOperand) {
+  // a*b - c  ->  fma(a, b, -c)
+  Program p = one_stmt_program(make_bin(
+      BinOp::Sub, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+      make_param(3)));
+  contract_fma(p, FmaPreference::LeftProduct);
+  const Expr& root = *p.body()[0]->a;
+  ASSERT_EQ(root.kind, ExprKind::Fma);
+  EXPECT_EQ(root.kids[2]->kind, ExprKind::Neg);
+
+  // c - a*b  ->  fma(-a, b, c)
+  Program q = one_stmt_program(make_bin(
+      BinOp::Sub, make_param(3),
+      make_bin(BinOp::Mul, make_param(1), make_param(2))));
+  contract_fma(q, FmaPreference::LeftProduct);
+  const Expr& root2 = *q.body()[0]->a;
+  ASSERT_EQ(root2.kind, ExprKind::Fma);
+  EXPECT_EQ(root2.kids[0]->kind, ExprKind::Neg);
+}
+
+TEST(ContractFma, ContractionChangesRoundingObservably) {
+  // a*b + c with a*b requiring the fused wide intermediate:
+  // a = 1+2^-52, b = 1-2^-52 -> a*b = 1 - 2^-104 (exact product).
+  // Unfused: rounds to 1.0, +(-1.0) = 0.  Fused: fma gives -2^-104 exactly.
+  Program p = one_stmt_program(make_bin(
+      BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+      make_param(3)));
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 1.0 + 0x1p-52, 1.0 - 0x1p-52, -1.0, 0.0};
+  args.ints = {0, 0, 0, 0, 0};
+
+  CompileOptions o0;
+  const Executable e0 = compile(p, o0);
+  EXPECT_EQ(vgpu::run_kernel(e0, args).value, 0.0);
+
+  CompileOptions o1;
+  o1.level = OptLevel::O1;
+  const Executable e1 = compile(p, o1);
+  EXPECT_EQ(vgpu::run_kernel(e1, args).value, -0x1p-104);
+}
+
+TEST(ContractFma, CountsNodes) {
+  Program p = one_stmt_program(make_bin(
+      BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+      make_param(3)));
+  EXPECT_EQ(count_fma_nodes(p), 0u);
+  contract_fma(p, FmaPreference::LeftProduct);
+  EXPECT_EQ(count_fma_nodes(p), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// if_convert
+// ---------------------------------------------------------------------------
+
+TEST(IfConvert, ConvertsSingleCheapGuardedAdd) {
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();
+  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
+  b.assign_comp(AssignOp::Add, make_bin(BinOp::Mul, make_literal(2.0), make_param(x)));
+  b.end_block();
+  Program p = b.build();
+  if_convert(p);
+  ASSERT_EQ(p.body()[0]->kind, StmtKind::AssignComp);
+  const Expr& root = *p.body()[0]->a;
+  ASSERT_EQ(root.kind, ExprKind::Bin);
+  EXPECT_EQ(root.bin_op, BinOp::Mul);
+  EXPECT_EQ(root.kids[0]->kind, ExprKind::BoolToFp);
+}
+
+TEST(IfConvert, SkipsMultiStatementBodies) {
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();
+  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
+  b.assign_comp(AssignOp::Add, make_param(x));
+  b.assign_comp(AssignOp::Add, make_param(x));
+  b.end_block();
+  Program p = b.build();
+  if_convert(p);
+  EXPECT_EQ(p.body()[0]->kind, StmtKind::If);
+}
+
+TEST(IfConvert, SkipsExpensiveOrCallBodies) {
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();
+  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
+  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  b.end_block();
+  Program p = b.build();
+  if_convert(p);
+  EXPECT_EQ(p.body()[0]->kind, StmtKind::If);  // call: not speculated
+}
+
+TEST(IfConvert, ZeroTimesInfinityProducesNaN) {
+  // Case Study 3's mechanism in miniature: guarded add of an infinite value
+  // with a false condition.
+  ProgramBuilder b(Precision::FP64);
+  const int x = b.add_scalar_param();  // will be huge -> 2*x = inf
+  b.begin_if(make_cmp(CmpOp::Gt, make_param(0), make_literal(0.0)));
+  b.assign_comp(AssignOp::Add,
+                make_bin(BinOp::Mul, make_literal(2.0), make_param(x)));
+  b.end_block();
+  Program p = b.build();
+
+  vgpu::KernelArgs args;
+  args.fp = {-1.0, 1.5e308};  // comp = -1 (condition false), 2*x overflows
+  args.ints = {0, 0};
+
+  CompileOptions nv{Toolchain::Nvcc, OptLevel::O1, false};
+  CompileOptions amd{Toolchain::Hipcc, OptLevel::O1, false};
+  const auto nv_run = vgpu::run_kernel(compile(p, nv), args);
+  const auto amd_run = vgpu::run_kernel(compile(p, amd), args);
+  EXPECT_EQ(nv_run.value, -1.0);                 // branch not taken
+  EXPECT_TRUE(std::isnan(amd_run.value));        // comp += 0 * inf
+}
+
+// ---------------------------------------------------------------------------
+// reassociate
+// ---------------------------------------------------------------------------
+
+ExprPtr chain4() {
+  return make_bin(
+      BinOp::Add,
+      make_bin(BinOp::Add, make_bin(BinOp::Add, make_param(1), make_param(2)),
+               make_param(3)),
+      make_param(4));
+}
+
+TEST(Reassociate, BalancedTreeReshapesLongChains) {
+  Program p = one_stmt_program(chain4());
+  reassociate(p, ReassocStyle::BalancedTree, 4);
+  const Expr& root = *p.body()[0]->a;
+  ASSERT_EQ(root.kind, ExprKind::Bin);
+  // (a+b) + (c+d): both children are additions.
+  EXPECT_EQ(root.kids[0]->kind, ExprKind::Bin);
+  EXPECT_EQ(root.kids[1]->kind, ExprKind::Bin);
+  EXPECT_EQ(root.kids[1]->kids[0]->index, 3);
+}
+
+TEST(Reassociate, FlattenLeftKeepsCanonicalShape) {
+  Program p = one_stmt_program(
+      make_bin(BinOp::Add, make_param(1),
+               make_bin(BinOp::Add, make_param(2),
+                        make_bin(BinOp::Add, make_param(3), make_param(4)))));
+  reassociate(p, ReassocStyle::FlattenLeft, 4);
+  // ((a+b)+c)+d: left spine.
+  const Expr* e = p.body()[0]->a.get();
+  EXPECT_EQ(e->kids[1]->index, 4);
+  e = e->kids[0].get();
+  EXPECT_EQ(e->kids[1]->index, 3);
+  e = e->kids[0].get();
+  EXPECT_EQ(e->kids[1]->index, 2);
+  EXPECT_EQ(e->kids[0]->index, 1);
+}
+
+TEST(Reassociate, ShortChainsUntouchedByThreshold) {
+  Program p = one_stmt_program(
+      make_bin(BinOp::Add, make_param(1),
+               make_bin(BinOp::Add, make_param(2), make_param(3))));
+  Program q = p;
+  reassociate(p, ReassocStyle::BalancedTree, 4);
+  reassociate(q, ReassocStyle::FlattenLeft, 4);
+  // Both rebuild 3-chains identically (left shape), so shapes agree.
+  EXPECT_EQ(p.dump(), q.dump());
+}
+
+TEST(Reassociate, MulChainsToo) {
+  Program p = one_stmt_program(make_bin(
+      BinOp::Mul,
+      make_bin(BinOp::Mul, make_bin(BinOp::Mul, make_param(1), make_param(2)),
+               make_param(3)),
+      make_param(4)));
+  reassociate(p, ReassocStyle::BalancedTree, 4);
+  EXPECT_EQ(p.body()[0]->a->kids[1]->kind, ExprKind::Bin);
+}
+
+// ---------------------------------------------------------------------------
+// reciprocal_division
+// ---------------------------------------------------------------------------
+
+TEST(ReciprocalDivision, OnlyInsideLoops) {
+  ProgramBuilder b(Precision::FP64);
+  const int n = b.add_int_param();
+  const int x = b.add_scalar_param();
+  b.assign_comp(AssignOp::Add, make_bin(BinOp::Div, make_param(0), make_param(x)));
+  b.begin_for(n);
+  b.assign_comp(AssignOp::Add, make_bin(BinOp::Div, make_param(0), make_param(x)));
+  b.end_block();
+  Program p = b.build();
+  reciprocal_division(p);
+  // Top-level division untouched.
+  EXPECT_EQ(p.body()[0]->a->bin_op, BinOp::Div);
+  // Loop-body division rewritten to multiply by reciprocal.
+  const Expr& in_loop = *p.body()[1]->body[0]->a;
+  ASSERT_EQ(in_loop.kind, ExprKind::Bin);
+  EXPECT_EQ(in_loop.bin_op, BinOp::Mul);
+  ASSERT_EQ(in_loop.kids[1]->kind, ExprKind::Bin);
+  EXPECT_EQ(in_loop.kids[1]->bin_op, BinOp::Div);
+  EXPECT_EQ(in_loop.kids[1]->kids[0]->lit_value, 1.0);
+}
+
+TEST(ReciprocalDivision, SkipsPowerOfTwoDenominators) {
+  ProgramBuilder b(Precision::FP64);
+  const int n = b.add_int_param();
+  b.begin_for(n);
+  b.assign_comp(AssignOp::Add,
+                make_bin(BinOp::Div, make_param(0), make_literal(4.0)));
+  b.end_block();
+  Program p = b.build();
+  reciprocal_division(p);
+  EXPECT_EQ(p.body()[0]->body[0]->a->bin_op, BinOp::Div);
+}
+
+// ---------------------------------------------------------------------------
+// pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, LevelNamesRoundTrip) {
+  for (OptLevel l : kAllOptLevels) {
+    OptLevel back;
+    ASSERT_TRUE(parse_opt_level(to_string(l), &back));
+    EXPECT_EQ(back, l);
+  }
+  OptLevel dummy;
+  EXPECT_FALSE(parse_opt_level("O9", &dummy));
+}
+
+TEST(Pipeline, MathLibSelection) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 5);
+  const Program p = g.generate(0);
+
+  const auto lib_name = [&](Toolchain t, OptLevel l, bool hipify) {
+    CompileOptions o{t, l, hipify};
+    return compile(p, o).mathlib->name();
+  };
+  EXPECT_EQ(lib_name(Toolchain::Nvcc, OptLevel::O0, false), "nv-libdevice-sim");
+  EXPECT_EQ(lib_name(Toolchain::Nvcc, OptLevel::O3, false), "nv-libdevice-sim");
+  EXPECT_EQ(lib_name(Toolchain::Nvcc, OptLevel::O3_FastMath, false),
+            "nv-fastmath-sim");
+  EXPECT_EQ(lib_name(Toolchain::Hipcc, OptLevel::O2, false), "amd-ocml-sim");
+  EXPECT_EQ(lib_name(Toolchain::Hipcc, OptLevel::O3_FastMath, false),
+            "amd-ocml-native-sim");
+  EXPECT_EQ(lib_name(Toolchain::Hipcc, OptLevel::O0, true), "hip-cuda-compat-sim");
+  EXPECT_EQ(lib_name(Toolchain::Hipcc, OptLevel::O3_FastMath, true),
+            "hip-cuda-compat-native-sim");
+}
+
+TEST(Pipeline, EnvironmentFlags) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 6);
+  const Program p = g.generate(1);
+
+  CompileOptions nv_fm{Toolchain::Nvcc, OptLevel::O3_FastMath, false};
+  const Executable e1 = compile(p, nv_fm);
+  EXPECT_TRUE(e1.env.ftz32);
+  EXPECT_TRUE(e1.env.daz32);
+  EXPECT_EQ(e1.env.div32, fp::Div32Mode::NvApprox);
+
+  CompileOptions amd_fm{Toolchain::Hipcc, OptLevel::O3_FastMath, false};
+  const Executable e2 = compile(p, amd_fm);
+  EXPECT_FALSE(e2.env.ftz32);
+  EXPECT_EQ(e2.env.div32, fp::Div32Mode::AmdApprox);
+  EXPECT_FALSE(e2.env.naive_minmax);  // FP64 program keeps IEEE min/max
+
+  Program p32 = p;
+  p32.set_precision(Precision::FP32);
+  const Executable e3 = compile(p32, amd_fm);
+  EXPECT_TRUE(e3.env.naive_minmax);
+
+  CompileOptions o0{Toolchain::Nvcc, OptLevel::O0, false};
+  const Executable e4 = compile(p, o0);
+  EXPECT_EQ(e4.env, fp::FpEnv{});
+}
+
+TEST(Pipeline, O1EqualsO2EqualsO3Numerically) {
+  // The paper's Tables V/VII/IX show identical counts for O1/O2/O3; our
+  // pipelines guarantee it: same numerics-relevant passes at all three.
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 7);
+  gen::InputGenerator ig(7);
+  for (int pi = 0; pi < 40; ++pi) {
+    const Program p = g.generate(pi);
+    const auto args = ig.generate(p, pi, 0);
+    for (Toolchain t : {Toolchain::Nvcc, Toolchain::Hipcc}) {
+      const auto r1 = vgpu::run_kernel(compile(p, {t, OptLevel::O1, false}), args);
+      const auto r2 = vgpu::run_kernel(compile(p, {t, OptLevel::O2, false}), args);
+      const auto r3 = vgpu::run_kernel(compile(p, {t, OptLevel::O3, false}), args);
+      EXPECT_EQ(r1.value_bits, r2.value_bits) << "prog " << pi;
+      EXPECT_EQ(r2.value_bits, r3.value_bits) << "prog " << pi;
+    }
+  }
+}
+
+TEST(Pipeline, DescriptionSpellsFlags) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 8);
+  const Program p = g.generate(0);
+  EXPECT_EQ(compile(p, {Toolchain::Nvcc, OptLevel::O2, false}).description(),
+            "nvcc-sim -O2");
+  EXPECT_EQ(compile(p, {Toolchain::Nvcc, OptLevel::O3_FastMath, false}).description(),
+            "nvcc-sim -O3 -use_fast_math");
+  EXPECT_EQ(compile(p, {Toolchain::Hipcc, OptLevel::O3_FastMath, false}).description(),
+            "hipcc-sim -O3 -DHIP_FAST_MATH");
+}
+
+TEST(Pipeline, CompileDoesNotMutateInput) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 9);
+  const Program p = g.generate(2);
+  const std::string before = p.dump();
+  (void)compile(p, {Toolchain::Hipcc, OptLevel::O3_FastMath, false});
+  EXPECT_EQ(p.dump(), before);
+}
+
+}  // namespace

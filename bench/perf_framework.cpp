@@ -1,13 +1,22 @@
 // google-benchmark harness for the framework itself: generation, virtual
-// compilation, kernel execution, and the vendor math libraries (including
-// the from-scratch Payne-Hanek reduction and both fmod algorithms).
+// compilation, kernel execution (bytecode VM and tree-walk oracle), the
+// campaign driver, and the vendor math libraries (including the
+// from-scratch Payne-Hanek reduction and both fmod algorithms).
+//
+// Run from a Release build and record a JSON trajectory point:
+//   cmake --preset release && cmake --build --preset release --target bench
+//   ./build-release/bench/perf_framework \
+//       --benchmark_out=BENCH_$(git rev-parse --short HEAD).json \
+//       --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include "diff/campaign.hpp"
 #include "diff/runner.hpp"
 #include "gen/generator.hpp"
 #include "gen/inputs.hpp"
 #include "opt/pipeline.hpp"
+#include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 #include "vmath/core/kernels.hpp"
 #include "vmath/mathlib.hpp"
@@ -49,6 +58,57 @@ void BM_RunKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RunKernel);
+
+void BM_RunKernelBytecode(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(7);
+  const auto exe = opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O2, false});
+  const auto args = ig.generate(p, 7, 0);
+  vgpu::ExecContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exe.bytecode().run(args, ctx));
+  }
+}
+BENCHMARK(BM_RunKernelBytecode);
+
+void BM_RunKernelTreeWalk(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(7);
+  const auto exe = opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O2, false});
+  const auto args = ig.generate(p, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::run_kernel_tree(exe, args));
+  }
+}
+BENCHMARK(BM_RunKernelTreeWalk);
+
+void BM_CompileBytecode(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  const ir::Program p = g.generate(7);
+  const auto exe = opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O2, false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::compile_bytecode(exe.program, exe.env, exe.mathlib));
+  }
+}
+BENCHMARK(BM_CompileBytecode);
+
+/// End-to-end campaign shape: programs x inputs x all 5 levels, single
+/// thread (deterministic work, no scheduler noise in the measurement).
+void BM_CampaignSmall(benchmark::State& state) {
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 16;
+  cfg.inputs_per_program = 4;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::run_campaign(cfg));
+  }
+}
+BENCHMARK(BM_CampaignSmall)->Unit(benchmark::kMillisecond);
 
 void BM_FullComparison(benchmark::State& state) {
   gen::GenConfig cfg;

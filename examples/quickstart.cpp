@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = diff::run_differential(program, args, level);
     std::printf("%-6s nvcc-sim: %-24s hipcc-sim: %-24s %s\n",
-                opt::to_string(level).c_str(), cmp.nvcc.printed.c_str(),
-                cmp.hipcc.printed.c_str(),
+                opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
+                cmp.hipcc.printed().c_str(),
                 cmp.discrepant() ? ("DISCREPANCY [" + to_string(cmp.cls) + "]").c_str()
                                  : "consistent");
   }

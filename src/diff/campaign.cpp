@@ -1,5 +1,7 @@
 #include "diff/campaign.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <mutex>
 #include <stdexcept>
 
@@ -96,22 +98,28 @@ CampaignResults run_campaign(const CampaignConfig& config) {
             rec.cls = cmp.cls;
             rec.nvcc_outcome = cmp.nvcc.outcome;
             rec.hipcc_outcome = cmp.hipcc.outcome;
-            rec.nvcc_printed = cmp.nvcc.printed;
-            rec.hipcc_printed = cmp.hipcc.printed;
+            rec.nvcc_printed = cmp.nvcc.printed();
+            rec.hipcc_printed = cmp.hipcc.printed();
             out.records.push_back(std::move(rec));
           }
         }
       },
       config.threads, /*chunk=*/4);
 
-  // Deterministic merge in program order.
-  for (auto& out : outcomes) {
+  // Deterministic merge in program order.  Statistics are never capped;
+  // record retention stops outright once max_records is reached instead of
+  // re-entering the record loop for every remaining program.
+  for (auto& out : outcomes)
     for (std::size_t li = 0; li < config.levels.size(); ++li)
       results.per_level[li].merge(out.per_level[li]);
-    for (auto& rec : out.records) {
-      if (results.records.size() >= config.max_records) break;
-      results.records.push_back(std::move(rec));
-    }
+  for (auto& out : outcomes) {
+    if (results.records.size() >= config.max_records) break;
+    const std::size_t take = std::min(out.records.size(),
+                                      config.max_records - results.records.size());
+    results.records.insert(results.records.end(),
+                           std::make_move_iterator(out.records.begin()),
+                           std::make_move_iterator(out.records.begin() +
+                                                   static_cast<std::ptrdiff_t>(take)));
   }
   return results;
 }

@@ -120,7 +120,7 @@ void Metadata::record_platform(opt::Toolchain toolchain, unsigned threads) {
             } else {
               entry["bits"] = fp::encode_bits(fp::from_bits<double>(run.value_bits));
             }
-            entry["printed"] = run.printed;
+            entry["printed"] = run.printed();
             runs.push_back(std::move(entry));
           }
           by_level[opt::to_string(level)] = std::move(runs);

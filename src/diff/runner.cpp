@@ -7,7 +7,7 @@ namespace {
 PlatformResult to_platform_result(const vgpu::RunResult& run,
                                   ir::Precision precision) {
   PlatformResult out;
-  out.printed = run.printed;
+  out.value = run.value;
   out.bits = run.value_bits;
   out.flags = run.flags;
   out.op_count = run.op_count;

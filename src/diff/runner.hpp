@@ -6,19 +6,25 @@
 
 #include "diff/discrepancy.hpp"
 #include "fp/exceptions.hpp"
+#include "fp/hexfloat.hpp"
 #include "opt/pipeline.hpp"
 #include "vgpu/args.hpp"
 #include "vgpu/interp.hpp"
 
 namespace gpudiff::diff {
 
-/// One platform's view of one run.
+/// One platform's view of one run.  The %.17g artifact string is not
+/// materialized by compare_run — discrepancy classification works on raw
+/// bits; call printed() when a record or report actually needs the text.
 struct PlatformResult {
-  std::string printed;          ///< %.17g output line
+  double value = 0.0;           ///< comp widened to double (exact for FP32)
   std::uint64_t bits = 0;       ///< IEEE bits of comp (32 or 64 wide)
   fp::Outcome outcome;          ///< paper outcome class + sign
   fp::ExceptionFlags flags;     ///< virtual-FPU exception record
   std::uint64_t op_count = 0;
+
+  /// %.17g output line, formatted on demand.
+  std::string printed() const { return fp::print_g17(value); }
 };
 
 /// A compiled (nvcc-sim, hipcc-sim) pair at one optimization level.

@@ -1,0 +1,183 @@
+#pragma once
+// Integer-exact IEEE-754 multiply and divide (round-to-nearest-even) for
+// the operand ranges where hardware FPUs take microcode assists.
+//
+// x86 cores stall ~40-100 cycles when a multiply produces a subnormal
+// result or a divide consumes a subnormal operand — and the campaign's
+// input classes (paper Fig. 4/6: subnormals, near-underflow magnitudes)
+// hit those ranges constantly, making assists a dominant cost of kernel
+// execution.  soft_mul/soft_div compute the identical correctly-rounded
+// result with integer mantissa arithmetic in ~10ns, assist-free.
+//
+// Contract: for finite nonzero operands (no NaN/Inf) the result is
+// bit-identical to the hardware operation under round-to-nearest-even,
+// including gradual underflow, underflow to zero and overflow to
+// infinity.  fp_test.cpp enforces the contract exhaustively against the
+// host FPU over randomized and directed operand classes.  Callers
+// (vgpu::Fpu) route only assist-prone ranges here; everything else stays
+// on the native instruction.
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "fp/bits.hpp"
+
+namespace gpudiff::fp {
+
+namespace detail {
+
+/// Double-width unsigned integer for the mantissa product/quotient.
+template <typename B>
+struct WideOf;
+template <>
+struct WideOf<std::uint32_t> {
+  using type = std::uint64_t;
+};
+template <>
+struct WideOf<std::uint64_t> {
+  using type = unsigned __int128;
+};
+
+/// Mantissa with explicit leading bit plus biased exponent normalized so
+/// value = m * 2^(e - bias - mantissa_bits), for subnormals too.
+template <typename T>
+constexpr typename FloatTraits<T>::Bits decompose_finite(
+    typename FloatTraits<T>::Bits abs_bits, int& e) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  e = static_cast<int>(abs_bits >> Tr::mantissa_bits);
+  B m = abs_bits & Tr::mantissa_mask;
+  if (e == 0) {
+    const int shift = Tr::mantissa_bits + 1 -
+                      (std::numeric_limits<B>::digits - std::countl_zero(m));
+    m <<= shift;
+    e = 1 - shift;
+  } else {
+    m |= (B{1} << Tr::mantissa_bits);
+  }
+  return m;
+}
+
+template <typename W>
+constexpr int wide_countl_zero(W v) noexcept {
+  if constexpr (sizeof(W) == 16) {
+    const auto hi = static_cast<std::uint64_t>(v >> 64);
+    if (hi) return std::countl_zero(hi);
+    return 64 + std::countl_zero(static_cast<std::uint64_t>(v));
+  } else {
+    return std::countl_zero(v);
+  }
+}
+
+/// Round `p` (value = p * 2^x, p != 0) to nearest-even at the precision of
+/// T, assembling sign/exponent/mantissa bits.  `sticky_in` carries bits
+/// already shifted out of p (division remainder).
+template <typename T, typename W>
+constexpr T assemble(W p, int x, bool sticky_in, bool negative) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  constexpr int m = Tr::mantissa_bits;
+  constexpr int wbits = sizeof(W) * 8;
+  const int lead = wbits - 1 - wide_countl_zero(p);  // p = [2^lead, 2^(lead+1))
+  int unbiased = lead + x;                           // exponent of the value
+  // Units of the result's last place: 2^(unbiased - m), floored at the
+  // subnormal ulp 2^(min_normal_exponent - m).
+  int ulp_exp = (unbiased < Tr::min_normal_exponent ? Tr::min_normal_exponent
+                                                    : unbiased) - m;
+  int drop = ulp_exp - x;  // bits of p below the ulp
+  B keep;
+  bool guard, sticky;
+  if (drop <= 0) {
+    keep = static_cast<B>(p << -drop);  // exact (fits: p has <= m+1+drop bits)
+    guard = false;
+    sticky = sticky_in;
+  } else if (drop > wbits) {
+    keep = 0;
+    guard = false;
+    sticky = sticky_in || p != 0;
+  } else {
+    keep = drop == wbits ? B{0} : static_cast<B>(p >> drop);
+    guard = (p >> (drop - 1)) & 1;
+    sticky = sticky_in || (drop >= 2 && (p & ((W{1} << (drop - 1)) - 1)) != 0);
+  }
+  if (guard && (sticky || (keep & 1))) ++keep;
+  if (keep >> (m + 1)) {  // rounding carried into a new bit
+    keep >>= 1;
+    ++ulp_exp;
+  }
+  int biased = ulp_exp + m + Tr::exponent_bias;  // for a normal result
+  B out;
+  if (keep >> m) {
+    if (biased >= Tr::max_exponent + Tr::exponent_bias)
+      out = Tr::exponent_mask;  // overflow -> inf (RNE)
+    else
+      out = (keep - (B{1} << m)) | (static_cast<B>(biased) << m);
+  } else {
+    out = keep;  // subnormal or zero: exponent field 0, no hidden bit
+  }
+  if (negative) out |= Tr::sign_mask;
+  return from_bits<T>(out);
+}
+
+}  // namespace detail
+
+/// Correctly rounded a*b for finite operands (NaN/Inf excluded by caller;
+/// zeros allowed).
+template <typename T>
+constexpr T soft_mul(T a, T b) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  using W = typename detail::WideOf<B>::type;
+  const bool neg = sign_bit(a) != sign_bit(b);
+  const B aa = to_bits(a) & ~Tr::sign_mask;
+  const B ab = to_bits(b) & ~Tr::sign_mask;
+  if (aa == 0 || ab == 0) return from_bits<T>(neg ? Tr::sign_mask : B{0});
+  int ea, eb;
+  const B ma = detail::decompose_finite<T>(aa, ea);
+  const B mb = detail::decompose_finite<T>(ab, eb);
+  const W p = static_cast<W>(ma) * mb;
+  constexpr int m = Tr::mantissa_bits;
+  const int x = (ea - Tr::exponent_bias - m) + (eb - Tr::exponent_bias - m);
+  return detail::assemble<T, W>(p, x, /*sticky_in=*/false, neg);
+}
+
+/// Correctly rounded a/b for finite nonzero operands.
+template <typename T>
+inline T soft_div(T a, T b) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  using W = typename detail::WideOf<B>::type;
+  constexpr int m = Tr::mantissa_bits;
+  const bool neg = sign_bit(a) != sign_bit(b);
+  int ea, eb;
+  const B ma = detail::decompose_finite<T>(to_bits(a) & ~Tr::sign_mask, ea);
+  const B mb = detail::decompose_finite<T>(to_bits(b) & ~Tr::sign_mask, eb);
+  // m+3 extra bits keep a full mantissa plus guard bit in the quotient;
+  // the remainder supplies the sticky bit exactly.
+  const W num = static_cast<W>(ma) << (m + 3);
+  W q;
+  bool rem;
+#if defined(__x86_64__)
+  if constexpr (sizeof(B) == 8) {
+    // num < 2^108 with mb >= 2^52 bounds the quotient under 2^56, so the
+    // two-word hardware divide (quotient + remainder in one instruction)
+    // cannot fault; the libgcc 128-bit division would cost several times
+    // the assist being avoided.
+    std::uint64_t quot, mod;
+    std::uint64_t hi = static_cast<std::uint64_t>(num >> 64);
+    std::uint64_t lo = static_cast<std::uint64_t>(num);
+    asm("divq %4" : "=a"(quot), "=d"(mod) : "0"(lo), "1"(hi), "r"(static_cast<std::uint64_t>(mb)) : "cc");
+    q = quot;
+    rem = mod != 0;
+  } else
+#endif
+  {
+    q = num / mb;
+    rem = (num % mb) != 0;
+  }
+  const int x = (ea - eb) - (m + 3);
+  return detail::assemble<T, W>(q, x, rem, neg);
+}
+
+}  // namespace gpudiff::fp

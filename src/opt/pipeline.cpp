@@ -1,6 +1,7 @@
 #include "opt/pipeline.hpp"
 
 #include "opt/passes.hpp"
+#include "vgpu/bytecode.hpp"
 
 namespace gpudiff::opt {
 
@@ -36,6 +37,13 @@ std::string Executable::description() const {
   if (level == OptLevel::O3_FastMath)
     out += toolchain == Toolchain::Nvcc ? " -use_fast_math" : " -DHIP_FAST_MATH";
   return out;
+}
+
+const vgpu::BytecodeProgram& Executable::bytecode() const {
+  if (!bytecode_cache)
+    bytecode_cache = std::make_shared<const vgpu::BytecodeProgram>(
+        vgpu::compile_bytecode(program, env, mathlib));
+  return *bytecode_cache;
 }
 
 namespace {
@@ -93,6 +101,12 @@ Executable compile(const ir::Program& program, const CompileOptions& options) {
         exe.env.naive_minmax = true;
     }
   }
+
+  // Lower to bytecode once, here, so every copy of the Executable (and
+  // every input run against it) shares the cached program.  Lowering never
+  // rejects malformed hand-written IR: bad statements become traps that
+  // fault at execution exactly where the tree-walk interpreter would.
+  exe.bytecode();
   return exe;
 }
 

@@ -20,11 +20,16 @@
 // HIPIFY-converted sources (CompileOptions::hipify_converted) bind the
 // CUDA-compat math wrapper instead of plain OCML (see compat_math.cpp).
 
+#include <memory>
 #include <string>
 
 #include "fp/env.hpp"
 #include "ir/program.hpp"
 #include "vmath/mathlib.hpp"
+
+namespace gpudiff::vgpu {
+class BytecodeProgram;
+}
 
 namespace gpudiff::opt {
 
@@ -58,6 +63,15 @@ struct Executable {
 
   /// "nvcc-sim -O3 -use_fast_math"-style description.
   std::string description() const;
+
+  /// Bytecode lowering of `program` for the register VM, built once by
+  /// compile() and shared by every copy of this Executable — one pair of
+  /// lowerings amortizes across all inputs of a differential campaign.
+  /// Hand-assembled Executables build it lazily on first use (not
+  /// thread-safe for a concurrent first call; clear `bytecode_cache` after
+  /// mutating program/env/mathlib by hand).
+  const vgpu::BytecodeProgram& bytecode() const;
+  mutable std::shared_ptr<const vgpu::BytecodeProgram> bytecode_cache;
 };
 
 /// Run the toolchain's pipeline for the given level.  The input program is

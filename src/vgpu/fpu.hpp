@@ -11,6 +11,7 @@
 #include "fp/bits.hpp"
 #include "fp/env.hpp"
 #include "fp/exceptions.hpp"
+#include "fp/softfloat.hpp"
 
 namespace gpudiff::vgpu {
 
@@ -23,11 +24,17 @@ class Fpu {
   T add(T a, T b) noexcept {
     a = daz(a);
     b = daz(b);
+    if (fp::is_nan_bits(a) || fp::is_nan_bits(b)) return propagate_nan(a, b);
     const T r = a + b;
     if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
       if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);       // inf - inf: n/a here
       if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
-      else if (r - a != b || r - b != a) flags_.raise(fp::kInexact);
+      // The error-free probes below only ever raise kInexact, so they are
+      // skipped once it is set: on subnormal operands each extra FP op
+      // costs a microcode assist (~100 cycles on common x86), and campaign
+      // kernels raise Inexact within a few operations.
+      else if (!flags_.inexact() && (r - a != b || r - b != a))
+        flags_.raise(fp::kInexact);
     } else if (fp::is_nan_bits(r) && !fp::is_nan_bits(a) && !fp::is_nan_bits(b)) {
       flags_.raise(fp::kInvalid);  // (+inf) + (-inf)
     }
@@ -39,10 +46,15 @@ class Fpu {
   T mul(T a, T b) noexcept {
     a = daz(a);
     b = daz(b);
-    const T r = a * b;
+    if (fp::is_nan_bits(a) || fp::is_nan_bits(b)) return propagate_nan(a, b);
+    // Subnormal operands or a (possibly) subnormal product stall hardware
+    // multipliers with a microcode assist; the integer soft path computes
+    // the identical correctly-rounded result without the stall.
+    const T r = assist_prone_mul(a, b) ? fp::soft_mul(a, b) : a * b;
     if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
       if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
-      else if (std::fma(a, b, -r) != T(0)) flags_.raise(fp::kInexact);
+      else if (!flags_.inexact() && std::fma(a, b, -r) != T(0))
+        flags_.raise(fp::kInexact);
       if (fp::is_subnormal_bits(r) ||
           (fp::is_zero_bits(r) && !fp::is_zero_bits(a) && !fp::is_zero_bits(b)))
         flags_.raise(fp::kUnderflow | fp::kInexact);
@@ -58,14 +70,16 @@ class Fpu {
     if constexpr (sizeof(T) == 4) {
       if (env_.div32 != fp::Div32Mode::IEEE) return div32_approx(a, b);
     }
-    const T r = a / b;
+    if (fp::is_nan_bits(a) || fp::is_nan_bits(b)) return propagate_nan(a, b);
+    const T r = assist_prone_div(a, b) ? fp::soft_div(a, b) : a / b;
     if (fp::is_zero_bits(b) && fp::is_finite_bits(a) && !fp::is_zero_bits(a) &&
         !fp::is_nan_bits(a)) {
       flags_.raise(fp::kDivideByZero);
     } else if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
       if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);  // 0/0
       else if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
-      else if (std::fma(r, b, -a) != T(0)) flags_.raise(fp::kInexact);
+      else if (!flags_.inexact() && std::fma(r, b, -a) != T(0))
+        flags_.raise(fp::kInexact);
       if (fp::is_subnormal_bits(r) ||
           (fp::is_zero_bits(r) && !fp::is_zero_bits(a)))
         flags_.raise(fp::kUnderflow | fp::kInexact);
@@ -79,6 +93,8 @@ class Fpu {
     a = daz(a);
     b = daz(b);
     c = daz(c);
+    if (fp::is_nan_bits(a) || fp::is_nan_bits(b) || fp::is_nan_bits(c))
+      return fp::is_nan_bits(a) ? quieted(a) : propagate_nan(b, c);
     const T r = std::fma(a, b, c);
     const bool fin = fp::is_finite_bits(a) && fp::is_finite_bits(b) &&
                      fp::is_finite_bits(c);
@@ -108,6 +124,44 @@ class Fpu {
  private:
   T daz(T x) const noexcept { return fp::apply_daz(x, env_); }
   T ftz(T x) noexcept { return fp::apply_ftz(x, env_, &flags_); }
+
+  /// Deterministic NaN propagation: first NaN operand, quieted, payload and
+  /// sign preserved (x86 SSE src1-priority semantics).  Hardware add/mul
+  /// propagate whichever NaN the compiler placed in the destination
+  /// register, so leaving this to `a + b` makes results depend on codegen —
+  /// the -O3 optimizer commutes operands differently across call sites,
+  /// which would break the bytecode-VM/tree-walk bit-identical contract.
+  static T quieted(T x) noexcept {
+    return fp::from_bits<T>(fp::to_bits(x) | fp::FloatTraits<T>::quiet_bit);
+  }
+  static T propagate_nan(T a, T b) noexcept {
+    return quieted(fp::is_nan_bits(a) ? a : b);
+  }
+
+  /// True when a*b would take a denormal-operand or denormal-result assist:
+  /// a subnormal input, or biased exponents summing low enough that the
+  /// product can land in (or under) the subnormal range.
+  static bool assist_prone_mul(T a, T b) noexcept {
+    using Tr = fp::FloatTraits<T>;
+    constexpr int kExpMax = (1 << Tr::exponent_bits) - 1;
+    const int ea = fp::raw_exponent(a);
+    const int eb = fp::raw_exponent(b);
+    if (ea == kExpMax || eb == kExpMax) return false;  // inf/nan: no assist
+    return ea == 0 || eb == 0 || ea + eb <= Tr::exponent_bias + 1;
+  }
+
+  /// True when a/b would take an assist: subnormal operand, or an exponent
+  /// gap that can push the quotient into the subnormal range.
+  static bool assist_prone_div(T a, T b) noexcept {
+    using Tr = fp::FloatTraits<T>;
+    constexpr int kExpMax = (1 << Tr::exponent_bits) - 1;
+    const int ea = fp::raw_exponent(a);
+    const int eb = fp::raw_exponent(b);
+    if (ea == kExpMax || eb == kExpMax || fp::is_zero_bits(a) ||
+        fp::is_zero_bits(b))
+      return false;  // specials and exact zeros divide without assists
+    return ea == 0 || eb == 0 || ea - eb <= Tr::min_normal_exponent;
+  }
 
   float div32_approx(float a, float b) noexcept {
     flags_.raise(fp::kInexact);

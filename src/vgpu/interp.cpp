@@ -1,9 +1,12 @@
 #include "vgpu/interp.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
-#include "fp/hexfloat.hpp"
+#include "vgpu/bytecode.hpp"
 #include "vgpu/fpu.hpp"
 #include "vmath/core/kernels.hpp"
 
@@ -16,11 +19,6 @@ using ir::ExprKind;
 using ir::Program;
 using ir::Stmt;
 using ir::StmtKind;
-
-/// Upper bound on loop trip counts: protects the harness from hostile
-/// metadata (generated inputs stay far below this).
-constexpr int kMaxTripCount = 1 << 20;
-constexpr int kMaxLoopDepth = 8;
 
 /// Issue-cycle model (see RunResult::cycle_count).
 struct CycleModel {
@@ -57,8 +55,6 @@ class Interp {
     exec_body(exe_.program.body());
     out_.value = static_cast<double>(comp_);
     out_.value_bits = static_cast<std::uint64_t>(fp::to_bits(comp_));
-    // Device printf promotes float to double; both APIs print %.17g.
-    out_.printed = fp::print_g17(static_cast<double>(comp_));
   }
 
  private:
@@ -233,15 +229,15 @@ class Interp {
     if (e.kind == ExprKind::LoopVarRef) {
       idx = loop_vars_.at(static_cast<std::size_t>(e.index));
     } else if (e.kind == ExprKind::Literal) {
-      idx = static_cast<long long>(e.lit_value);
+      idx = fp_to_subscript(e.lit_value);
     } else if (e.kind == ExprKind::IntParamRef) {
       idx = args_.ints.at(static_cast<std::size_t>(e.index));
     } else {
-      idx = static_cast<long long>(static_cast<double>(eval(e)));
+      // Casting NaN or an out-of-range value straight to integer is UB;
+      // fp_to_subscript resolves those cases at the bit level first.
+      idx = fp_to_subscript(static_cast<double>(eval(e)));
     }
-    if (idx < 0) idx = 0;
-    if (idx >= ir::kArrayExtent) idx = idx % ir::kArrayExtent;
-    return static_cast<int>(idx);
+    return clamp_subscript(idx);
   }
 
   const opt::Executable& exe_;
@@ -255,9 +251,23 @@ class Interp {
   std::vector<int> loop_vars_;
 };
 
+std::atomic<ExecBackend> g_backend{[] {
+  const char* env = std::getenv("GPUDIFF_EXEC");
+  return env && std::strcmp(env, "tree") == 0 ? ExecBackend::TreeWalk
+                                              : ExecBackend::Bytecode;
+}()};
+
 }  // namespace
 
-RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args) {
+ExecBackend exec_backend() noexcept {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void set_exec_backend(ExecBackend backend) noexcept {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args) {
   RunResult out;
   if (exe.program.precision() == ir::Precision::FP32) {
     Interp<float> interp(exe, args, out);
@@ -267,6 +277,12 @@ RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args) {
     interp.run();
   }
   return out;
+}
+
+RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args) {
+  if (exec_backend() == ExecBackend::TreeWalk) return run_kernel_tree(exe, args);
+  thread_local ExecContext ctx;
+  return exe.bytecode().run(args, ctx);
 }
 
 }  // namespace gpudiff::vgpu

@@ -1,24 +1,39 @@
 #pragma once
 // Kernel execution on the virtual GPU.
 //
-// run_kernel() interprets a compiled Executable with one thread — Varity
+// run_kernel() executes a compiled Executable with one thread — Varity
 // kernels are launched <<<1,1>>> and compute a single `comp` value which
-// the kernel prints with printf("%.17g\n", comp).  The result captures the
-// printed string (the artifact the differential tester compares), the raw
-// IEEE bits, the accumulated exception flags (Table II) and an operation
-// count used for the deterministic runtime shape of Table I.
+// the kernel prints with printf("%.17g\n", comp).  Two backends implement
+// identical semantics:
+//
+//   * the bytecode register VM (vgpu/bytecode.hpp) — the default: the
+//     Executable caches a flat BytecodeProgram built once at compile time,
+//     and run_kernel executes it with a per-thread reusable ExecContext
+//     (no recursion, no pointer chasing, no per-run allocation);
+//   * the tree-walk interpreter (interp.cpp) — the reference oracle,
+//     selected with set_exec_backend(ExecBackend::TreeWalk), the
+//     GPUDIFF_EXEC=tree environment variable, or directly via
+//     run_kernel_tree().
+//
+// The result captures the raw IEEE bits of comp, the accumulated exception
+// flags (Table II) and deterministic op/cycle counts (Table I).  The
+// %.17g string the differential tester compares is NOT materialized per
+// run: RunResult::printed() formats it on demand from `value` (lossless —
+// device printf promotes float to double, so the string is a pure function
+// of the widened value).  Callers on the hot path compare `value_bits`
+// first and only format when recording a discrepancy.
 
 #include <cstdint>
 #include <string>
 
 #include "fp/exceptions.hpp"
+#include "fp/hexfloat.hpp"
 #include "opt/pipeline.hpp"
 #include "vgpu/args.hpp"
 
 namespace gpudiff::vgpu {
 
 struct RunResult {
-  std::string printed;        ///< printf("%.17g\n", comp) payload (no \n)
   double value = 0.0;         ///< comp widened to double (exact for FP32)
   std::uint64_t value_bits = 0;  ///< IEEE bits of comp in its own precision
   fp::ExceptionFlags flags;   ///< accumulated FP exceptions
@@ -28,10 +43,22 @@ struct RunResult {
   /// divide = 2, library call = 24, fast-math intrinsic = 6).  Drives the
   /// runtime column of the Table I reproduction.
   std::uint64_t cycle_count = 0;
+
+  /// printf("%.17g\n", comp) payload (no \n), formatted on demand.
+  std::string printed() const { return fp::print_g17(value); }
 };
+
+/// Which interpreter run_kernel dispatches to (process-wide).
+enum class ExecBackend : std::uint8_t { Bytecode, TreeWalk };
+ExecBackend exec_backend() noexcept;
+void set_exec_backend(ExecBackend backend) noexcept;
 
 /// Execute the kernel once.  Throws std::runtime_error on malformed IR
 /// (e.g. argument/parameter mismatch); numerical misbehaviour never throws.
 RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args);
+
+/// The tree-walk reference oracle, always available regardless of the
+/// process-wide backend selection (used by the differential self-tests).
+RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args);
 
 }  // namespace gpudiff::vgpu

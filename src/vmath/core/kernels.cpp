@@ -581,12 +581,39 @@ T fmod_exact(T x, T y) noexcept {
   B mx = decompose(ux_abs, ex);
   const B my = decompose(uy_abs, ey);
 
-  // Long division: align exponents, subtract when possible.
-  for (; ex > ey; --ex) {
-    if (mx >= my) mx -= my;
-    mx <<= 1;
+  // Long division.  The textbook loop shifts-and-subtracts one bit of the
+  // exponent gap per iteration, which for extreme operand pairs (the input
+  // classes the campaign draws from — e.g. fmod(1e-4, 1e-308) with a
+  // ~1000-bit gap) costs a thousand iterations per call.  The remainder
+  // after the whole loop is exactly (mx << (ex - ey)) mod my with mx first
+  // reduced below my, so compute that with wide modular shifts instead:
+  // each step folds up to 63 (FP64) / 39 (FP32) gap bits into one hardware
+  // division.  Bit-identical to the one-bit loop (vmath_test proves it
+  // against the reference implementation across extreme operand classes).
+  int gap = ex - ey;
+  ex = ey;
+  if (mx >= my) mx -= my;  // mx < 2*my on entry, one subtract reduces it
+  if constexpr (sizeof(B) == 8) {
+    while (gap > 0 && mx != 0) {
+      const int s = gap > 63 ? 63 : gap;
+      // mx < my < 2^53: the two-word dividend keeps every shifted-out bit
+      // and (mx << s) < my * 2^63 bounds the quotient under 2^64, so the
+      // hardware divide cannot fault and the remainder is exact.
+#if defined(__x86_64__)
+      std::uint64_t q, hi = mx >> (64 - s), lo = mx << s;
+      asm("divq %4" : "=a"(q), "=d"(mx) : "0"(lo), "1"(hi), "r"(my) : "cc");
+#else
+      mx = static_cast<B>((static_cast<unsigned __int128>(mx) << s) % my);
+#endif
+      gap -= s;
+    }
+  } else {
+    while (gap > 0 && mx != 0) {
+      const int s = gap > 39 ? 39 : gap;
+      mx = static_cast<B>((static_cast<std::uint64_t>(mx) << s) % my);
+      gap -= s;
+    }
   }
-  if (mx >= my) mx -= my;
   if (mx == 0) return fp::copysign_bits(T(0), x);
 
   // Renormalize.

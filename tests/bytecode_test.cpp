@@ -1,0 +1,284 @@
+// Differential self-test for the bytecode VM: the register VM must be
+// bit-identical to the tree-walk reference oracle — value bits, exception
+// flags, op count and cycle count — for every generated program, at every
+// optimization level, for both toolchains, both precisions and both
+// HIPIFY modes.  Also pins the VM-specific lowering details (read-only
+// array elision, short-circuit accounting, subscript clamping) and proves
+// fixed-seed campaign output is backend-independent.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "diff/campaign.hpp"
+#include "gen/generator.hpp"
+#include "gen/inputs.hpp"
+#include "ir/builder.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/bytecode.hpp"
+#include "vgpu/interp.hpp"
+
+namespace {
+
+using namespace gpudiff;
+using namespace gpudiff::ir;
+
+void expect_identical(const vgpu::RunResult& vm, const vgpu::RunResult& tree,
+                      const std::string& context) {
+  EXPECT_EQ(vm.value_bits, tree.value_bits) << context;
+  EXPECT_EQ(vm.flags.raw(), tree.flags.raw()) << context;
+  EXPECT_EQ(vm.op_count, tree.op_count) << context;
+  EXPECT_EQ(vm.cycle_count, tree.cycle_count) << context;
+  EXPECT_EQ(vm.printed(), tree.printed()) << context;
+}
+
+struct DifferentialCase {
+  Precision precision;
+  bool hipify;
+};
+
+class BytecodeDifferential : public ::testing::TestWithParam<DifferentialCase> {};
+
+TEST_P(BytecodeDifferential, MatchesTreeWalkOracle) {
+  const auto [precision, hipify] = GetParam();
+  gen::GenConfig cfg;
+  cfg.precision = precision;
+  const gen::Generator generator(cfg, 20240901);
+  const gen::InputGenerator input_gen(20240901);
+
+  vgpu::ExecContext ctx;
+  for (std::uint64_t pi = 0; pi < 200; ++pi) {
+    const Program program = generator.generate(pi);
+    for (std::uint64_t ii = 0; ii < 2; ++ii) {
+      const vgpu::KernelArgs args = input_gen.generate(program, pi, ii);
+      for (const opt::OptLevel level : opt::kAllOptLevels) {
+        for (const opt::Toolchain tc : {opt::Toolchain::Nvcc, opt::Toolchain::Hipcc}) {
+          const opt::Executable exe =
+              opt::compile(program, {tc, level, hipify && tc == opt::Toolchain::Hipcc});
+          const vgpu::RunResult vm = exe.bytecode().run(args, ctx);
+          const vgpu::RunResult tree = vgpu::run_kernel_tree(exe, args);
+          expect_identical(vm, tree,
+                           "program " + std::to_string(pi) + " input " +
+                               std::to_string(ii) + " " + exe.description());
+          if (HasFailure()) return;  // one diverging program is enough signal
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, BytecodeDifferential,
+    ::testing::Values(DifferentialCase{Precision::FP64, false},
+                      DifferentialCase{Precision::FP64, true},
+                      DifferentialCase{Precision::FP32, false},
+                      DifferentialCase{Precision::FP32, true}),
+    [](const auto& info) {
+      return std::string(info.param.precision == Precision::FP32 ? "FP32" : "FP64") +
+             (info.param.hipify ? "Hipify" : "Native");
+    });
+
+// ---------------------------------------------------------------------------
+// Campaign-level equivalence: the fixed-seed campaign tables must not
+// depend on the execution backend.
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeCampaign, FixedSeedCampaignIdenticalAcrossBackends) {
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 40;
+  cfg.inputs_per_program = 3;
+  cfg.threads = 2;
+
+  vgpu::set_exec_backend(vgpu::ExecBackend::Bytecode);
+  const diff::CampaignResults vm = diff::run_campaign(cfg);
+  vgpu::set_exec_backend(vgpu::ExecBackend::TreeWalk);
+  const diff::CampaignResults tree = diff::run_campaign(cfg);
+  vgpu::set_exec_backend(vgpu::ExecBackend::Bytecode);
+
+  ASSERT_EQ(vm.per_level.size(), tree.per_level.size());
+  for (std::size_t li = 0; li < vm.per_level.size(); ++li) {
+    EXPECT_EQ(vm.per_level[li].comparisons, tree.per_level[li].comparisons);
+    EXPECT_EQ(vm.per_level[li].class_counts, tree.per_level[li].class_counts);
+    EXPECT_EQ(vm.per_level[li].adjacency, tree.per_level[li].adjacency);
+  }
+  ASSERT_EQ(vm.records.size(), tree.records.size());
+  for (std::size_t i = 0; i < vm.records.size(); ++i) {
+    EXPECT_EQ(vm.records[i].program_index, tree.records[i].program_index);
+    EXPECT_EQ(vm.records[i].input_index, tree.records[i].input_index);
+    EXPECT_EQ(vm.records[i].level, tree.records[i].level);
+    EXPECT_EQ(vm.records[i].cls, tree.records[i].cls);
+    EXPECT_EQ(vm.records[i].nvcc_printed, tree.records[i].nvcc_printed);
+    EXPECT_EQ(vm.records[i].hipcc_printed, tree.records[i].hipcc_printed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering details.
+// ---------------------------------------------------------------------------
+
+opt::Executable compile_o0(Program p) {
+  return opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O0, false});
+}
+
+TEST(Bytecode, ShortCircuitSkipsUncountedOperand) {
+  // (0 != 0) && (comp < comp + 1): the RHS Cmp and Add must not execute
+  // when the LHS is false — op_count sees exactly one comparison.
+  ProgramBuilder b(Precision::FP64);
+  auto cond = make_bool(
+      BoolOp::And, make_cmp(CmpOp::Ne, make_literal(0.0), make_literal(0.0)),
+      make_cmp(CmpOp::Lt, make_param(0),
+               make_bin(BinOp::Add, make_param(0), make_literal(1.0))));
+  b.begin_if(std::move(cond));
+  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.end_block();
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs args;
+  args.fp = {2.0};
+  args.ints = {0};
+  const auto vm = vgpu::run_kernel(exe, args);
+  const auto tree = vgpu::run_kernel_tree(exe, args);
+  EXPECT_EQ(vm.op_count, 1u);
+  EXPECT_EQ(vm.op_count, tree.op_count);
+  EXPECT_EQ(vm.cycle_count, tree.cycle_count);
+}
+
+TEST(Bytecode, ReadOnlyArrayLoadsBroadcastValue) {
+  // comp = arr[3]; the array is never stored to, so the VM elides its
+  // backing storage entirely — loads must still see the broadcast argument.
+  ProgramBuilder b(Precision::FP64);
+  const int arr = b.add_array_param();
+  b.assign_comp(AssignOp::Set, make_array(arr, make_literal(3.0)));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 6.5};
+  args.ints = {0, 0};
+  EXPECT_EQ(vgpu::run_kernel(exe, args).value, 6.5);
+  EXPECT_EQ(vgpu::run_kernel_tree(exe, args).value, 6.5);
+}
+
+TEST(Bytecode, StoredArrayRoundTrips) {
+  // arr[2] = 41; comp = arr[2] + arr[1]  (arr broadcast-initialized to 1).
+  ProgramBuilder b(Precision::FP64);
+  const int arr = b.add_array_param();
+  b.store_array(arr, make_literal(2.0), make_literal(41.0));
+  b.assign_comp(AssignOp::Set,
+                make_bin(BinOp::Add, make_array(arr, make_literal(2.0)),
+                         make_array(arr, make_literal(1.0))));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 1.0};
+  args.ints = {0, 0};
+  EXPECT_EQ(vgpu::run_kernel(exe, args).value, 42.0);
+  EXPECT_EQ(vgpu::run_kernel_tree(exe, args).value, 42.0);
+}
+
+TEST(Bytecode, NanSubscriptIndexesElementZero) {
+  // arr[0] = 9; comp = arr[0.0/0.0]: a NaN subscript must clamp to element
+  // 0 in both backends (previously UB in the tree-walk interpreter).
+  ProgramBuilder b(Precision::FP64);
+  const int arr = b.add_array_param();
+  b.store_array(arr, make_literal(0.0), make_literal(9.0));
+  b.assign_comp(
+      AssignOp::Set,
+      make_array(arr, make_bin(BinOp::Div, make_literal(0.0), make_literal(0.0))));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 1.0};
+  args.ints = {0, 0};
+  const auto vm = vgpu::run_kernel(exe, args);
+  const auto tree = vgpu::run_kernel_tree(exe, args);
+  EXPECT_EQ(vm.value, 9.0);
+  expect_identical(vm, tree, "NaN subscript");
+}
+
+TEST(Bytecode, LoopVarAfterLoopMatchesOracle) {
+  // `for (i < n) comp += 1; comp = i`: after the loop both backends must
+  // observe the final iteration value (n-1), and a zero-trip loop must
+  // leave the variable untouched (0 at run start).
+  ProgramBuilder b(Precision::FP64);
+  const int n = b.add_int_param();
+  b.begin_for(n);
+  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.end_block();
+  b.assign_comp(AssignOp::Set, make_loop_var(0));
+  const opt::Executable exe = compile_o0(b.build());
+  for (const int bound : {3, 1, 0}) {
+    vgpu::KernelArgs args;
+    args.fp = {0.0, 0.0};
+    args.ints = {0, bound};
+    const auto vm = vgpu::run_kernel(exe, args);
+    const auto tree = vgpu::run_kernel_tree(exe, args);
+    EXPECT_EQ(vm.value_bits, tree.value_bits) << "bound " << bound;
+    EXPECT_EQ(vm.value, bound > 0 ? bound - 1 : 0) << "bound " << bound;
+  }
+}
+
+TEST(Bytecode, HugeLiteralSubscriptMatchesOracle) {
+  // A literal subscript beyond long long range saturates identically in
+  // both backends (previously UB in the tree-walk Literal fast path).
+  ProgramBuilder b(Precision::FP64);
+  const int arr = b.add_array_param();
+  b.store_array(arr, make_literal(255.0), make_literal(7.0));
+  b.assign_comp(AssignOp::Set, make_array(arr, make_literal(1e30)));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 1.0};
+  args.ints = {0, 0};
+  const auto vm = vgpu::run_kernel(exe, args);
+  const auto tree = vgpu::run_kernel_tree(exe, args);
+  EXPECT_EQ(vm.value, 7.0);
+  EXPECT_EQ(vm.value_bits, tree.value_bits);
+}
+
+TEST(Bytecode, MalformedStatementFaultsOnlyWhenReached) {
+  // A store to a non-array (scalar) parameter is structurally malformed,
+  // but guarded by `if (0 != 0)` it never executes: like the tree-walk
+  // oracle, the VM must run the program cleanly, and must throw the same
+  // error once the guard lets the statement execute.
+  const auto build = [](double guard_rhs) {
+    // Raw IR assembly: ProgramBuilder (rightly) refuses to emit this.
+    std::vector<Param> params{{ParamKind::Comp, "comp"},
+                              {ParamKind::Scalar, "var_1"}};
+    std::vector<StmtPtr> guarded;
+    guarded.push_back(make_store_array(1, make_literal(0.0), make_literal(1.0)));
+    std::vector<StmtPtr> body;
+    body.push_back(make_if(
+        make_cmp(CmpOp::Ne, make_literal(0.0), make_literal(guard_rhs)),
+        std::move(guarded)));
+    body.push_back(make_assign_comp(AssignOp::Add, make_literal(2.0)));
+    return compile_o0(Program(Precision::FP64, std::move(params), std::move(body)));
+  };
+  vgpu::KernelArgs args;
+  args.fp = {1.0, 3.0};
+  args.ints = {0, 0};
+  const opt::Executable unreachable = build(0.0);
+  EXPECT_EQ(vgpu::run_kernel(unreachable, args).value, 3.0);
+  EXPECT_EQ(vgpu::run_kernel_tree(unreachable, args).value, 3.0);
+  const opt::Executable reachable = build(1.0);
+  EXPECT_THROW((void)vgpu::run_kernel(reachable, args), std::runtime_error);
+  EXPECT_THROW((void)vgpu::run_kernel_tree(reachable, args), std::runtime_error);
+}
+
+TEST(Bytecode, ArgumentCountMismatchThrows) {
+  ProgramBuilder b(Precision::FP64);
+  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs bad;
+  bad.fp = {1.0, 2.0};
+  bad.ints = {0, 0};
+  EXPECT_THROW((void)vgpu::run_kernel(exe, bad), std::runtime_error);
+}
+
+TEST(Bytecode, CompiledProgramIsCachedOnExecutable) {
+  gen::GenConfig cfg;
+  const gen::Generator generator(cfg, 7);
+  const opt::Executable exe = opt::compile(
+      generator.generate(0), {opt::Toolchain::Nvcc, opt::OptLevel::O2, false});
+  ASSERT_NE(exe.bytecode_cache, nullptr);  // built eagerly by compile()
+  const vgpu::BytecodeProgram* first = &exe.bytecode();
+  EXPECT_EQ(first, &exe.bytecode());  // stable across calls
+  const opt::Executable copy = exe;   // copies share the lowering
+  EXPECT_EQ(copy.bytecode_cache.get(), exe.bytecode_cache.get());
+}
+
+}  // namespace

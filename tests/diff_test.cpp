@@ -104,7 +104,7 @@ TEST(Runner, CeilCaseStudyDivergesAtO0) {
   args.ints = {0};
   const auto cmp = run_differential(p, args, opt::OptLevel::O0);
   EXPECT_EQ(cmp.cls, DiscrepancyClass::Inf_Num);
-  EXPECT_EQ(cmp.nvcc.printed, "inf");
+  EXPECT_EQ(cmp.nvcc.printed(), "inf");
   EXPECT_EQ(cmp.hipcc.outcome.cls, OutcomeClass::Number);
 }
 
@@ -120,7 +120,7 @@ TEST(Runner, IdenticalProgramsAgreeOnBenignInputs) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = run_differential(p, args, level);
     EXPECT_FALSE(cmp.discrepant()) << opt::to_string(level);
-    EXPECT_EQ(cmp.nvcc.printed, "10");
+    EXPECT_EQ(cmp.nvcc.printed(), "10");
   }
 }
 

@@ -11,6 +11,7 @@
 #include "fp/env.hpp"
 #include "fp/exceptions.hpp"
 #include "fp/hexfloat.hpp"
+#include "fp/softfloat.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -283,6 +284,79 @@ TEST(Env, DefaultEnvIsTransparent) {
   EXPECT_EQ(apply_daz(1e-310, env), 1e-310);
   EXPECT_EQ(env.div32, Div32Mode::IEEE);
   EXPECT_FALSE(env.naive_minmax);
+}
+
+// ---------------------------------------------------------------------------
+// softfloat: the assist-free integer mul/div must match the host FPU
+// bit-for-bit on every finite operand pair — the hardware is the oracle.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void check_softfloat_against_hardware() {
+  using B = typename FloatTraits<T>::Bits;
+  gpudiff::support::Rng rng(0x50F7u);
+  // Operand generators biased toward the assist-prone classes: subnormals,
+  // near-underflow and near-overflow magnitudes, plus uniform bit noise.
+  const auto gen = [&]() -> T {
+    const auto cls = rng.next() % 4;
+    B bits = static_cast<B>(rng.next());
+    constexpr int m = FloatTraits<T>::mantissa_bits;
+    constexpr int ebits = FloatTraits<T>::exponent_bits;
+    const B sign = bits & FloatTraits<T>::sign_mask;
+    if (cls == 0) {  // subnormal
+      bits = sign | (bits & FloatTraits<T>::mantissa_mask);
+    } else if (cls == 1) {  // tiny normal exponent
+      const B e = static_cast<B>(1 + rng.next() % 40);
+      bits = sign | (e << m) | (bits & FloatTraits<T>::mantissa_mask);
+    } else if (cls == 2) {  // huge exponent
+      const B e = static_cast<B>(((B{1} << ebits) - 2) - rng.next() % 40);
+      bits = sign | (e << m) | (bits & FloatTraits<T>::mantissa_mask);
+    }
+    return from_bits<T>(bits);
+  };
+  int checked = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const T a = gen();
+    const T b = gen();
+    if (is_nan_bits(a) || is_nan_bits(b) || is_inf_bits(a) || is_inf_bits(b))
+      continue;
+    const T hw_mul = a * b;
+    ASSERT_EQ(to_bits(soft_mul(a, b)), to_bits(hw_mul))
+        << encode_bits(a) << " * " << encode_bits(b);
+    if (!is_zero_bits(a) && !is_zero_bits(b)) {
+      const T hw_div = a / b;
+      ASSERT_EQ(to_bits(soft_div(a, b)), to_bits(hw_div))
+          << encode_bits(a) << " / " << encode_bits(b);
+    }
+    ++checked;
+  }
+  ASSERT_GT(checked, 100000);
+}
+
+TEST(SoftFloat, MulDivMatchHardware64) { check_softfloat_against_hardware<double>(); }
+TEST(SoftFloat, MulDivMatchHardware32) { check_softfloat_against_hardware<float>(); }
+
+TEST(SoftFloat, DirectedEdgeCases64) {
+  const double cases[][2] = {
+      {0x1p-1074, 0x1p-1074},    // min subnormal squared -> 0
+      {0x1.8p-1074, 1.0},        // halfway-odd: RNE up
+      {0x1p-1022, 0.5},          // min normal down into subnormal
+      {0x1.fffffffffffffp+1023, 0x1p-1074},  // extreme magnitudes
+      {0x1p-537, 0x1p-537},      // product exactly min subnormal scale
+      {-0x1p-1070, 0x1p+3},
+      {5.0, 3.0},                // plain normals (exactness of the path)
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(to_bits(soft_mul(c[0], c[1])), to_bits(c[0] * c[1]))
+        << c[0] << " * " << c[1];
+    EXPECT_EQ(to_bits(soft_div(c[0], c[1])), to_bits(c[0] / c[1]))
+        << c[0] << " / " << c[1];
+    EXPECT_EQ(to_bits(soft_div(c[1], c[0])), to_bits(c[1] / c[0]))
+        << c[1] << " / " << c[0];
+  }
+  // Overflow to infinity through division by a subnormal.
+  EXPECT_EQ(to_bits(soft_div(0x1p+1000, 0x1p-1074)),
+            to_bits(std::numeric_limits<double>::infinity()));
 }
 
 }  // namespace

@@ -117,9 +117,9 @@ TEST(CaseStudy2, CeilTinyValueInfVsNumber) {
     const auto cmp = diff::run_differential(p, args, level);
     ASSERT_TRUE(cmp.discrepant()) << opt::to_string(level);
     EXPECT_EQ(cmp.cls, DiscrepancyClass::Inf_Num);
-    EXPECT_EQ(cmp.nvcc.printed, "inf");  // nvcc: ceil -> 0 -> div by zero
+    EXPECT_EQ(cmp.nvcc.printed(), "inf");  // nvcc: ceil -> 0 -> div by zero
     // hipcc: 1.34887e-306 in the paper (printed there at lower precision).
-    EXPECT_EQ(cmp.hipcc.printed.substr(0, 7), "1.34887");
+    EXPECT_EQ(cmp.hipcc.printed().substr(0, 7), "1.34887");
     EXPECT_EQ(cmp.hipcc.outcome.cls, fp::OutcomeClass::Number);
   }
 }
@@ -172,8 +172,8 @@ TEST(CaseStudy3, ConsistentAtO0DivergesAtO1Plus) {
   // O0: both produce -inf (paper: nvcc -O0 -inf, hipcc -O0 -inf).
   const auto o0 = diff::run_differential(p, args, opt::OptLevel::O0);
   EXPECT_FALSE(o0.discrepant());
-  EXPECT_EQ(o0.nvcc.printed, "-inf");
-  EXPECT_EQ(o0.hipcc.printed, "-inf");
+  EXPECT_EQ(o0.nvcc.printed(), "-inf");
+  EXPECT_EQ(o0.hipcc.printed(), "-inf");
 
   // O1..O3: nvcc keeps -inf, hipcc's predicate-multiply if-conversion turns
   // the untaken branch's 0 * (+inf) into NaN (paper: -inf vs -nan).
@@ -181,8 +181,8 @@ TEST(CaseStudy3, ConsistentAtO0DivergesAtO1Plus) {
     const auto cmp = diff::run_differential(p, args, level);
     ASSERT_TRUE(cmp.discrepant()) << opt::to_string(level);
     EXPECT_EQ(cmp.cls, DiscrepancyClass::NaN_Inf);
-    EXPECT_EQ(cmp.nvcc.printed, "-inf");
-    EXPECT_EQ(cmp.hipcc.printed, "-nan");
+    EXPECT_EQ(cmp.nvcc.printed(), "-inf");
+    EXPECT_EQ(cmp.hipcc.printed(), "-nan");
   }
 }
 

@@ -189,7 +189,7 @@ TEST(Interp, LoopAccumulation) {
   const RunResult r = run_kernel(compile_o0(p), args);
   // comp = 1 + 4*(2.0 + 0.25) = 10
   EXPECT_EQ(r.value, 10.0);
-  EXPECT_EQ(r.printed, "10");
+  EXPECT_EQ(r.printed(), "10");
   EXPECT_GT(r.op_count, 0u);
 }
 
@@ -282,7 +282,7 @@ TEST(Interp, Fp32ExecutesInSinglePrecision) {
   // In binary32, 1e-10 + 1 rounds to exactly 1.
   const RunResult r = run_kernel(compile_o0(p), args);
   EXPECT_EQ(r.value, 1.0);
-  EXPECT_EQ(r.printed, "1");
+  EXPECT_EQ(r.printed(), "1");
 }
 
 TEST(Interp, ExceptionFlagsSurface) {

@@ -97,6 +97,55 @@ void BM_CompileBytecode(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileBytecode);
 
+/// Generation + full per-level compilation (5 levels x 2 toolchains), the
+/// per-program cost a campaign pays before any input runs.  The arena IR
+/// is what this measures: program copies are flat pool copies and passes
+/// allocate into the pool instead of cloning subtrees.
+void BM_GenerateAndCompile(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const ir::Program p = g.generate(i++ % 4096);
+    for (auto level : opt::kAllOptLevels) {
+      benchmark::DoNotOptimize(diff::compile_pair(p, level, false));
+    }
+  }
+}
+BENCHMARK(BM_GenerateAndCompile)->Unit(benchmark::kMicrosecond);
+
+/// Batched input sweep: all of a program's inputs through one VM
+/// invocation loop per platform (diff::compare_batch), vs the per-input
+/// compare_run loop it replaces in the campaign driver.
+void BM_BatchedSweep(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(11);
+  const auto pair = diff::compile_pair(p, opt::OptLevel::O2);
+  std::vector<vgpu::KernelArgs> inputs;
+  for (int ii = 0; ii < 32; ++ii) inputs.push_back(ig.generate(p, 11, ii));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::compare_batch(pair, inputs));
+  }
+}
+BENCHMARK(BM_BatchedSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_UnbatchedSweep(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(11);
+  const auto pair = diff::compile_pair(p, opt::OptLevel::O2);
+  std::vector<vgpu::KernelArgs> inputs;
+  for (int ii = 0; ii < 32; ++ii) inputs.push_back(ig.generate(p, 11, ii));
+  for (auto _ : state) {
+    for (const auto& args : inputs)
+      benchmark::DoNotOptimize(diff::compare_run(pair, args));
+  }
+}
+BENCHMARK(BM_UnbatchedSweep)->Unit(benchmark::kMicrosecond);
+
 /// End-to-end campaign shape: programs x inputs x all 5 levels, single
 /// thread (deterministic work, no scheduler noise in the measurement).
 void BM_CampaignSmall(benchmark::State& state) {

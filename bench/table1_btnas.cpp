@@ -33,6 +33,7 @@ using namespace gpudiff::ir;
 /// transcendental paths, so that is where the Table I runtime effect lives.
 Program build_bt_kernel() {
   ProgramBuilder b(Precision::FP32);
+  Arena& A = b.arena();
   const int n = b.add_int_param();        // grid points per line
   const int dt = b.add_scalar_param();    // time step
   const int rho = b.add_scalar_param();   // density-ish coefficient
@@ -43,28 +44,28 @@ Program build_bt_kernel() {
   b.begin_for(n);
   {
     // lhs[i] = 2.0 + dt * (rho / (1.0 + dt * rho))
-    b.store_array(lhs, make_loop_var(0),
-                  make_bin(BinOp::Add, make_literal(2.0, "+2.0E0"),
-                           make_bin(BinOp::Mul, make_param(dt),
-                                    make_bin(BinOp::Div, make_param(rho),
-                                             make_bin(BinOp::Add,
-                                                      make_literal(1.0, "+1.0E0"),
-                                                      make_bin(BinOp::Mul,
-                                                               make_param(dt),
-                                                               make_param(rho)))))));
+    b.store_array(lhs, make_loop_var(A, 0),
+                  make_bin(A, BinOp::Add, make_literal(A, 2.0, "+2.0E0"),
+                           make_bin(A, BinOp::Mul, make_param(A, dt),
+                                    make_bin(A, BinOp::Div, make_param(A, rho),
+                                             make_bin(A, BinOp::Add,
+                                                      make_literal(A, 1.0, "+1.0E0"),
+                                                      make_bin(A, BinOp::Mul,
+                                                               make_param(A, dt),
+                                                               make_param(A, rho)))))));
     // rhs[i] = sin(dt * i) + cos(rho) * 1e-3 + rhs[i] * 0.25
-    b.store_array(rhs, make_loop_var(0),
-                  make_bin(BinOp::Add,
-                           make_call(MathFn::Sin,
-                                     make_bin(BinOp::Mul, make_param(dt),
-                                              make_loop_var(0))),
-                           make_bin(BinOp::Add,
-                                    make_bin(BinOp::Mul,
-                                             make_call(MathFn::Cos, make_param(rho)),
-                                             make_literal(1e-3, "+1.0E-3")),
-                                    make_bin(BinOp::Mul,
-                                             make_array(rhs, make_loop_var(0)),
-                                             make_literal(0.25, "+2.5E-1")))));
+    b.store_array(rhs, make_loop_var(A, 0),
+                  make_bin(A, BinOp::Add,
+                           make_call(A, MathFn::Sin,
+                                     make_bin(A, BinOp::Mul, make_param(A, dt),
+                                              make_loop_var(A, 0))),
+                           make_bin(A, BinOp::Add,
+                                    make_bin(A, BinOp::Mul,
+                                             make_call(A, MathFn::Cos, make_param(A, rho)),
+                                             make_literal(A, 1e-3, "+1.0E-3")),
+                                    make_bin(A, BinOp::Mul,
+                                             make_array(A, rhs, make_loop_var(A, 0)),
+                                             make_literal(A, 0.25, "+2.5E-1")))));
   }
   b.end_block();
   b.begin_for(n);
@@ -72,19 +73,19 @@ Program build_bt_kernel() {
     // comp += rhs[i] / lhs[i] + dt * rhs[i] * 0.5 - sqrt(fabs(rhs[i])) * 1e-2
     b.assign_comp(
         AssignOp::Add,
-        make_bin(BinOp::Sub,
-                 make_bin(BinOp::Add,
-                          make_bin(BinOp::Div, make_array(rhs, make_loop_var(0)),
-                                   make_array(lhs, make_loop_var(0))),
-                          make_bin(BinOp::Mul,
-                                   make_bin(BinOp::Mul, make_param(dt),
-                                            make_array(rhs, make_loop_var(0))),
-                                   make_literal(0.5, "+5.0E-1"))),
-                 make_bin(BinOp::Mul,
-                          make_call(MathFn::Sqrt,
-                                    make_call(MathFn::Fabs,
-                                              make_array(rhs, make_loop_var(0)))),
-                          make_literal(1e-2, "+1.0E-2"))));
+        make_bin(A, BinOp::Sub,
+                 make_bin(A, BinOp::Add,
+                          make_bin(A, BinOp::Div, make_array(A, rhs, make_loop_var(A, 0)),
+                                   make_array(A, lhs, make_loop_var(A, 0))),
+                          make_bin(A, BinOp::Mul,
+                                   make_bin(A, BinOp::Mul, make_param(A, dt),
+                                            make_array(A, rhs, make_loop_var(A, 0))),
+                                   make_literal(A, 0.5, "+5.0E-1"))),
+                 make_bin(A, BinOp::Mul,
+                          make_call(A, MathFn::Sqrt,
+                                    make_call(A, MathFn::Fabs,
+                                              make_array(A, rhs, make_loop_var(A, 0)))),
+                          make_literal(A, 1e-2, "+1.0E-2"))));
   }
   b.end_block();
   return b.build();

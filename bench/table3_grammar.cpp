@@ -30,26 +30,28 @@ int main(int argc, char** argv) {
     const ir::Program p = g.generate(i);
     total_nodes += p.node_count();
     bool loop = false, cond = false, call = false, array = false, nested = false;
-    const std::function<void(const std::vector<ir::StmtPtr>&, int)> walk =
-        [&](const std::vector<ir::StmtPtr>& body, int depth) {
-          for (const auto& s : body) {
-            if (s->kind == ir::StmtKind::For) {
+    const std::function<void(std::span<const ir::StmtId>, int)> walk =
+        [&](std::span<const ir::StmtId> body, int depth) {
+          for (ir::StmtId id : body) {
+            const ir::Stmt& s = p.stmt(id);
+            if (s.kind == ir::StmtKind::For) {
               loop = true;
               if (depth > 0) nested = true;
             }
-            if (s->kind == ir::StmtKind::If) cond = true;
-            if (s->kind == ir::StmtKind::StoreArray) array = true;
-            const std::function<void(const ir::Expr&)> we = [&](const ir::Expr& e) {
+            if (s.kind == ir::StmtKind::If) cond = true;
+            if (s.kind == ir::StmtKind::StoreArray) array = true;
+            const std::function<void(ir::ExprId)> we = [&](ir::ExprId eid) {
+              const ir::Expr& e = p.expr(eid);
               if (e.kind == ir::ExprKind::Call) call = true;
               if (e.kind == ir::ExprKind::ArrayRef) array = true;
-              for (const auto& k : e.kids) we(*k);
+              for (int k = 0; k < e.n_kids; ++k) we(e.kid[k]);
             };
-            if (s->a) we(*s->a);
-            if (s->b) we(*s->b);
-            walk(s->body, depth + (s->kind == ir::StmtKind::For ? 1 : 0));
+            if (s.a) we(s.a);
+            if (s.b) we(s.b);
+            walk(p.body_of(s), depth + (s.kind == ir::StmtKind::For ? 1 : 0));
           }
         };
-    walk(p.body(), 0);
+    walk(std::span<const ir::StmtId>(p.body()), 0);
     with_loop += loop;
     with_if += cond;
     with_call += call;

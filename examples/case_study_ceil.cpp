@@ -22,11 +22,12 @@ int main(int argc, char** argv) {
 
   // Fig. 5 verbatim.
   ProgramBuilder b(Precision::FP64);
-  const int t = b.decl_temp(make_literal(1.1147e-307, "+1.1147E-307"));
+  Arena& A = b.arena();
+  const int t = b.decl_temp(make_literal(A, 1.1147e-307, "+1.1147E-307"));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Div, make_temp(t),
-                         make_call(MathFn::Ceil,
-                                   make_literal(1.5955e-125, "+1.5955E-125"))));
+                make_bin(A, BinOp::Div, make_temp(A, t),
+                         make_call(A, MathFn::Ceil,
+                                   make_literal(A, 1.5955e-125, "+1.5955E-125"))));
   const Program p = b.build();
 
   std::printf("%s\n", emit::emit_kernel(p).c_str());

@@ -20,28 +20,29 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int var_1 = b.add_int_param();
   const int var_2 = b.add_scalar_param();
   const int var_5 = b.add_scalar_param();
   const int var_8 = b.add_scalar_param();
-  const int t = b.decl_temp(make_bin(
-      BinOp::Sub, make_literal(-1.8007e-323, "-1.8007E-323"),
-      make_call(MathFn::Cosh, make_bin(BinOp::Div, make_param(var_2),
-                                       make_literal(-1.7569e192, "-1.7569E192")))));
+  const int t = b.decl_temp(make_bin(A, 
+      BinOp::Sub, make_literal(A, -1.8007e-323, "-1.8007E-323"),
+      make_call(A, MathFn::Cosh, make_bin(A, BinOp::Div, make_param(A, var_2),
+                                       make_literal(A, -1.7569e192, "-1.7569E192")))));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Add, make_temp(t),
-                         make_call(MathFn::Fabs,
-                                   make_literal(1.5726e-307, "+1.5726E-307"))));
+                make_bin(A, BinOp::Add, make_temp(A, t),
+                         make_call(A, MathFn::Fabs,
+                                   make_literal(A, 1.5726e-307, "+1.5726E-307"))));
   b.begin_for(var_1);
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Div, make_literal(1.9903e306, "+1.9903E306"),
-                         make_param(var_5)));
+                make_bin(A, BinOp::Div, make_literal(A, 1.9903e306, "+1.9903E306"),
+                         make_param(A, var_5)));
   b.end_block();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0),
-                      make_literal(-1.4205e305, "-1.4205E305")));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0),
+                      make_literal(A, -1.4205e305, "-1.4205E305")));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Mul, make_literal(1.3803e305, "+1.3803E305"),
-                         make_param(var_8)));
+                make_bin(A, BinOp::Mul, make_literal(A, 1.3803e305, "+1.3803E305"),
+                         make_param(A, var_8)));
   b.end_block();
   const Program p = b.build();
 

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   // The kernel under audit: a damped-oscillator energy accumulator —
   // the kind of reduction loop ported between CUDA and HIP every day.
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int steps = b.add_int_param();     // time steps
   const int omega = b.add_scalar_param();  // angular frequency
   const int gamma = b.add_scalar_param();  // damping
@@ -34,19 +35,19 @@ int main(int argc, char** argv) {
   // comp += amp * exp(-gamma * i) * cos(omega * i) / (1 + gamma * i)
   b.assign_comp(
       AssignOp::Add,
-      make_bin(BinOp::Div,
-               make_bin(BinOp::Mul,
-                        make_bin(BinOp::Mul, make_param(amp),
-                                 make_call(MathFn::Exp,
-                                           make_neg(make_bin(BinOp::Mul,
-                                                             make_param(gamma),
-                                                             make_loop_var(0))))),
-                        make_call(MathFn::Cos,
-                                  make_bin(BinOp::Mul, make_param(omega),
-                                           make_loop_var(0)))),
-               make_bin(BinOp::Add, make_literal(1.0, "+1.0E0"),
-                        make_bin(BinOp::Mul, make_param(gamma),
-                                 make_loop_var(0)))));
+      make_bin(A, BinOp::Div,
+               make_bin(A, BinOp::Mul,
+                        make_bin(A, BinOp::Mul, make_param(A, amp),
+                                 make_call(A, MathFn::Exp,
+                                           make_neg(A, make_bin(A, BinOp::Mul,
+                                                             make_param(A, gamma),
+                                                             make_loop_var(A, 0))))),
+                        make_call(A, MathFn::Cos,
+                                  make_bin(A, BinOp::Mul, make_param(A, omega),
+                                           make_loop_var(A, 0)))),
+               make_bin(A, BinOp::Add, make_literal(A, 1.0, "+1.0E0"),
+                        make_bin(A, BinOp::Mul, make_param(A, gamma),
+                                 make_loop_var(A, 0)))));
   b.end_block();
   const Program kernel = b.build();
 

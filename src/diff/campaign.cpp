@@ -84,8 +84,11 @@ CampaignResults run_campaign(const CampaignConfig& config) {
           const CompiledPair pair =
               compile_pair(program, config.levels[li], config.hipify_converted);
           LevelStats& stats = out.per_level[li];
+          // Batched sweep: all of this program's inputs through one VM
+          // invocation loop per platform (arg checks amortized).
+          const std::vector<ComparisonResult> cmps = compare_batch(pair, inputs);
           for (int ii = 0; ii < config.inputs_per_program; ++ii) {
-            const ComparisonResult cmp = compare_run(pair, inputs[ii]);
+            const ComparisonResult& cmp = cmps[static_cast<std::size_t>(ii)];
             ++stats.comparisons;
             if (!cmp.discrepant()) continue;
             ++stats.class_counts[class_index(cmp.cls)];

@@ -44,6 +44,23 @@ ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& a
   return out;
 }
 
+std::vector<ComparisonResult> compare_batch(
+    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs) {
+  const ir::Precision prec = pair.nvcc.program.precision();
+  std::vector<vgpu::RunResult> nv(inputs.size());
+  std::vector<vgpu::RunResult> amd(inputs.size());
+  vgpu::run_kernel_batch(pair.nvcc, inputs, nv.data());
+  vgpu::run_kernel_batch(pair.hipcc, inputs, amd.data());
+  std::vector<ComparisonResult> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i].nvcc = to_platform_result(nv[i], prec);
+    out[i].hipcc = to_platform_result(amd[i], prec);
+    out[i].cls = classify_pair(out[i].nvcc.outcome, out[i].nvcc.bits,
+                               out[i].hipcc.outcome, out[i].hipcc.bits);
+  }
+  return out;
+}
+
 ComparisonResult run_differential(const ir::Program& program,
                                   const vgpu::KernelArgs& args,
                                   opt::OptLevel level, bool hipify_converted) {

@@ -2,7 +2,9 @@
 // Single-test differential runner: compile once per (toolchain, level),
 // run per input, classify the pair (paper Fig. 1 pipeline).
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "diff/discrepancy.hpp"
 #include "fp/exceptions.hpp"
@@ -47,6 +49,13 @@ struct ComparisonResult {
 };
 
 ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args);
+
+/// Batched sweep: run every input through one VM invocation loop per
+/// platform, amortizing argument validation and execution-context setup
+/// across the program's whole input set.  Result i is bit-identical to
+/// compare_run(pair, inputs[i]).
+std::vector<ComparisonResult> compare_batch(const CompiledPair& pair,
+                                            std::span<const vgpu::KernelArgs> inputs);
 
 /// Convenience: compile + run one input at one level.
 ComparisonResult run_differential(const ir::Program& program,

@@ -120,6 +120,47 @@ constexpr T assemble(W p, int x, bool sticky_in, bool negative) noexcept {
   return from_bits<T>(out);
 }
 
+/// Number of significant bits in v (0 for v == 0).
+template <typename W>
+constexpr int bit_length(W v) noexcept {
+  return static_cast<int>(sizeof(W) * 8) - wide_countl_zero(v);
+}
+
+/// v >> count with the dropped bits folded into `sticky` (count may exceed
+/// the width of W).
+template <typename W>
+constexpr W shift_right_sticky(W v, int count, bool& sticky) noexcept {
+  if (count <= 0) return v;
+  if (count >= static_cast<int>(sizeof(W) * 8)) {
+    sticky = sticky || v != 0;
+    return 0;
+  }
+  if ((v & ((W{1} << count) - 1)) != 0) sticky = true;
+  return v >> count;
+}
+
+/// Mantissa division num/mb with remainder-nonzero detection; shared by
+/// soft_div and the division exactness probe.
+template <typename B, typename W>
+inline W divide_mantissa(W num, B mb, bool& rem_nonzero) noexcept {
+#if defined(__x86_64__)
+  if constexpr (sizeof(B) == 8) {
+    // num < 2^108 with mb >= 2^52 bounds the quotient under 2^56, so the
+    // two-word hardware divide (quotient + remainder in one instruction)
+    // cannot fault; the libgcc 128-bit division would cost several times
+    // the assist being avoided.
+    std::uint64_t quot, mod;
+    std::uint64_t hi = static_cast<std::uint64_t>(num >> 64);
+    std::uint64_t lo = static_cast<std::uint64_t>(num);
+    asm("divq %4" : "=a"(quot), "=d"(mod) : "0"(lo), "1"(hi), "r"(static_cast<std::uint64_t>(mb)) : "cc");
+    rem_nonzero = mod != 0;
+    return quot;
+  }
+#endif
+  rem_nonzero = (num % mb) != 0;
+  return num / mb;
+}
+
 }  // namespace detail
 
 /// Correctly rounded a*b for finite operands (NaN/Inf excluded by caller;
@@ -156,28 +197,179 @@ inline T soft_div(T a, T b) noexcept {
   // m+3 extra bits keep a full mantissa plus guard bit in the quotient;
   // the remainder supplies the sticky bit exactly.
   const W num = static_cast<W>(ma) << (m + 3);
-  W q;
-  bool rem;
-#if defined(__x86_64__)
-  if constexpr (sizeof(B) == 8) {
-    // num < 2^108 with mb >= 2^52 bounds the quotient under 2^56, so the
-    // two-word hardware divide (quotient + remainder in one instruction)
-    // cannot fault; the libgcc 128-bit division would cost several times
-    // the assist being avoided.
-    std::uint64_t quot, mod;
-    std::uint64_t hi = static_cast<std::uint64_t>(num >> 64);
-    std::uint64_t lo = static_cast<std::uint64_t>(num);
-    asm("divq %4" : "=a"(quot), "=d"(mod) : "0"(lo), "1"(hi), "r"(static_cast<std::uint64_t>(mb)) : "cc");
-    q = quot;
-    rem = mod != 0;
-  } else
-#endif
-  {
-    q = num / mb;
-    rem = (num % mb) != 0;
-  }
+  bool rem = false;
+  const W q = detail::divide_mantissa<B, W>(num, mb, rem);
   const int x = (ea - eb) - (m + 3);
   return detail::assemble<T, W>(q, x, rem, neg);
+}
+
+namespace detail {
+
+/// True when the value p * 2^x (p != 0) does not fit exactly in T —
+/// i.e. rounding at T's (possibly subnormal) ulp drops nonzero bits.
+/// Overflow beyond T's finite range is inexact by definition but is
+/// checked by callers via the rounded result, not here.
+template <typename T, typename W>
+constexpr bool drops_bits(W p, int x) noexcept {
+  using Tr = FloatTraits<T>;
+  constexpr int m = Tr::mantissa_bits;
+  const int lead = bit_length(p) - 1;
+  const int unbiased = lead + x;
+  const int ulp_exp = (unbiased < Tr::min_normal_exponent
+                           ? Tr::min_normal_exponent
+                           : unbiased) - m;
+  const int drop = ulp_exp - x;
+  if (drop <= 0) return false;
+  if (drop >= static_cast<int>(sizeof(W) * 8)) return p != 0;
+  return (p & ((W{1} << drop) - 1)) != 0;
+}
+
+}  // namespace detail
+
+/// True when a*b rounds inexactly in T (finite nonzero operands).  Replaces
+/// the std::fma(a, b, -r) error-free probe on assist-prone operands: the
+/// probe itself would take the very subnormal-operand microcode assist the
+/// soft multiply avoided.
+template <typename T>
+constexpr bool mul_rounds_inexact(T a, T b) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  using W = typename detail::WideOf<B>::type;
+  const B aa = to_bits(a) & ~Tr::sign_mask;
+  const B ab = to_bits(b) & ~Tr::sign_mask;
+  if (aa == 0 || ab == 0) return false;  // exact signed zero
+  int ea, eb;
+  const B ma = detail::decompose_finite<T>(aa, ea);
+  const B mb = detail::decompose_finite<T>(ab, eb);
+  constexpr int m = Tr::mantissa_bits;
+  const W p = static_cast<W>(ma) * mb;
+  const int x = (ea - Tr::exponent_bias - m) + (eb - Tr::exponent_bias - m);
+  return detail::drops_bits<T, W>(p, x);
+}
+
+/// True when a/b rounds inexactly in T (finite nonzero operands).
+template <typename T>
+inline bool div_rounds_inexact(T a, T b) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  using W = typename detail::WideOf<B>::type;
+  constexpr int m = Tr::mantissa_bits;
+  int ea, eb;
+  const B ma = detail::decompose_finite<T>(to_bits(a) & ~Tr::sign_mask, ea);
+  const B mb = detail::decompose_finite<T>(to_bits(b) & ~Tr::sign_mask, eb);
+  const W num = static_cast<W>(ma) << (m + 3);
+  bool rem = false;
+  const W q = detail::divide_mantissa<B, W>(num, mb, rem);
+  if (rem) return true;
+  const int x = (ea - eb) - (m + 3);
+  return detail::drops_bits<T, W>(q, x);
+}
+
+/// Exact float -> double widening without the hardware conversion's
+/// denormal-operand assist (CVTSS2SD stalls on subnormal inputs).
+/// Finite inputs only; always exact.
+constexpr double soft_promote(float v) noexcept {
+  using Tr = FloatTraits<float>;
+  const std::uint32_t bits = to_bits(v);
+  const std::uint32_t abs = bits & ~Tr::sign_mask;
+  const bool neg = (bits & Tr::sign_mask) != 0;
+  if (abs == 0) return neg ? -0.0 : 0.0;
+  int e;
+  const std::uint32_t mant = detail::decompose_finite<float>(abs, e);
+  return detail::assemble<double, std::uint64_t>(
+      mant, (e - Tr::exponent_bias) - Tr::mantissa_bits, false, neg);
+}
+
+/// Correctly rounded double -> float narrowing (RNE) without the
+/// conversion's denormal-result assist (CVTSD2SS stalls when the rounded
+/// float is subnormal).  Finite inputs only.
+constexpr float soft_demote(double v) noexcept {
+  using Tr = FloatTraits<double>;
+  const std::uint64_t bits = to_bits(v);
+  const std::uint64_t abs = bits & ~Tr::sign_mask;
+  const bool neg = (bits & Tr::sign_mask) != 0;
+  if (abs == 0) return neg ? -0.0f : 0.0f;
+  int e;
+  const std::uint64_t mant = detail::decompose_finite<double>(abs, e);
+  return detail::assemble<float, std::uint64_t>(
+      mant, (e - Tr::exponent_bias) - Tr::mantissa_bits, false, neg);
+}
+
+/// Correctly rounded fma(a, b, c) for finite operands (NaN/Inf excluded by
+/// caller; zeros allowed).  Bit-identical to the hardware fused operation
+/// under round-to-nearest-even, including gradual underflow and overflow
+/// to infinity — the contract fp_test.cpp enforces against std::fma.
+template <typename T>
+inline T soft_fma(T a, T b, T c) noexcept {
+  using Tr = FloatTraits<T>;
+  using B = typename Tr::Bits;
+  using W = typename detail::WideOf<B>::type;
+  constexpr int m = Tr::mantissa_bits;
+  constexpr int wbits = sizeof(W) * 8;
+  constexpr int kGuard = 3;
+
+  const bool pneg = sign_bit(a) != sign_bit(b);
+  const bool cneg = sign_bit(c);
+  const B aa = to_bits(a) & ~Tr::sign_mask;
+  const B ab = to_bits(b) & ~Tr::sign_mask;
+  const B ac = to_bits(c) & ~Tr::sign_mask;
+
+  // Degenerate product: IEEE addition semantics with signed zeros.
+  if (aa == 0 || ab == 0) {
+    if (ac != 0) return c;
+    return from_bits<T>(pneg && cneg ? Tr::sign_mask : B{0});
+  }
+  int ea, eb;
+  const B ma = detail::decompose_finite<T>(aa, ea);
+  const B mb = detail::decompose_finite<T>(ab, eb);
+  const W pm = static_cast<W>(ma) * mb;  // exact, <= 2m+2 bits
+  const int px = (ea - Tr::exponent_bias - m) + (eb - Tr::exponent_bias - m);
+  if (ac == 0) return detail::assemble<T, W>(pm, px, false, pneg);
+
+  int ec;
+  const B mc = detail::decompose_finite<T>(ac, ec);
+  const W cm = static_cast<W>(mc);
+  const int cx = ec - Tr::exponent_bias - m;
+
+  // Align both addends to one frame exponent f; x2 carries the sticky bit.
+  //   * Near/overlapping magnitudes: the product's own frame keeps every
+  //     product bit, so catastrophic cancellation against c is exact
+  //     (c shifts LEFT there whenever its msb is near the product's).
+  //   * c far above the product: anchor on c with guard bits; the product
+  //     collapses into guard/sticky, and cancellation then loses at most
+  //     one leading bit, which kGuard covers.
+  bool sticky = false;
+  W x1, x2;
+  int f;
+  bool neg1, neg2;
+  if (cx - px <= wbits - 2 - detail::bit_length(cm)) {
+    f = px;
+    x1 = pm;
+    neg1 = pneg;
+    x2 = cx >= f ? cm << (cx - f)
+                 : detail::shift_right_sticky(cm, f - cx, sticky);
+    neg2 = cneg;
+  } else {
+    f = cx - kGuard;
+    x1 = cm << kGuard;
+    neg1 = cneg;
+    x2 = detail::shift_right_sticky(pm, f - px, sticky);
+    neg2 = pneg;
+  }
+
+  if (neg1 == neg2)
+    return detail::assemble<T, W>(x1 + x2, f, sticky, neg1);
+  if (x1 > x2) {
+    // True value = x1 - (x2 + frac): borrow one ulp of the frame when
+    // sticky carries a dropped fraction, keeping the sticky meaning "the
+    // true magnitude is strictly above the integer part".
+    const W mag = x1 - x2 - static_cast<W>(sticky ? 1 : 0);
+    return detail::assemble<T, W>(mag, f, sticky, neg1);
+  }
+  if (x2 > x1)
+    return detail::assemble<T, W>(x2 - x1, f, sticky, neg2);
+  // Exact cancellation (sticky is provably clear here): +0 under RNE.
+  return from_bits<T>(B{0});
 }
 
 }  // namespace gpudiff::fp

@@ -9,8 +9,9 @@ namespace gpudiff::gen {
 
 namespace {
 
+using ir::Arena;
 using ir::Expr;
-using ir::ExprPtr;
+using ir::ExprId;
 using ir::Precision;
 using support::Rng;
 
@@ -56,12 +57,12 @@ void exponent_range(ValueClass cls, Precision prec, int* lo, int* hi) {
 
 }  // namespace
 
-ir::ExprPtr random_literal(Rng& rng, Precision precision) {
+ir::ExprId random_literal(Arena& arena, Rng& rng, Precision precision) {
   const ValueClass cls = pick_class(rng);
   const bool negative = rng.chance(0.5);
   if (cls == ValueClass::Zero) {
     const char* text = negative ? "-0.0" : "+0.0";
-    return ir::make_literal(negative ? -0.0 : 0.0,
+    return ir::make_literal(arena, negative ? -0.0 : 0.0,
                             precision == Precision::FP32 ? std::string(text) + "F"
                                                          : text);
   }
@@ -76,11 +77,11 @@ ir::ExprPtr random_literal(Rng& rng, Precision precision) {
   if (precision == Precision::FP32) {
     const auto parsed = fp::parse_float(text);
     value = static_cast<double>(parsed.value_or(0.0f));
-    return ir::make_literal(value, text + "F");
+    return ir::make_literal(arena, value, text + "F");
   }
   const auto parsed = fp::parse_double(text);
   value = parsed.value_or(0.0);
-  return ir::make_literal(value, text);
+  return ir::make_literal(arena, value, text);
 }
 
 namespace {
@@ -88,7 +89,11 @@ namespace {
 /// Per-program generation state.
 class ProgramGen {
  public:
-  ProgramGen(const GenConfig& cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+  ProgramGen(const GenConfig& cfg, Rng rng) : cfg_(cfg), rng_(rng) {
+    // Typical Varity-shaped kernels stay well under these pool sizes; a
+    // single up-front reservation removes nearly all growth reallocations.
+    arena_.reserve(/*exprs=*/256, /*stmts=*/48, /*text_bytes=*/1024);
+  }
 
   ir::Program run() {
     // --- signature ---
@@ -124,15 +129,16 @@ class ProgramGen {
 
     // --- body ---
     const int n_stmts = static_cast<int>(rng_.range(cfg_.min_stmts, cfg_.max_stmts));
-    std::vector<ir::StmtPtr> body;
+    std::vector<ir::StmtId> body;
     for (int i = 0; i < n_stmts; ++i) body.push_back(gen_stmt(/*loop_depth=*/0));
-    return ir::Program(cfg_.precision, std::move(params_), std::move(body));
+    return ir::Program(cfg_.precision, std::move(params_), std::move(arena_),
+                       std::move(body));
   }
 
  private:
   // --- expressions ---
 
-  ExprPtr gen_leaf(int loop_depth) {
+  ExprId gen_leaf(int loop_depth) {
     const std::uint32_t weights[] = {
         cfg_.w_leaf_literal,
         cfg_.w_leaf_param,
@@ -141,21 +147,25 @@ class ProgramGen {
     };
     switch (rng_.weighted(weights, std::size(weights))) {
       case 0:
-        return random_literal(rng_, cfg_.precision);
+        return random_literal(arena_, rng_, cfg_.precision);
       case 1:
         if (!scalar_params_.empty())
-          return ir::make_param(scalar_params_[rng_.below(scalar_params_.size())]);
-        return random_literal(rng_, cfg_.precision);
+          return ir::make_param(arena_,
+                                scalar_params_[rng_.below(scalar_params_.size())]);
+        return random_literal(arena_, rng_, cfg_.precision);
       case 2:
-        return ir::make_temp(static_cast<int>(rng_.range(1, temps_)));
-      default:
-        return ir::make_array(array_params_[rng_.below(array_params_.size())],
-                              ir::make_loop_var(static_cast<int>(
-                                  rng_.below(static_cast<std::uint64_t>(loop_depth)))));
+        return ir::make_temp(arena_, static_cast<int>(rng_.range(1, temps_)));
+      default: {
+        const ExprId sub = ir::make_loop_var(
+            arena_, static_cast<int>(
+                        rng_.below(static_cast<std::uint64_t>(loop_depth))));
+        return ir::make_array(
+            arena_, array_params_[rng_.below(array_params_.size())], sub);
+      }
     }
   }
 
-  ExprPtr gen_expr(int depth, int loop_depth) {
+  ExprId gen_expr(int depth, int loop_depth) {
     if (depth <= 0) return gen_leaf(loop_depth);
     const std::uint32_t weights[] = {
         cfg_.w_bin,
@@ -168,51 +178,63 @@ class ProgramGen {
         static constexpr ir::BinOp ops[] = {ir::BinOp::Add, ir::BinOp::Sub,
                                             ir::BinOp::Mul, ir::BinOp::Div};
         const auto op = ops[rng_.below(4)];
-        return ir::make_bin(op, gen_expr(depth - 1, loop_depth),
-                            gen_expr(depth - 1, loop_depth));
+        // RNG draw order pins the historical program stream: the right
+        // operand's subtree is drawn before the left one.
+        const ExprId rhs = gen_expr(depth - 1, loop_depth);
+        const ExprId lhs = gen_expr(depth - 1, loop_depth);
+        return ir::make_bin(arena_, op, lhs, rhs);
       }
       case 1: {
         const ir::MathFn fn = cfg_.functions[rng_.below(cfg_.functions.size())];
-        if (ir::arity(fn) == 2)
-          return ir::make_call(fn, gen_expr(depth - 1, loop_depth),
-                               gen_expr(depth - 1, loop_depth));
-        return ir::make_call(fn, gen_expr(depth - 1, loop_depth));
+        if (ir::arity(fn) == 2) {
+          const ExprId rhs = gen_expr(depth - 1, loop_depth);
+          const ExprId lhs = gen_expr(depth - 1, loop_depth);
+          return ir::make_call(arena_, fn, lhs, rhs);
+        }
+        return ir::make_call(arena_, fn, gen_expr(depth - 1, loop_depth));
       }
       case 2:
-        return ir::make_neg(gen_expr(depth - 1, loop_depth));
+        return ir::make_neg(arena_, gen_expr(depth - 1, loop_depth));
       default:
         return gen_leaf(loop_depth);
     }
   }
 
-  ExprPtr gen_condition(int loop_depth) {
+  ExprId gen_condition(int loop_depth) {
     static constexpr ir::CmpOp cmps[] = {ir::CmpOp::Eq, ir::CmpOp::Ne,
                                          ir::CmpOp::Lt, ir::CmpOp::Le,
                                          ir::CmpOp::Gt, ir::CmpOp::Ge};
     auto cmp = [&] {
-      return ir::make_cmp(cmps[rng_.below(6)], gen_expr(2, loop_depth),
-                          gen_expr(2, loop_depth));
+      // Historical draw order: operand subtrees right-to-left, then the
+      // comparison operator.
+      const ExprId rhs = gen_expr(2, loop_depth);
+      const ExprId lhs = gen_expr(2, loop_depth);
+      return ir::make_cmp(arena_, cmps[rng_.below(6)], lhs, rhs);
     };
-    if (rng_.chance(0.15))
-      return ir::make_bool(rng_.chance(0.5) ? ir::BoolOp::And : ir::BoolOp::Or,
-                           cmp(), cmp());
-    if (rng_.chance(0.05)) return ir::make_not(cmp());
+    if (rng_.chance(0.15)) {
+      const ExprId rhs = cmp();
+      const ExprId lhs = cmp();
+      const ir::BoolOp op = rng_.chance(0.5) ? ir::BoolOp::And : ir::BoolOp::Or;
+      return ir::make_bool(arena_, op, lhs, rhs);
+    }
+    if (rng_.chance(0.05)) return ir::make_not(arena_, cmp());
     return cmp();
   }
 
   // --- statements ---
 
-  ir::StmtPtr gen_comp_update(int loop_depth) {
+  ir::StmtId gen_comp_update(int loop_depth) {
     // Varity favours accumulation into comp.
     static constexpr ir::AssignOp ops[] = {ir::AssignOp::Add, ir::AssignOp::Add,
                                            ir::AssignOp::Add, ir::AssignOp::Sub,
                                            ir::AssignOp::Mul, ir::AssignOp::Set,
                                            ir::AssignOp::Div};
     const auto op = ops[rng_.below(std::size(ops))];
-    return ir::make_assign_comp(op, gen_expr(cfg_.max_expr_depth, loop_depth));
+    return ir::make_assign_comp(arena_, op,
+                                gen_expr(cfg_.max_expr_depth, loop_depth));
   }
 
-  ir::StmtPtr gen_stmt(int loop_depth) {
+  ir::StmtId gen_stmt(int loop_depth) {
     const bool can_loop = cfg_.allow_loops && !int_params_.empty() &&
                           loop_depth < cfg_.max_loop_nest;
     const bool can_store = loop_depth > 0 && !array_params_.empty();
@@ -229,39 +251,41 @@ class ProgramGen {
       case 1: {
         // Generate the initializer before publishing the new temp id so the
         // declaration cannot reference itself.
-        auto init = gen_expr(cfg_.max_expr_depth, loop_depth);
+        const ExprId init = gen_expr(cfg_.max_expr_depth, loop_depth);
         ++temps_;
-        return ir::make_decl_temp(temps_, std::move(init));
+        return ir::make_decl_temp(arena_, temps_, init);
       }
       case 2: {
         const int bound = int_params_[rng_.below(int_params_.size())];
-        std::vector<ir::StmtPtr> body;
+        std::vector<ir::StmtId> body;
         const int n = static_cast<int>(rng_.range(1, cfg_.max_block_stmts));
         for (int i = 0; i < n; ++i) body.push_back(gen_stmt(loop_depth + 1));
-        return ir::make_for(loop_depth, bound, std::move(body));
+        return ir::make_for(arena_, loop_depth, bound, body);
       }
       case 3: {
-        std::vector<ir::StmtPtr> body;
+        std::vector<ir::StmtId> body;
         const int n = static_cast<int>(rng_.range(1, cfg_.max_block_stmts));
         for (int i = 0; i < n; ++i) {
           // Avoid nested structured statements directly under if to keep
           // kernels in Varity's observed shape.
           body.push_back(gen_comp_update(loop_depth));
         }
-        return ir::make_if(gen_condition(loop_depth), std::move(body));
+        return ir::make_if(arena_, gen_condition(loop_depth), body);
       }
       default: {
         const int arr = array_params_[rng_.below(array_params_.size())];
         const int lv = static_cast<int>(rng_.below(static_cast<std::uint64_t>(
             loop_depth > 0 ? loop_depth : 1)));
-        return ir::make_store_array(arr, ir::make_loop_var(lv),
-                                    gen_expr(cfg_.max_expr_depth, loop_depth));
+        const ExprId sub = ir::make_loop_var(arena_, lv);
+        const ExprId value = gen_expr(cfg_.max_expr_depth, loop_depth);
+        return ir::make_store_array(arena_, arr, sub, value);
       }
     }
   }
 
   const GenConfig& cfg_;
   Rng rng_;
+  Arena arena_;
   std::vector<ir::Param> params_;
   std::vector<int> int_params_;
   std::vector<int> scalar_params_;

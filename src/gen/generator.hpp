@@ -29,8 +29,9 @@ class Generator {
   std::uint64_t seed_;
 };
 
-/// Random Varity-style literal (value + source spelling) for a precision.
-/// Exposed for reuse by the input generator and tests.
-ir::ExprPtr random_literal(support::Rng& rng, ir::Precision precision);
+/// Random Varity-style literal (value + source spelling), allocated into
+/// `arena`.  Exposed for reuse by the input generator and tests.
+ir::ExprId random_literal(ir::Arena& arena, support::Rng& rng,
+                          ir::Precision precision);
 
 }  // namespace gpudiff::gen

@@ -1,0 +1,74 @@
+#include "ir/arena.hpp"
+
+#include <bit>
+
+namespace gpudiff::ir {
+
+std::size_t node_count(const Arena& a, ExprId id) noexcept {
+  std::size_t n = 0;
+  std::vector<ExprId> work{id};
+  while (!work.empty()) {
+    const Expr& e = a[work.back()];
+    work.pop_back();
+    ++n;
+    for (int i = 0; i < e.n_kids; ++i) work.push_back(e.kid[i]);
+  }
+  return n;
+}
+
+std::size_t node_count(const Arena& a, StmtId id) noexcept {
+  std::size_t n = 0;
+  std::vector<StmtId> work{id};
+  while (!work.empty()) {
+    const Stmt& s = a[work.back()];
+    work.pop_back();
+    ++n;
+    if (s.a) n += node_count(a, s.a);
+    if (s.b) n += node_count(a, s.b);
+    for (StmtId kid : a.body(s)) work.push_back(kid);
+  }
+  return n;
+}
+
+std::size_t node_count(const Arena& a, std::span<const StmtId> body) noexcept {
+  std::size_t n = 0;
+  for (StmtId id : body) n += node_count(a, id);
+  return n;
+}
+
+bool equal(const Arena& a, ExprId x, const Arena& b, ExprId y) noexcept {
+  std::vector<std::pair<ExprId, ExprId>> work{{x, y}};
+  while (!work.empty()) {
+    const auto [ix, iy] = work.back();
+    work.pop_back();
+    const Expr& ex = a[ix];
+    const Expr& ey = b[iy];
+    if (ex.kind != ey.kind || ex.index != ey.index) return false;
+    switch (ex.kind) {
+      case ExprKind::Literal:
+        if (std::bit_cast<std::uint64_t>(ex.lit_value) !=
+            std::bit_cast<std::uint64_t>(ey.lit_value))
+          return false;
+        break;
+      case ExprKind::Bin:
+        if (ex.bin_op != ey.bin_op) return false;
+        break;
+      case ExprKind::Cmp:
+        if (ex.cmp_op != ey.cmp_op) return false;
+        break;
+      case ExprKind::BoolBin:
+        if (ex.bool_op != ey.bool_op) return false;
+        break;
+      case ExprKind::Call:
+        if (ex.fn != ey.fn) return false;
+        break;
+      default:
+        break;
+    }
+    if (ex.n_kids != ey.n_kids) return false;
+    for (int i = 0; i < ex.n_kids; ++i) work.emplace_back(ex.kid[i], ey.kid[i]);
+  }
+  return true;
+}
+
+}  // namespace gpudiff::ir

@@ -21,59 +21,60 @@ int ProgramBuilder::add_array_param() {
   return static_cast<int>(params_.size()) - 1;
 }
 
-void ProgramBuilder::append(StmtPtr s) {
+void ProgramBuilder::append(StmtId s) {
   if (built_) throw std::logic_error("ProgramBuilder: already built");
   if (open_.empty())
-    top_.push_back(std::move(s));
+    top_.push_back(s);
   else
-    open_.back()->body.push_back(std::move(s));
+    open_.back().body.push_back(s);
 }
 
-int ProgramBuilder::decl_temp(ExprPtr init) {
+int ProgramBuilder::decl_temp(ExprId init) {
   const int id = next_temp_++;
-  append(make_decl_temp(id, std::move(init)));
+  append(make_decl_temp(arena_, id, init));
   return id;
 }
 
-void ProgramBuilder::assign_comp(AssignOp op, ExprPtr value) {
-  append(make_assign_comp(op, std::move(value)));
+void ProgramBuilder::assign_comp(AssignOp op, ExprId value) {
+  append(make_assign_comp(arena_, op, value));
 }
 
-void ProgramBuilder::store_array(int array_param, ExprPtr subscript, ExprPtr value) {
+void ProgramBuilder::store_array(int array_param, ExprId subscript, ExprId value) {
   if (params_.at(static_cast<std::size_t>(array_param)).kind != ParamKind::Array)
     throw std::logic_error("ProgramBuilder: store target is not an array param");
-  append(make_store_array(array_param, std::move(subscript), std::move(value)));
+  append(make_store_array(arena_, array_param, subscript, value));
 }
 
 void ProgramBuilder::begin_for(int bound_param) {
   if (params_.at(static_cast<std::size_t>(bound_param)).kind != ParamKind::Int)
     throw std::logic_error("ProgramBuilder: loop bound is not an int param");
-  auto s = make_for(loop_depth_, bound_param, {});
-  Stmt* raw = s.get();
-  append(std::move(s));
-  open_.push_back(raw);
+  const StmtId s = make_for(arena_, loop_depth_, bound_param, {});
+  append(s);
+  open_.push_back({s, {}});
   ++loop_depth_;
 }
 
-void ProgramBuilder::begin_if(ExprPtr cond) {
-  if (!cond->is_bool_valued())
+void ProgramBuilder::begin_if(ExprId cond) {
+  if (!arena_[cond].is_bool_valued())
     throw std::logic_error("ProgramBuilder: if condition must be boolean-valued");
-  auto s = make_if(std::move(cond), {});
-  Stmt* raw = s.get();
-  append(std::move(s));
-  open_.push_back(raw);
+  const StmtId s = make_if(arena_, cond, {});
+  append(s);
+  open_.push_back({s, {}});
 }
 
 void ProgramBuilder::end_block() {
   if (open_.empty()) throw std::logic_error("ProgramBuilder: no open block");
-  if (open_.back()->kind == StmtKind::For) --loop_depth_;
+  OpenBlock& blk = open_.back();
+  if (arena_[blk.id].kind == StmtKind::For) --loop_depth_;
+  arena_.set_body(arena_[blk.id], blk.body);
   open_.pop_back();
 }
 
 Program ProgramBuilder::build() {
   if (!open_.empty()) throw std::logic_error("ProgramBuilder: unclosed block");
   built_ = true;
-  return Program(precision_, std::move(params_), std::move(top_));
+  return Program(precision_, std::move(params_), std::move(arena_),
+                 std::move(top_));
 }
 
 }  // namespace gpudiff::ir

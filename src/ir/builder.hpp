@@ -1,14 +1,18 @@
 #pragma once
 // Fluent construction of kernels: used by hand-written example kernels
-// (port_audit, Table I's mini-ADI kernel) and by the random generator.
+// (port_audit, Table I's mini-ADI kernel) and by tests.
 //
 //   ProgramBuilder b(Precision::FP64);
+//   ir::Arena& A = b.arena();
 //   int n = b.add_int_param();
 //   int x = b.add_scalar_param();
 //   b.begin_for(n);
-//   b.assign_comp(AssignOp::Add, make_call(MathFn::Sqrt, make_param(x)));
+//   b.assign_comp(AssignOp::Add, make_call(A, MathFn::Sqrt, make_param(A, x)));
 //   b.end_block();
 //   Program p = b.build();
+//
+// Expressions are allocated into the builder's arena (exposed via arena()),
+// which build() moves into the finished Program.
 
 #include <stdexcept>
 #include <vector>
@@ -21,6 +25,9 @@ class ProgramBuilder {
  public:
   explicit ProgramBuilder(Precision precision);
 
+  /// The arena expression operands must be allocated into.
+  Arena& arena() noexcept { return arena_; }
+
   /// Parameter declaration; returns the parameter index usable in
   /// make_param/make_int_param/make_array. Parameters are named var_1..var_N
   /// in declaration order (comp is parameter 0).
@@ -29,16 +36,16 @@ class ProgramBuilder {
   int add_array_param();
 
   /// Declare a fresh temporary initialized with `init`; returns its id.
-  int decl_temp(ExprPtr init);
+  int decl_temp(ExprId init);
 
-  void assign_comp(AssignOp op, ExprPtr value);
-  void store_array(int array_param, ExprPtr subscript, ExprPtr value);
+  void assign_comp(AssignOp op, ExprId value);
+  void store_array(int array_param, ExprId subscript, ExprId value);
 
   /// Open a counted loop over the given int parameter. Nesting depth is
   /// tracked automatically (i, j, k, ...). Close with end_block().
   void begin_for(int bound_param);
   /// Open a guarded block. Close with end_block().
-  void begin_if(ExprPtr cond);
+  void begin_if(ExprId cond);
   void end_block();
 
   /// Current loop nesting depth (0 outside any loop).
@@ -48,13 +55,20 @@ class ProgramBuilder {
   Program build();
 
  private:
-  void append(StmtPtr s);
+  void append(StmtId s);
+
+  /// An open For/If whose body statements are collected here until
+  /// end_block() flushes them into the arena's contiguous list pool.
+  struct OpenBlock {
+    StmtId id;
+    std::vector<StmtId> body;
+  };
 
   Precision precision_;
+  Arena arena_;
   std::vector<Param> params_;
-  std::vector<StmtPtr> top_;
-  // Stack of open structured statements; statements append to the innermost.
-  std::vector<Stmt*> open_;
+  std::vector<StmtId> top_;
+  std::vector<OpenBlock> open_;
   int next_temp_ = 1;
   int loop_depth_ = 0;
   bool built_ = false;

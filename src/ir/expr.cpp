@@ -1,7 +1,5 @@
 #include "ir/expr.hpp"
 
-#include <bit>
-
 namespace gpudiff::ir {
 
 std::string to_string(Precision p) {
@@ -73,162 +71,6 @@ const char* spelling(CmpOp op) noexcept {
 
 const char* spelling(BoolOp op) noexcept {
   return op == BoolOp::And ? "&&" : "||";
-}
-
-ExprPtr Expr::clone() const {
-  auto out = std::make_unique<Expr>(kind);
-  out->lit_value = lit_value;
-  out->lit_text = lit_text;
-  out->index = index;
-  out->bin_op = bin_op;
-  out->cmp_op = cmp_op;
-  out->bool_op = bool_op;
-  out->fn = fn;
-  out->kids.reserve(kids.size());
-  for (const auto& k : kids) out->kids.push_back(k->clone());
-  return out;
-}
-
-std::size_t Expr::node_count() const noexcept {
-  std::size_t n = 1;
-  for (const auto& k : kids) n += k->node_count();
-  return n;
-}
-
-bool Expr::equals(const Expr& other) const noexcept {
-  if (kind != other.kind || index != other.index) return false;
-  switch (kind) {
-    case ExprKind::Literal:
-      if (std::bit_cast<std::uint64_t>(lit_value) !=
-          std::bit_cast<std::uint64_t>(other.lit_value))
-        return false;
-      break;
-    case ExprKind::Bin:
-      if (bin_op != other.bin_op) return false;
-      break;
-    case ExprKind::Cmp:
-      if (cmp_op != other.cmp_op) return false;
-      break;
-    case ExprKind::BoolBin:
-      if (bool_op != other.bool_op) return false;
-      break;
-    case ExprKind::Call:
-      if (fn != other.fn) return false;
-      break;
-    default:
-      break;
-  }
-  if (kids.size() != other.kids.size()) return false;
-  for (std::size_t i = 0; i < kids.size(); ++i)
-    if (!kids[i]->equals(*other.kids[i])) return false;
-  return true;
-}
-
-namespace {
-ExprPtr node(ExprKind k) { return std::make_unique<Expr>(k); }
-}  // namespace
-
-ExprPtr make_literal(double value, std::string text) {
-  auto e = node(ExprKind::Literal);
-  e->lit_value = value;
-  e->lit_text = std::move(text);
-  return e;
-}
-
-ExprPtr make_param(int index) {
-  auto e = node(ExprKind::ParamRef);
-  e->index = index;
-  return e;
-}
-
-ExprPtr make_int_param(int index) {
-  auto e = node(ExprKind::IntParamRef);
-  e->index = index;
-  return e;
-}
-
-ExprPtr make_array(int index, ExprPtr subscript) {
-  auto e = node(ExprKind::ArrayRef);
-  e->index = index;
-  e->kids.push_back(std::move(subscript));
-  return e;
-}
-
-ExprPtr make_loop_var(int depth) {
-  auto e = node(ExprKind::LoopVarRef);
-  e->index = depth;
-  return e;
-}
-
-ExprPtr make_temp(int id) {
-  auto e = node(ExprKind::TempRef);
-  e->index = id;
-  return e;
-}
-
-ExprPtr make_neg(ExprPtr a) {
-  auto e = node(ExprKind::Neg);
-  e->kids.push_back(std::move(a));
-  return e;
-}
-
-ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b) {
-  auto e = node(ExprKind::Bin);
-  e->bin_op = op;
-  e->kids.push_back(std::move(a));
-  e->kids.push_back(std::move(b));
-  return e;
-}
-
-ExprPtr make_fma(ExprPtr a, ExprPtr b, ExprPtr c) {
-  auto e = node(ExprKind::Fma);
-  e->kids.push_back(std::move(a));
-  e->kids.push_back(std::move(b));
-  e->kids.push_back(std::move(c));
-  return e;
-}
-
-ExprPtr make_call(MathFn fn, ExprPtr a) {
-  auto e = node(ExprKind::Call);
-  e->fn = fn;
-  e->kids.push_back(std::move(a));
-  return e;
-}
-
-ExprPtr make_call(MathFn fn, ExprPtr a, ExprPtr b) {
-  auto e = node(ExprKind::Call);
-  e->fn = fn;
-  e->kids.push_back(std::move(a));
-  e->kids.push_back(std::move(b));
-  return e;
-}
-
-ExprPtr make_cmp(CmpOp op, ExprPtr a, ExprPtr b) {
-  auto e = node(ExprKind::Cmp);
-  e->cmp_op = op;
-  e->kids.push_back(std::move(a));
-  e->kids.push_back(std::move(b));
-  return e;
-}
-
-ExprPtr make_bool(BoolOp op, ExprPtr a, ExprPtr b) {
-  auto e = node(ExprKind::BoolBin);
-  e->bool_op = op;
-  e->kids.push_back(std::move(a));
-  e->kids.push_back(std::move(b));
-  return e;
-}
-
-ExprPtr make_not(ExprPtr a) {
-  auto e = node(ExprKind::BoolNot);
-  e->kids.push_back(std::move(a));
-  return e;
-}
-
-ExprPtr make_bool_to_fp(ExprPtr cond) {
-  auto e = node(ExprKind::BoolToFp);
-  e->kids.push_back(std::move(cond));
-  return e;
 }
 
 }  // namespace gpudiff::ir

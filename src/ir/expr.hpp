@@ -1,16 +1,20 @@
 #pragma once
 // Expression IR for Varity-style test kernels.
 //
-// One tagged struct (not a class hierarchy) keeps the tree cheap to clone,
-// walk and serialize — the optimizer and interpreter are simple recursive
-// switches.  Expressions are floating-point-valued except Cmp/BoolBin/
-// BoolNot which are boolean-valued and may appear only in `if`/`for`
-// conditions or under BoolToFp (the if-conversion artifact, §Case Study 3).
+// Nodes are flat, trivially-copyable records that live in a Program-owned
+// Arena (ir/arena.hpp) and reference their children through 32-bit ExprId
+// handles instead of owning pointers.  One tagged struct (not a class
+// hierarchy) keeps the tree cheap to walk and serialize — the optimizer and
+// interpreter are simple switches over ids — and the flat pool makes
+// copying a program (once per optimization level per toolchain in a
+// campaign) a handful of vector copies instead of a recursive clone.
+// Expressions are floating-point-valued except Cmp/BoolBin/BoolNot which
+// are boolean-valued and may appear only in `if`/`for` conditions or under
+// BoolToFp (the if-conversion artifact, §Case Study 3).
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <vector>
+#include <type_traits>
 
 namespace gpudiff::ir {
 
@@ -20,17 +24,17 @@ std::string to_string(Precision p);
 enum class ExprKind : std::uint8_t {
   Literal,     // floating constant (value + original spelling)
   ParamRef,    // kernel scalar parameter (index into Program::params)
-  ArrayRef,    // array parameter element: params[index][ kids[0] ]
+  ArrayRef,    // array parameter element: params[index][ kid[0] ]
   LoopVarRef,  // loop induction variable at nesting depth `index`
   TempRef,     // temporary variable tmp_<index>
   IntParamRef, // integer parameter used arithmetically (rare; loop bounds)
-  Neg,         // -kids[0]
-  Bin,         // kids[0] <bin_op> kids[1]
-  Fma,         // fma(kids[0], kids[1], kids[2]) — produced by contraction
+  Neg,         // -kid[0]
+  Bin,         // kid[0] <bin_op> kid[1]
+  Fma,         // fma(kid[0], kid[1], kid[2]) — produced by contraction
   Call,        // math fn over kids (1 or 2 args)
-  Cmp,         // kids[0] <cmp> kids[1]           (boolean)
-  BoolBin,     // kids[0] &&/|| kids[1]           (boolean)
-  BoolNot,     // !kids[0]                        (boolean)
+  Cmp,         // kid[0] <cmp> kid[1]             (boolean)
+  BoolBin,     // kid[0] &&/|| kid[1]             (boolean)
+  BoolNot,     // !kid[0]                         (boolean)
   BoolToFp,    // (T)(bool) — if-conversion predicate materialization
 };
 
@@ -56,50 +60,39 @@ const char* spelling(BinOp op) noexcept;
 const char* spelling(CmpOp op) noexcept;
 const char* spelling(BoolOp op) noexcept;
 
-struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
+/// Handle to an Expr inside an Arena.  Default-constructed ids are invalid
+/// (the "no expression" state of Stmt::a/b).
+struct ExprId {
+  std::uint32_t v = 0xFFFFFFFFu;
+  constexpr bool valid() const noexcept { return v != 0xFFFFFFFFu; }
+  constexpr explicit operator bool() const noexcept { return valid(); }
+  friend constexpr bool operator==(ExprId, ExprId) noexcept = default;
+};
+
+/// Widest node: Fma has three children.
+inline constexpr int kMaxExprKids = 3;
 
 struct Expr {
   ExprKind kind{};
+  std::uint8_t n_kids = 0;
   // --- payload (which fields are live depends on `kind`) ---
-  double lit_value = 0.0;   ///< Literal: value (already rounded to Precision)
-  std::string lit_text;     ///< Literal: source spelling ("+1.5955E-125")
-  int index = -1;           ///< ParamRef/ArrayRef/LoopVarRef/TempRef/IntParamRef
   BinOp bin_op{};           ///< Bin
   CmpOp cmp_op{};           ///< Cmp
   BoolOp bool_op{};         ///< BoolBin
   MathFn fn{};              ///< Call
-  std::vector<ExprPtr> kids;
+  std::int32_t index = -1;  ///< ParamRef/ArrayRef/LoopVarRef/TempRef/IntParamRef
+  double lit_value = 0.0;   ///< Literal: value (already rounded to Precision)
+  std::uint32_t text_off = 0;  ///< Literal spelling: span into the Arena
+  std::uint32_t text_len = 0;  ///< text pool ("+1.5955E-125"); len 0 = none
+  ExprId kid[kMaxExprKids]{};
 
-  Expr() = default;
-  explicit Expr(ExprKind k) : kind(k) {}
-
-  ExprPtr clone() const;
   bool is_bool_valued() const noexcept {
     return kind == ExprKind::Cmp || kind == ExprKind::BoolBin ||
            kind == ExprKind::BoolNot;
   }
-  /// Total node count of this subtree.
-  std::size_t node_count() const noexcept;
-  /// Structural equality (ignores literal spelling, compares values by bits).
-  bool equals(const Expr& other) const noexcept;
 };
 
-// --- constructors (free functions keep call sites terse) ---
-ExprPtr make_literal(double value, std::string text = {});
-ExprPtr make_param(int index);
-ExprPtr make_int_param(int index);
-ExprPtr make_array(int index, ExprPtr subscript);
-ExprPtr make_loop_var(int depth);
-ExprPtr make_temp(int id);
-ExprPtr make_neg(ExprPtr a);
-ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b);
-ExprPtr make_fma(ExprPtr a, ExprPtr b, ExprPtr c);
-ExprPtr make_call(MathFn fn, ExprPtr a);
-ExprPtr make_call(MathFn fn, ExprPtr a, ExprPtr b);
-ExprPtr make_cmp(CmpOp op, ExprPtr a, ExprPtr b);
-ExprPtr make_bool(BoolOp op, ExprPtr a, ExprPtr b);
-ExprPtr make_not(ExprPtr a);
-ExprPtr make_bool_to_fp(ExprPtr cond);
+// Program copies are flat pool copies; node records must stay memcpy-able.
+static_assert(std::is_trivially_copyable_v<Expr>);
 
 }  // namespace gpudiff::ir

@@ -5,25 +5,17 @@
 
 namespace gpudiff::ir {
 
-std::size_t Program::node_count() const noexcept {
-  std::size_t n = 0;
-  for (const auto& s : body_) n += s->node_count();
-  return n;
-}
-
-namespace {
-int max_temp_in(const std::vector<StmtPtr>& body) {
+int Program::max_temp_id() const noexcept {
   int m = -1;
-  for (const auto& s : body) {
-    if (s->kind == StmtKind::DeclTemp && s->index > m) m = s->index;
-    const int inner = max_temp_in(s->body);
-    if (inner > m) m = inner;
+  std::vector<StmtId> work(body_.begin(), body_.end());
+  while (!work.empty()) {
+    const Stmt& s = arena_[work.back()];
+    work.pop_back();
+    if (s.kind == StmtKind::DeclTemp && s.index > m) m = s.index;
+    for (StmtId kid : arena_.body(s)) work.push_back(kid);
   }
   return m;
 }
-}  // namespace
-
-int Program::max_temp_id() const noexcept { return max_temp_in(body_); }
 
 namespace {
 
@@ -34,8 +26,8 @@ std::string loop_var_name(int depth) {
   return "i" + std::to_string(depth);
 }
 
-std::string literal_source(const Expr& e, const Program& prog) {
-  if (!e.lit_text.empty()) return e.lit_text;
+std::string literal_source(const Program& prog, const Expr& e) {
+  if (e.text_len != 0) return std::string(prog.arena().text(e));
   // Fallback spelling: Varity-style signed scientific with the FP32 suffix.
   if (prog.precision() == Precision::FP32)
     return fp::print_varity(static_cast<float>(e.lit_value)) + "F";
@@ -44,85 +36,87 @@ std::string literal_source(const Expr& e, const Program& prog) {
 
 }  // namespace
 
-std::string expr_to_source(const Expr& e, const Program& prog) {
+std::string expr_to_source(const Program& prog, ExprId id) {
+  const Expr& e = prog.expr(id);
   switch (e.kind) {
     case ExprKind::Literal:
-      return literal_source(e, prog);
+      return literal_source(prog, e);
     case ExprKind::ParamRef:
     case ExprKind::IntParamRef:
       return prog.params().at(static_cast<std::size_t>(e.index)).name;
     case ExprKind::ArrayRef:
       return prog.params().at(static_cast<std::size_t>(e.index)).name + "[" +
-             expr_to_source(*e.kids[0], prog) + "]";
+             expr_to_source(prog, e.kid[0]) + "]";
     case ExprKind::LoopVarRef:
       return loop_var_name(e.index);
     case ExprKind::TempRef:
       return "tmp_" + std::to_string(e.index);
     case ExprKind::Neg:
-      return "-" + expr_to_source(*e.kids[0], prog);
+      return "-" + expr_to_source(prog, e.kid[0]);
     case ExprKind::Bin:
-      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.bin_op) +
-             " " + expr_to_source(*e.kids[1], prog) + ")";
+      return "(" + expr_to_source(prog, e.kid[0]) + " " + spelling(e.bin_op) +
+             " " + expr_to_source(prog, e.kid[1]) + ")";
     case ExprKind::Fma:
       return std::string(prog.precision() == Precision::FP32 ? "fmaf" : "fma") +
-             "(" + expr_to_source(*e.kids[0], prog) + ", " +
-             expr_to_source(*e.kids[1], prog) + ", " +
-             expr_to_source(*e.kids[2], prog) + ")";
+             "(" + expr_to_source(prog, e.kid[0]) + ", " +
+             expr_to_source(prog, e.kid[1]) + ", " +
+             expr_to_source(prog, e.kid[2]) + ")";
     case ExprKind::Call: {
       std::string out = name_of(e.fn, prog.precision()) + "(";
-      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+      for (int i = 0; i < e.n_kids; ++i) {
         if (i) out += ", ";
-        out += expr_to_source(*e.kids[i], prog);
+        out += expr_to_source(prog, e.kid[i]);
       }
       return out + ")";
     }
     case ExprKind::Cmp:
-      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.cmp_op) +
-             " " + expr_to_source(*e.kids[1], prog) + ")";
+      return "(" + expr_to_source(prog, e.kid[0]) + " " + spelling(e.cmp_op) +
+             " " + expr_to_source(prog, e.kid[1]) + ")";
     case ExprKind::BoolBin:
-      return "(" + expr_to_source(*e.kids[0], prog) + " " + spelling(e.bool_op) +
-             " " + expr_to_source(*e.kids[1], prog) + ")";
+      return "(" + expr_to_source(prog, e.kid[0]) + " " + spelling(e.bool_op) +
+             " " + expr_to_source(prog, e.kid[1]) + ")";
     case ExprKind::BoolNot:
-      return "!" + expr_to_source(*e.kids[0], prog);
+      return "!" + expr_to_source(prog, e.kid[0]);
     case ExprKind::BoolToFp:
       return std::string("(") + prog.scalar_type() + ")" +
-             expr_to_source(*e.kids[0], prog);
+             expr_to_source(prog, e.kid[0]);
   }
   return "?";
 }
 
-std::string body_to_source(const std::vector<StmtPtr>& body, const Program& prog,
+std::string body_to_source(const Program& prog, std::span<const StmtId> body,
                            int indent) {
   const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
   std::string out;
-  for (const auto& s : body) {
-    switch (s->kind) {
+  for (StmtId id : body) {
+    const Stmt& s = prog.stmt(id);
+    switch (s.kind) {
       case StmtKind::DeclTemp:
-        out += pad + prog.scalar_type() + " tmp_" + std::to_string(s->index) +
-               " = " + expr_to_source(*s->a, prog) + ";\n";
+        out += pad + prog.scalar_type() + " tmp_" + std::to_string(s.index) +
+               " = " + expr_to_source(prog, s.a) + ";\n";
         break;
       case StmtKind::AssignComp:
-        out += pad + "comp " + spelling(s->assign_op) + " " +
-               expr_to_source(*s->a, prog) + ";\n";
+        out += pad + "comp " + spelling(s.assign_op) + " " +
+               expr_to_source(prog, s.a) + ";\n";
         break;
       case StmtKind::StoreArray:
-        out += pad + prog.params().at(static_cast<std::size_t>(s->index)).name +
-               "[" + expr_to_source(*s->a, prog) + "] = " +
-               expr_to_source(*s->b, prog) + ";\n";
+        out += pad + prog.params().at(static_cast<std::size_t>(s.index)).name +
+               "[" + expr_to_source(prog, s.a) + "] = " +
+               expr_to_source(prog, s.b) + ";\n";
         break;
       case StmtKind::For: {
-        const std::string v = loop_var_name(s->index);
+        const std::string v = loop_var_name(s.index);
         const std::string bound =
-            prog.params().at(static_cast<std::size_t>(s->bound_param)).name;
+            prog.params().at(static_cast<std::size_t>(s.bound_param)).name;
         out += pad + "for (int " + v + " = 0; " + v + " < " + bound + "; ++" + v +
                ") {\n";
-        out += body_to_source(s->body, prog, indent + 1);
+        out += body_to_source(prog, prog.body_of(s), indent + 1);
         out += pad + "}\n";
         break;
       }
       case StmtKind::If:
-        out += pad + "if (" + expr_to_source(*s->a, prog) + ") {\n";
-        out += body_to_source(s->body, prog, indent + 1);
+        out += pad + "if (" + expr_to_source(prog, s.a) + ") {\n";
+        out += body_to_source(prog, prog.body_of(s), indent + 1);
         out += pad + "}\n";
         break;
     }
@@ -149,7 +143,7 @@ std::string Program::dump() const {
     }
   }
   out += ") {\n";
-  out += body_to_source(body_, *this, 1);
+  out += body_to_source(*this, body_, 1);
   out += "  printf(\"%.17g\\n\", comp);\n}\n";
   return out;
 }

@@ -6,11 +6,16 @@
 // printf("%.17g\n", comp) at the end (paper §III-B).  Remaining parameters
 // are integer loop bounds, floating scalars and floating arrays, named
 // var_1, var_2, ... in declaration order as Varity does.
+//
+// The Program owns the node Arena; the body is a list of top-level StmtIds.
+// Copying a Program copies the flat pools — no recursive clone — which is
+// what makes per-level compilation (five levels x two toolchains per
+// campaign program) cheap.
 
 #include <string>
 #include <vector>
 
-#include "ir/stmt.hpp"
+#include "ir/arena.hpp"
 
 namespace gpudiff::ir {
 
@@ -34,18 +39,16 @@ inline constexpr int kArrayExtent = 256;
 class Program {
  public:
   Program() = default;
-  Program(Precision precision, std::vector<Param> params, std::vector<StmtPtr> body)
-      : precision_(precision), params_(std::move(params)), body_(std::move(body)) {}
+  Program(Precision precision, std::vector<Param> params, Arena arena,
+          std::vector<StmtId> body)
+      : precision_(precision),
+        params_(std::move(params)),
+        arena_(std::move(arena)),
+        body_(std::move(body)) {}
 
-  Program(const Program& other) { *this = other; }
-  Program& operator=(const Program& other) {
-    if (this != &other) {
-      precision_ = other.precision_;
-      params_ = other.params_;
-      body_ = clone_body(other.body_);
-    }
-    return *this;
-  }
+  // Copies are flat pool copies (defaulted member-wise vector copies).
+  Program(const Program&) = default;
+  Program& operator=(const Program&) = default;
   Program(Program&&) = default;
   Program& operator=(Program&&) = default;
 
@@ -55,11 +58,27 @@ class Program {
   const std::vector<Param>& params() const noexcept { return params_; }
   std::vector<Param>& params() noexcept { return params_; }
 
-  const std::vector<StmtPtr>& body() const noexcept { return body_; }
-  std::vector<StmtPtr>& body() noexcept { return body_; }
+  const std::vector<StmtId>& body() const noexcept { return body_; }
+  std::vector<StmtId>& body() noexcept { return body_; }
 
-  /// Total IR node count (used by size-based generation limits & stats).
-  std::size_t node_count() const noexcept;
+  const Arena& arena() const noexcept { return arena_; }
+  Arena& arena() noexcept { return arena_; }
+
+  // Handle sugar so call sites read naturally.
+  const Expr& expr(ExprId id) const noexcept { return arena_[id]; }
+  Expr& expr(ExprId id) noexcept { return arena_[id]; }
+  const Stmt& stmt(StmtId id) const noexcept { return arena_[id]; }
+  Stmt& stmt(StmtId id) noexcept { return arena_[id]; }
+  std::span<const StmtId> body_of(const Stmt& s) const noexcept {
+    return arena_.body(s);
+  }
+
+  /// Total *live* IR node count — nodes reachable from the body, not pool
+  /// size (passes orphan rewritten nodes in the pool).  Used by size-based
+  /// generation limits & stats.
+  std::size_t node_count() const noexcept {
+    return ir::node_count(arena_, body_);
+  }
 
   /// Highest temporary id declared (or -1 if none).
   int max_temp_id() const noexcept;
@@ -76,15 +95,16 @@ class Program {
  private:
   Precision precision_ = Precision::FP64;
   std::vector<Param> params_;
-  std::vector<StmtPtr> body_;
+  Arena arena_;
+  std::vector<StmtId> body_;
 };
 
 /// Render one expression as C-like source (shared by Program::dump and the
 /// CUDA/HIP emitters; literal spellings are preserved when present).
-std::string expr_to_source(const Expr& e, const Program& prog);
+std::string expr_to_source(const Program& prog, ExprId e);
 
 /// Render statements at the given indentation depth.
-std::string body_to_source(const std::vector<StmtPtr>& body, const Program& prog,
+std::string body_to_source(const Program& prog, std::span<const StmtId> body,
                            int indent);
 
 }  // namespace gpudiff::ir

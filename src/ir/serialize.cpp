@@ -51,13 +51,14 @@ ExprKind expr_kind_of(const std::string& tag) {
 
 }  // namespace
 
-Json expr_to_json(const Expr& e) {
+Json expr_to_json(const Arena& a, ExprId id) {
+  const Expr& e = a[id];
   Json j = Json::object();
   j["k"] = expr_tag(e.kind);
   switch (e.kind) {
     case ExprKind::Literal:
       j["v"] = fp::encode_bits(e.lit_value);
-      if (!e.lit_text.empty()) j["t"] = e.lit_text;
+      if (e.text_len != 0) j["t"] = std::string(a.text(e));
       break;
     case ExprKind::ParamRef:
     case ExprKind::ArrayRef:
@@ -81,9 +82,9 @@ Json expr_to_json(const Expr& e) {
     default:
       break;
   }
-  if (!e.kids.empty()) {
+  if (e.n_kids != 0) {
     Json kids = Json::array();
-    for (const auto& k : e.kids) kids.push_back(expr_to_json(*k));
+    for (int i = 0; i < e.n_kids; ++i) kids.push_back(expr_to_json(a, e.kid[i]));
     j["a"] = std::move(kids);
   }
   return j;
@@ -126,14 +127,15 @@ MathFn fn_of(const std::string& s) {
 
 }  // namespace
 
-ExprPtr expr_from_json(const Json& j) {
-  auto e = std::make_unique<Expr>(expr_kind_of(j.at("k").as_string()));
-  switch (e->kind) {
+ExprId expr_from_json(Arena& a, const Json& j) {
+  Expr e;
+  e.kind = expr_kind_of(j.at("k").as_string());
+  switch (e.kind) {
     case ExprKind::Literal: {
       auto v = fp::decode_bits64(j.at("v").as_string());
       if (!v) throw std::runtime_error("ir: bad literal bits");
-      e->lit_value = *v;
-      if (j.contains("t")) e->lit_text = j.at("t").as_string();
+      e.lit_value = *v;
+      if (j.contains("t")) a.set_text(e, j.at("t").as_string());
       break;
     }
     case ExprKind::ParamRef:
@@ -141,62 +143,67 @@ ExprPtr expr_from_json(const Json& j) {
     case ExprKind::LoopVarRef:
     case ExprKind::TempRef:
     case ExprKind::IntParamRef:
-      e->index = static_cast<int>(j.at("i").as_int());
+      e.index = static_cast<int>(j.at("i").as_int());
       break;
     case ExprKind::Bin:
-      e->bin_op = bin_of(j.at("op").as_string());
+      e.bin_op = bin_of(j.at("op").as_string());
       break;
     case ExprKind::Cmp:
-      e->cmp_op = cmp_of(j.at("op").as_string());
+      e.cmp_op = cmp_of(j.at("op").as_string());
       break;
     case ExprKind::BoolBin:
-      e->bool_op = j.at("op").as_string() == "&&" ? BoolOp::And : BoolOp::Or;
+      e.bool_op = j.at("op").as_string() == "&&" ? BoolOp::And : BoolOp::Or;
       break;
     case ExprKind::Call:
-      e->fn = fn_of(j.at("fn").as_string());
+      e.fn = fn_of(j.at("fn").as_string());
       break;
     default:
       break;
   }
-  if (j.contains("a"))
-    for (const auto& kid : j.at("a").as_array())
-      e->kids.push_back(expr_from_json(kid));
-  return e;
+  if (j.contains("a")) {
+    for (const auto& kid : j.at("a").as_array()) {
+      if (e.n_kids >= kMaxExprKids)
+        throw std::runtime_error("ir: too many expr children");
+      e.kid[e.n_kids++] = expr_from_json(a, kid);
+    }
+  }
+  return a.add(e);
 }
 
-Json stmt_to_json(const Stmt& s) {
+Json stmt_to_json(const Arena& a, StmtId id) {
+  const Stmt& s = a[id];
   Json j = Json::object();
   switch (s.kind) {
     case StmtKind::DeclTemp:
       j["k"] = "decl";
       j["i"] = s.index;
-      j["init"] = expr_to_json(*s.a);
+      j["init"] = expr_to_json(a, s.a);
       break;
     case StmtKind::AssignComp:
       j["k"] = "comp";
       j["op"] = spelling(s.assign_op);
-      j["v"] = expr_to_json(*s.a);
+      j["v"] = expr_to_json(a, s.a);
       break;
     case StmtKind::StoreArray:
       j["k"] = "store";
       j["i"] = s.index;
-      j["idx"] = expr_to_json(*s.a);
-      j["v"] = expr_to_json(*s.b);
+      j["idx"] = expr_to_json(a, s.a);
+      j["v"] = expr_to_json(a, s.b);
       break;
     case StmtKind::For: {
       j["k"] = "for";
       j["depth"] = s.index;
       j["bound"] = s.bound_param;
       Json body = Json::array();
-      for (const auto& t : s.body) body.push_back(stmt_to_json(*t));
+      for (StmtId t : a.body(s)) body.push_back(stmt_to_json(a, t));
       j["body"] = std::move(body);
       break;
     }
     case StmtKind::If: {
       j["k"] = "if";
-      j["cond"] = expr_to_json(*s.a);
+      j["cond"] = expr_to_json(a, s.a);
       Json body = Json::array();
-      for (const auto& t : s.body) body.push_back(stmt_to_json(*t));
+      for (StmtId t : a.body(s)) body.push_back(stmt_to_json(a, t));
       j["body"] = std::move(body);
       break;
     }
@@ -204,11 +211,11 @@ Json stmt_to_json(const Stmt& s) {
   return j;
 }
 
-StmtPtr stmt_from_json(const Json& j) {
+StmtId stmt_from_json(Arena& a, const Json& j) {
   const std::string& k = j.at("k").as_string();
   if (k == "decl")
-    return make_decl_temp(static_cast<int>(j.at("i").as_int()),
-                          expr_from_json(j.at("init")));
+    return make_decl_temp(a, static_cast<int>(j.at("i").as_int()),
+                          expr_from_json(a, j.at("init")));
   if (k == "comp") {
     const std::string& op = j.at("op").as_string();
     AssignOp ao = AssignOp::Set;
@@ -217,21 +224,25 @@ StmtPtr stmt_from_json(const Json& j) {
     else if (op == "*=") ao = AssignOp::Mul;
     else if (op == "/=") ao = AssignOp::Div;
     else if (op != "=") throw std::runtime_error("ir: bad assign op " + op);
-    return make_assign_comp(ao, expr_from_json(j.at("v")));
+    return make_assign_comp(a, ao, expr_from_json(a, j.at("v")));
   }
-  if (k == "store")
-    return make_store_array(static_cast<int>(j.at("i").as_int()),
-                            expr_from_json(j.at("idx")), expr_from_json(j.at("v")));
+  if (k == "store") {
+    const int index = static_cast<int>(j.at("i").as_int());
+    const ExprId idx = expr_from_json(a, j.at("idx"));
+    const ExprId v = expr_from_json(a, j.at("v"));
+    return make_store_array(a, index, idx, v);
+  }
   if (k == "for") {
-    std::vector<StmtPtr> body;
-    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(t));
-    return make_for(static_cast<int>(j.at("depth").as_int()),
-                    static_cast<int>(j.at("bound").as_int()), std::move(body));
+    std::vector<StmtId> body;
+    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(a, t));
+    return make_for(a, static_cast<int>(j.at("depth").as_int()),
+                    static_cast<int>(j.at("bound").as_int()), body);
   }
   if (k == "if") {
-    std::vector<StmtPtr> body;
-    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(t));
-    return make_if(expr_from_json(j.at("cond")), std::move(body));
+    const ExprId cond = expr_from_json(a, j.at("cond"));
+    std::vector<StmtId> body;
+    for (const auto& t : j.at("body").as_array()) body.push_back(stmt_from_json(a, t));
+    return make_if(a, cond, body);
   }
   throw std::runtime_error("ir: unknown stmt tag '" + k + "'");
 }
@@ -253,7 +264,7 @@ Json program_to_json(const Program& p) {
   }
   j["params"] = std::move(params);
   Json body = Json::array();
-  for (const auto& s : p.body()) body.push_back(stmt_to_json(*s));
+  for (StmtId s : p.body()) body.push_back(stmt_to_json(p.arena(), s));
   j["body"] = std::move(body);
   return j;
 }
@@ -273,9 +284,11 @@ Program program_from_json(const Json& j) {
     p.name = pj.at("name").as_string();
     params.push_back(std::move(p));
   }
-  std::vector<StmtPtr> body;
-  for (const auto& sj : j.at("body").as_array()) body.push_back(stmt_from_json(sj));
-  return Program(prec, std::move(params), std::move(body));
+  Arena arena;
+  std::vector<StmtId> body;
+  for (const auto& sj : j.at("body").as_array())
+    body.push_back(stmt_from_json(arena, sj));
+  return Program(prec, std::move(params), std::move(arena), std::move(body));
 }
 
 }  // namespace gpudiff::ir

@@ -5,7 +5,9 @@
 // inputs, compiler, flags — to the second system as JSON metadata.  Literal
 // values are stored as IEEE bit strings so programs re-materialize
 // bit-identically; literal spellings are preserved so re-emitted source is
-// byte-identical too.
+// byte-identical too.  The JSON shape is purely structural (nested trees),
+// so arena ids never leak into the wire format: re-serializing a parsed
+// program is byte-identical regardless of pool layout.
 
 #include <string>
 
@@ -14,11 +16,11 @@
 
 namespace gpudiff::ir {
 
-support::Json expr_to_json(const Expr& e);
-ExprPtr expr_from_json(const support::Json& j);
+support::Json expr_to_json(const Arena& a, ExprId e);
+ExprId expr_from_json(Arena& a, const support::Json& j);
 
-support::Json stmt_to_json(const Stmt& s);
-StmtPtr stmt_from_json(const support::Json& j);
+support::Json stmt_to_json(const Arena& a, StmtId s);
+StmtId stmt_from_json(Arena& a, const support::Json& j);
 
 support::Json program_to_json(const Program& p);
 Program program_from_json(const support::Json& j);

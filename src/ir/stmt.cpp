@@ -13,67 +13,4 @@ const char* spelling(AssignOp op) noexcept {
   return "?";
 }
 
-StmtPtr Stmt::clone() const {
-  auto out = std::make_unique<Stmt>(kind);
-  out->index = index;
-  out->bound_param = bound_param;
-  out->assign_op = assign_op;
-  if (a) out->a = a->clone();
-  if (b) out->b = b->clone();
-  out->body = clone_body(body);
-  return out;
-}
-
-std::size_t Stmt::node_count() const noexcept {
-  std::size_t n = 1;
-  if (a) n += a->node_count();
-  if (b) n += b->node_count();
-  for (const auto& s : body) n += s->node_count();
-  return n;
-}
-
-StmtPtr make_decl_temp(int id, ExprPtr init) {
-  auto s = std::make_unique<Stmt>(StmtKind::DeclTemp);
-  s->index = id;
-  s->a = std::move(init);
-  return s;
-}
-
-StmtPtr make_assign_comp(AssignOp op, ExprPtr value) {
-  auto s = std::make_unique<Stmt>(StmtKind::AssignComp);
-  s->assign_op = op;
-  s->a = std::move(value);
-  return s;
-}
-
-StmtPtr make_store_array(int param_index, ExprPtr subscript, ExprPtr value) {
-  auto s = std::make_unique<Stmt>(StmtKind::StoreArray);
-  s->index = param_index;
-  s->a = std::move(subscript);
-  s->b = std::move(value);
-  return s;
-}
-
-StmtPtr make_for(int depth, int bound_param, std::vector<StmtPtr> body) {
-  auto s = std::make_unique<Stmt>(StmtKind::For);
-  s->index = depth;
-  s->bound_param = bound_param;
-  s->body = std::move(body);
-  return s;
-}
-
-StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> body) {
-  auto s = std::make_unique<Stmt>(StmtKind::If);
-  s->a = std::move(cond);
-  s->body = std::move(body);
-  return s;
-}
-
-std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body) {
-  std::vector<StmtPtr> out;
-  out.reserve(body.size());
-  for (const auto& s : body) out.push_back(s->clone());
-  return out;
-}
-
 }  // namespace gpudiff::ir

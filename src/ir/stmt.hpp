@@ -2,9 +2,10 @@
 // Statement IR: the structured constructs of Varity kernels (Table III) —
 // temporary declarations, compound assignments to the `comp` accumulator,
 // array stores, counted `for` loops and `if` guards (no else branch).
-
-#include <memory>
-#include <vector>
+//
+// Like Expr, statements are flat trivially-copyable records in the Arena.
+// Structured bodies (For/If) are contiguous StmtId spans in the Arena's
+// statement-list pool, addressed by (body_off, body_len).
 
 #include "ir/expr.hpp"
 
@@ -22,31 +23,25 @@ enum class StmtKind : std::uint8_t {
 enum class AssignOp : std::uint8_t { Set, Add, Sub, Mul, Div };
 const char* spelling(AssignOp op) noexcept;
 
-struct Stmt;
-using StmtPtr = std::unique_ptr<Stmt>;
+/// Handle to a Stmt inside an Arena.
+struct StmtId {
+  std::uint32_t v = 0xFFFFFFFFu;
+  constexpr bool valid() const noexcept { return v != 0xFFFFFFFFu; }
+  constexpr explicit operator bool() const noexcept { return valid(); }
+  friend constexpr bool operator==(StmtId, StmtId) noexcept = default;
+};
 
 struct Stmt {
   StmtKind kind{};
-  int index = -1;        ///< DeclTemp: temp id; StoreArray: param; For: depth
-  int bound_param = -1;  ///< For: index of the integer parameter bounding the loop
   AssignOp assign_op = AssignOp::Set;  ///< AssignComp
-  ExprPtr a;             ///< init / value / subscript / condition
-  ExprPtr b;             ///< StoreArray value
-  std::vector<StmtPtr> body;  ///< For / If
-
-  Stmt() = default;
-  explicit Stmt(StmtKind k) : kind(k) {}
-
-  StmtPtr clone() const;
-  std::size_t node_count() const noexcept;
+  std::int32_t index = -1;       ///< DeclTemp: temp id; StoreArray: param; For: depth
+  std::int32_t bound_param = -1; ///< For: index of the int parameter bounding the loop
+  ExprId a;                      ///< init / value / subscript / condition
+  ExprId b;                      ///< StoreArray value
+  std::uint32_t body_off = 0;    ///< For / If: span into the Arena list pool
+  std::uint32_t body_len = 0;
 };
 
-StmtPtr make_decl_temp(int id, ExprPtr init);
-StmtPtr make_assign_comp(AssignOp op, ExprPtr value);
-StmtPtr make_store_array(int param_index, ExprPtr subscript, ExprPtr value);
-StmtPtr make_for(int depth, int bound_param, std::vector<StmtPtr> body);
-StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> body);
-
-std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+static_assert(std::is_trivially_copyable_v<Stmt>);
 
 }  // namespace gpudiff::ir

@@ -7,32 +7,51 @@
 
 namespace gpudiff::opt {
 
+using ir::Arena;
 using ir::Expr;
+using ir::ExprId;
 using ir::ExprKind;
-using ir::ExprPtr;
 using ir::Precision;
 using ir::Program;
 using ir::Stmt;
+using ir::StmtId;
 using ir::StmtKind;
-using ir::StmtPtr;
 
 namespace {
 
+// Passes rewrite by allocating replacement nodes into the program's own
+// arena and swapping child ids; orphaned nodes stay in the pool and die
+// with the Program.  Invariant relied on throughout: rewrites allocate
+// *expressions* only, so Stmt references and body spans stay stable while
+// Expr references must be re-indexed (or copied by value) across any
+// make_* call.
+
 /// Apply `fn` to every expression root in the program (stmt operands),
-/// allowing replacement: fn receives an owned pointer and returns the new one.
-void transform_exprs(std::vector<StmtPtr>& body,
-                     const std::function<ExprPtr(ExprPtr)>& fn) {
-  for (auto& s : body) {
-    if (s->a) s->a = fn(std::move(s->a));
-    if (s->b) s->b = fn(std::move(s->b));
-    transform_exprs(s->body, fn);
+/// allowing replacement: fn receives the root id and returns the new one.
+void transform_exprs(Program& prog, std::span<const StmtId> body,
+                     const std::function<ExprId(ExprId)>& fn) {
+  for (StmtId id : body) {
+    Stmt& s = prog.stmt(id);
+    if (s.a) s.a = fn(s.a);
+    if (s.b) s.b = fn(s.b);
+    transform_exprs(prog, prog.body_of(s), fn);
   }
 }
 
+void transform_exprs(Program& prog, const std::function<ExprId(ExprId)>& fn) {
+  transform_exprs(prog, prog.body(), fn);
+}
+
 /// Post-order expression rewrite.
-ExprPtr rewrite_post(ExprPtr e, const std::function<ExprPtr(ExprPtr)>& fn) {
-  for (auto& kid : e->kids) kid = rewrite_post(std::move(kid), fn);
-  return fn(std::move(e));
+ExprId rewrite_post(Arena& a, ExprId id,
+                    const std::function<ExprId(ExprId)>& fn) {
+  const int n = a[id].n_kids;
+  for (int i = 0; i < n; ++i) {
+    const ExprId kid = a[id].kid[i];
+    const ExprId replacement = rewrite_post(a, kid, fn);
+    a[id].kid[i] = replacement;
+  }
+  return fn(id);
 }
 
 }  // namespace
@@ -60,33 +79,38 @@ double fold_bin(ir::BinOp op, double a, double b) {
 }  // namespace
 
 void fold_constants(ir::Program& prog) {
+  Arena& arena = prog.arena();
   const Precision prec = prog.precision();
-  const auto fold = [prec](ExprPtr e) -> ExprPtr {
-    switch (e->kind) {
+  const auto fold = [&arena, prec](ExprId id) -> ExprId {
+    const Expr e = arena[id];
+    switch (e.kind) {
       case ExprKind::Neg:
-        if (e->kids[0]->kind == ExprKind::Literal) {
+        if (arena[e.kid[0]].kind == ExprKind::Literal) {
           // Exact sign flip; spelling is dropped (the value is canonical).
-          return ir::make_literal(fp::negate_bits(e->kids[0]->lit_value));
+          return ir::make_literal(arena,
+                                  fp::negate_bits(arena[e.kid[0]].lit_value));
         }
         break;
-      case ExprKind::Bin:
-        if (e->kids[0]->kind == ExprKind::Literal &&
-            e->kids[1]->kind == ExprKind::Literal) {
-          const double a = e->kids[0]->lit_value;
-          const double b = e->kids[1]->lit_value;
+      case ExprKind::Bin: {
+        const Expr& k0 = arena[e.kid[0]];
+        const Expr& k1 = arena[e.kid[1]];
+        if (k0.kind == ExprKind::Literal && k1.kind == ExprKind::Literal) {
+          const double a = k0.lit_value;
+          const double b = k1.lit_value;
           const double r = prec == Precision::FP32
-                               ? fold_bin<float>(e->bin_op, a, b)
-                               : fold_bin<double>(e->bin_op, a, b);
-          return ir::make_literal(r);
+                               ? fold_bin<float>(e.bin_op, a, b)
+                               : fold_bin<double>(e.bin_op, a, b);
+          return ir::make_literal(arena, r);
         }
         break;
+      }
       default:
         break;
     }
-    return e;
+    return id;
   };
-  transform_exprs(prog.body(), [&](ExprPtr root) {
-    return rewrite_post(std::move(root), fold);
+  transform_exprs(prog, [&](ExprId root) {
+    return rewrite_post(arena, root, fold);
   });
 }
 
@@ -95,50 +119,46 @@ void fold_constants(ir::Program& prog) {
 // ---------------------------------------------------------------------------
 
 void contract_fma(ir::Program& prog, FmaPreference pref) {
-  const auto contract = [pref](ExprPtr e) -> ExprPtr {
-    if (e->kind != ExprKind::Bin) return e;
-    if (e->bin_op != ir::BinOp::Add && e->bin_op != ir::BinOp::Sub) return e;
-    const bool lhs_mul =
-        e->kids[0]->kind == ExprKind::Bin && e->kids[0]->bin_op == ir::BinOp::Mul;
-    const bool rhs_mul =
-        e->kids[1]->kind == ExprKind::Bin && e->kids[1]->bin_op == ir::BinOp::Mul;
-    if (!lhs_mul && !rhs_mul) return e;
+  Arena& arena = prog.arena();
+  const auto contract = [&arena, pref](ExprId id) -> ExprId {
+    const Expr e = arena[id];
+    if (e.kind != ExprKind::Bin) return id;
+    if (e.bin_op != ir::BinOp::Add && e.bin_op != ir::BinOp::Sub) return id;
+    const Expr lhs = arena[e.kid[0]];
+    const Expr rhs = arena[e.kid[1]];
+    const bool lhs_mul = lhs.kind == ExprKind::Bin && lhs.bin_op == ir::BinOp::Mul;
+    const bool rhs_mul = rhs.kind == ExprKind::Bin && rhs.bin_op == ir::BinOp::Mul;
+    if (!lhs_mul && !rhs_mul) return id;
 
-    const bool subtract = e->bin_op == ir::BinOp::Sub;
-    auto lhs = std::move(e->kids[0]);
-    auto rhs = std::move(e->kids[1]);
+    const bool subtract = e.bin_op == ir::BinOp::Sub;
+    ExprId lhs_id = e.kid[0];
+    ExprId rhs_id = e.kid[1];
 
     if (lhs_mul && rhs_mul) {
       // a*b (+/-) c*d — tie-break differs between the toolchains.
       if (pref == FmaPreference::LeftProduct) {
-        auto a = std::move(lhs->kids[0]);
-        auto b = std::move(lhs->kids[1]);
-        if (subtract) rhs = ir::make_neg(std::move(rhs));
-        return ir::make_fma(std::move(a), std::move(b), std::move(rhs));
+        if (subtract) rhs_id = ir::make_neg(arena, rhs_id);
+        return ir::make_fma(arena, lhs.kid[0], lhs.kid[1], rhs_id);
       }
-      auto c = std::move(rhs->kids[0]);
-      auto d = std::move(rhs->kids[1]);
+      ExprId c = rhs.kid[0];
       if (subtract) {
         // a*b - c*d = fma(-c, d, a*b)
-        c = ir::make_neg(std::move(c));
+        c = ir::make_neg(arena, c);
       }
-      return ir::make_fma(std::move(c), std::move(d), std::move(lhs));
+      return ir::make_fma(arena, c, rhs.kid[1], lhs_id);
     }
     if (lhs_mul) {
       // a*b + c -> fma(a,b,c);  a*b - c -> fma(a,b,-c)
-      auto a = std::move(lhs->kids[0]);
-      auto b = std::move(lhs->kids[1]);
-      if (subtract) rhs = ir::make_neg(std::move(rhs));
-      return ir::make_fma(std::move(a), std::move(b), std::move(rhs));
+      if (subtract) rhs_id = ir::make_neg(arena, rhs_id);
+      return ir::make_fma(arena, lhs.kid[0], lhs.kid[1], rhs_id);
     }
     // c + a*b -> fma(a,b,c);  c - a*b -> fma(-a,b,c)
-    auto a = std::move(rhs->kids[0]);
-    auto b = std::move(rhs->kids[1]);
-    if (subtract) a = ir::make_neg(std::move(a));
-    return ir::make_fma(std::move(a), std::move(b), std::move(lhs));
+    ExprId a = rhs.kid[0];
+    if (subtract) a = ir::make_neg(arena, a);
+    return ir::make_fma(arena, a, rhs.kid[1], lhs_id);
   };
-  transform_exprs(prog.body(), [&](ExprPtr root) {
-    return rewrite_post(std::move(root), contract);
+  transform_exprs(prog, [&](ExprId root) {
+    return rewrite_post(arena, root, contract);
   });
 }
 
@@ -148,36 +168,47 @@ void contract_fma(ir::Program& prog, FmaPreference pref) {
 
 namespace {
 
-void if_convert_body(std::vector<StmtPtr>& body) {
-  for (auto& s : body) {
-    if_convert_body(s->body);
-    if (s->kind != StmtKind::If) continue;
-    if (s->body.size() != 1) continue;
-    Stmt& inner = *s->body[0];
+bool contains_call(const Arena& arena, ExprId root) {
+  std::vector<ExprId> work{root};
+  while (!work.empty()) {
+    const Expr& e = arena[work.back()];
+    work.pop_back();
+    if (e.kind == ExprKind::Call) return true;
+    for (int i = 0; i < e.n_kids; ++i) work.push_back(e.kid[i]);
+  }
+  return false;
+}
+
+void if_convert_body(Program& prog, std::span<const StmtId> body) {
+  Arena& arena = prog.arena();
+  for (StmtId id : body) {
+    if_convert_body(prog, prog.body_of(prog.stmt(id)));
+    const Stmt s = prog.stmt(id);
+    if (s.kind != StmtKind::If) continue;
+    if (s.body_len != 1) continue;
+    const Stmt inner = prog.stmt(arena.body(s)[0]);
     if (inner.kind != StmtKind::AssignComp || inner.assign_op != ir::AssignOp::Add)
       continue;
     // Speculation is only profitable for cheap right-hand sides; real
     // if-converters bail out on large expressions (and on calls, which may
     // not be speculatable at all).
-    if (inner.a->node_count() > 4) continue;
-    bool has_call = false;
-    const std::function<void(const ir::Expr&)> scan = [&](const ir::Expr& e) {
-      if (e.kind == ir::ExprKind::Call) has_call = true;
-      for (const auto& k : e.kids) scan(*k);
-    };
-    scan(*inner.a);
-    if (has_call) continue;
+    if (ir::node_count(arena, inner.a) > 4) continue;
+    if (contains_call(arena, inner.a)) continue;
     // if (cond) comp += e;  ==>  comp += (T)cond * e;
-    auto predicate = ir::make_bool_to_fp(std::move(s->a));
-    auto value = ir::make_bin(ir::BinOp::Mul, std::move(predicate),
-                              std::move(inner.a));
-    s = ir::make_assign_comp(ir::AssignOp::Add, std::move(value));
+    const ExprId predicate = ir::make_bool_to_fp(arena, s.a);
+    const ExprId value =
+        ir::make_bin(arena, ir::BinOp::Mul, predicate, inner.a);
+    Stmt replacement;
+    replacement.kind = StmtKind::AssignComp;
+    replacement.assign_op = ir::AssignOp::Add;
+    replacement.a = value;
+    prog.stmt(id) = replacement;
   }
 }
 
 }  // namespace
 
-void if_convert(ir::Program& prog) { if_convert_body(prog.body()); }
+void if_convert(ir::Program& prog) { if_convert_body(prog, prog.body()); }
 
 // ---------------------------------------------------------------------------
 // Reassociation
@@ -186,61 +217,67 @@ void if_convert(ir::Program& prog) { if_convert_body(prog.body()); }
 namespace {
 
 /// Collect the leaves of a same-op chain (Add or Mul, left/right nested).
-void collect_chain(ExprPtr e, ir::BinOp op, std::vector<ExprPtr>& leaves) {
-  if (e->kind == ExprKind::Bin && e->bin_op == op) {
-    auto lhs = std::move(e->kids[0]);
-    auto rhs = std::move(e->kids[1]);
-    collect_chain(std::move(lhs), op, leaves);
-    collect_chain(std::move(rhs), op, leaves);
+void collect_chain(const Arena& arena, ExprId id, ir::BinOp op,
+                   std::vector<ExprId>& leaves) {
+  const Expr& e = arena[id];
+  if (e.kind == ExprKind::Bin && e.bin_op == op) {
+    collect_chain(arena, e.kid[0], op, leaves);
+    collect_chain(arena, e.kid[1], op, leaves);
     return;
   }
-  leaves.push_back(std::move(e));
+  leaves.push_back(id);
 }
 
-ExprPtr build_left(std::vector<ExprPtr>& leaves, ir::BinOp op, std::size_t lo,
-                   std::size_t hi) {
-  ExprPtr acc = std::move(leaves[lo]);
+ExprId build_left(Arena& arena, const std::vector<ExprId>& leaves, ir::BinOp op,
+                  std::size_t lo, std::size_t hi) {
+  ExprId acc = leaves[lo];
   for (std::size_t i = lo + 1; i < hi; ++i)
-    acc = ir::make_bin(op, std::move(acc), std::move(leaves[i]));
+    acc = ir::make_bin(arena, op, acc, leaves[i]);
   return acc;
 }
 
-ExprPtr build_balanced(std::vector<ExprPtr>& leaves, ir::BinOp op, std::size_t lo,
-                       std::size_t hi) {
-  if (hi - lo == 1) return std::move(leaves[lo]);
+ExprId build_balanced(Arena& arena, const std::vector<ExprId>& leaves,
+                      ir::BinOp op, std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return leaves[lo];
   const std::size_t mid = lo + (hi - lo) / 2;
-  return ir::make_bin(op, build_balanced(leaves, op, lo, mid),
-                      build_balanced(leaves, op, mid, hi));
+  const ExprId lhs = build_balanced(arena, leaves, op, lo, mid);
+  const ExprId rhs = build_balanced(arena, leaves, op, mid, hi);
+  return ir::make_bin(arena, op, lhs, rhs);
 }
 
 }  // namespace
 
 void reassociate(ir::Program& prog, ReassocStyle style, int min_chain) {
-  const auto reassoc = [&](ExprPtr e) -> ExprPtr {
-    if (e->kind != ExprKind::Bin) return e;
-    if (e->bin_op != ir::BinOp::Add && e->bin_op != ir::BinOp::Mul) return e;
-    const ir::BinOp op = e->bin_op;
+  Arena& arena = prog.arena();
+  const auto reassoc = [&](ExprId id) -> ExprId {
+    const Expr e = arena[id];
+    if (e.kind != ExprKind::Bin) return id;
+    if (e.bin_op != ir::BinOp::Add && e.bin_op != ir::BinOp::Mul) return id;
+    const ir::BinOp op = e.bin_op;
     // Only rewrite the chain root: if the parent will also match, let the
-    // outermost invocation handle it (rewrite_post runs bottom-up, so we
-    // check that neither child is the same op *after* children were
-    // processed — i.e. this node is the root of a maximal chain only if its
-    // parent isn't the same op; we conservatively rebuild at every level,
-    // which converges because rebuilt subtrees are in canonical shape).
-    std::vector<ExprPtr> leaves;
-    collect_chain(std::move(e), op, leaves);
+    // outermost invocation handle it (the walk below runs top-down, so we
+    // conservatively rebuild at every level, which converges because
+    // rebuilt subtrees are in canonical shape).
+    std::vector<ExprId> leaves;
+    collect_chain(arena, id, op, leaves);
     if (static_cast<int>(leaves.size()) < min_chain)
-      return build_left(leaves, op, 0, leaves.size());
+      return build_left(arena, leaves, op, 0, leaves.size());
     if (style == ReassocStyle::FlattenLeft)
-      return build_left(leaves, op, 0, leaves.size());
-    return build_balanced(leaves, op, 0, leaves.size());
+      return build_left(arena, leaves, op, 0, leaves.size());
+    return build_balanced(arena, leaves, op, 0, leaves.size());
   };
   // Top-down single pass at expression roots: find maximal chains.
-  const std::function<ExprPtr(ExprPtr)> walk = [&](ExprPtr e) -> ExprPtr {
-    e = reassoc(std::move(e));
-    for (auto& kid : e->kids) kid = walk(std::move(kid));
-    return e;
+  const std::function<ExprId(ExprId)> walk = [&](ExprId id) -> ExprId {
+    const ExprId root = reassoc(id);
+    const int n = arena[root].n_kids;
+    for (int i = 0; i < n; ++i) {
+      const ExprId kid = arena[root].kid[i];
+      const ExprId replacement = walk(kid);
+      arena[root].kid[i] = replacement;
+    }
+    return root;
   };
-  transform_exprs(prog.body(), walk);
+  transform_exprs(prog, walk);
 }
 
 // ---------------------------------------------------------------------------
@@ -256,39 +293,37 @@ bool is_power_of_two_literal(const Expr& e) {
   return fp::mantissa_field(v) == 0;
 }
 
-}  // namespace
-
-namespace {
-
-ExprPtr recip_rewrite(ExprPtr e) {
-  if (e->kind != ExprKind::Bin || e->bin_op != ir::BinOp::Div) return e;
-  if (is_power_of_two_literal(*e->kids[1])) return e;  // exact either way
-  auto num = std::move(e->kids[0]);
-  auto den = std::move(e->kids[1]);
-  auto inv = ir::make_bin(ir::BinOp::Div, ir::make_literal(1.0, "1.0"),
-                          std::move(den));
-  return ir::make_bin(ir::BinOp::Mul, std::move(num), std::move(inv));
+ExprId recip_rewrite(Arena& arena, ExprId id) {
+  const Expr e = arena[id];
+  if (e.kind != ExprKind::Bin || e.bin_op != ir::BinOp::Div) return id;
+  if (is_power_of_two_literal(arena[e.kid[1]])) return id;  // exact either way
+  const ExprId one = ir::make_literal(arena, 1.0, "1.0");
+  const ExprId inv = ir::make_bin(arena, ir::BinOp::Div, one, e.kid[1]);
+  return ir::make_bin(arena, ir::BinOp::Mul, e.kid[0], inv);
 }
 
 /// Reciprocal substitution pays off when the reciprocal can be hoisted, so
 /// the pass (like the real -freciprocal-math heuristics) only rewrites
 /// divisions inside loop bodies.
-void reciprocal_in_loops(std::vector<StmtPtr>& body, bool in_loop) {
-  for (auto& s : body) {
-    const bool next_in_loop = in_loop || s->kind == StmtKind::For;
-    reciprocal_in_loops(s->body, next_in_loop);
+void reciprocal_in_loops(Program& prog, std::span<const StmtId> body,
+                         bool in_loop) {
+  Arena& arena = prog.arena();
+  const auto rewrite = [&arena](ExprId id) { return recip_rewrite(arena, id); };
+  for (StmtId id : body) {
+    const bool next_in_loop =
+        in_loop || prog.stmt(id).kind == StmtKind::For;
+    reciprocal_in_loops(prog, prog.body_of(prog.stmt(id)), next_in_loop);
     if (!in_loop) continue;
-    if (s->a)
-      s->a = rewrite_post(std::move(s->a), recip_rewrite);
-    if (s->b)
-      s->b = rewrite_post(std::move(s->b), recip_rewrite);
+    Stmt& s = prog.stmt(id);
+    if (s.a) s.a = rewrite_post(arena, s.a, rewrite);
+    if (s.b) s.b = rewrite_post(arena, s.b, rewrite);
   }
 }
 
 }  // namespace
 
 void reciprocal_division(ir::Program& prog) {
-  reciprocal_in_loops(prog.body(), /*in_loop=*/false);
+  reciprocal_in_loops(prog, prog.body(), /*in_loop=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,18 +332,26 @@ void reciprocal_division(ir::Program& prog) {
 
 namespace {
 
-std::size_t count_expr_matching(const Expr& e, ExprKind kind) {
-  std::size_t n = e.kind == kind ? 1 : 0;
-  for (const auto& k : e.kids) n += count_expr_matching(*k, kind);
+std::size_t count_exprs_matching(const Arena& arena, ExprId root, ExprKind kind) {
+  std::size_t n = 0;
+  std::vector<ExprId> work{root};
+  while (!work.empty()) {
+    const Expr& e = arena[work.back()];
+    work.pop_back();
+    if (e.kind == kind) ++n;
+    for (int i = 0; i < e.n_kids; ++i) work.push_back(e.kid[i]);
+  }
   return n;
 }
 
-std::size_t count_stmt_matching(const std::vector<StmtPtr>& body, ExprKind kind) {
+std::size_t count_stmts_matching(const Program& prog,
+                                 std::span<const StmtId> body, ExprKind kind) {
   std::size_t n = 0;
-  for (const auto& s : body) {
-    if (s->a) n += count_expr_matching(*s->a, kind);
-    if (s->b) n += count_expr_matching(*s->b, kind);
-    n += count_stmt_matching(s->body, kind);
+  for (StmtId id : body) {
+    const Stmt& s = prog.stmt(id);
+    if (s.a) n += count_exprs_matching(prog.arena(), s.a, kind);
+    if (s.b) n += count_exprs_matching(prog.arena(), s.b, kind);
+    n += count_stmts_matching(prog, prog.body_of(s), kind);
   }
   return n;
 }
@@ -316,7 +359,7 @@ std::size_t count_stmt_matching(const std::vector<StmtPtr>& body, ExprKind kind)
 }  // namespace
 
 std::size_t count_fma_nodes(const ir::Program& prog) {
-  return count_stmt_matching(prog.body(), ExprKind::Fma);
+  return count_stmts_matching(prog, prog.body(), ExprKind::Fma);
 }
 
 std::size_t count_nodes(const ir::Program& prog) { return prog.node_count(); }

@@ -9,10 +9,13 @@ namespace gpudiff::vgpu {
 
 namespace {
 
+using ir::Arena;
 using ir::Expr;
+using ir::ExprId;
 using ir::ExprKind;
 using ir::Program;
 using ir::Stmt;
+using ir::StmtId;
 using ir::StmtKind;
 
 }  // namespace
@@ -23,7 +26,7 @@ using ir::StmtKind;
 class BytecodeCompiler {
  public:
   BytecodeCompiler(const Program& program, BytecodeProgram& out)
-      : program_(program), out_(out) {
+      : program_(program), arena_(program.arena()), out_(out) {
     scratch_base_ = program.max_temp_id() + 1;
     out_.num_temps_ = scratch_base_;
     out_.num_regs_ = scratch_base_;
@@ -32,7 +35,7 @@ class BytecodeCompiler {
     array_slot_.assign(params.size(), -1);
     // Arrays the program stores to get backing storage; read-only arrays
     // keep their broadcast argument value, so loads lower to scalar loads.
-    mark_stores(program.body());
+    mark_stores(std::span<const StmtId>(program.body()));
     for (std::size_t i = 0; i < params.size(); ++i) {
       if (params[i].kind == ir::ParamKind::Array && stored_[i]) {
         array_slot_[i] = static_cast<int>(out_.array_params_.size());
@@ -42,7 +45,7 @@ class BytecodeCompiler {
   }
 
   void compile() {
-    compile_body(program_.body());
+    compile_body(std::span<const StmtId>(program_.body()));
     emit({BcOp::Halt});
   }
 
@@ -86,20 +89,21 @@ class BytecodeCompiler {
     return static_cast<int>(out_.consts64_.size()) - 1;
   }
 
-  void mark_stores(const std::vector<ir::StmtPtr>& body) {
+  void mark_stores(std::span<const StmtId> body) {
     if (stored_.empty()) stored_.assign(program_.params().size(), false);
-    for (const auto& s : body) {
-      if (s->kind == StmtKind::StoreArray && s->index >= 0 &&
-          static_cast<std::size_t>(s->index) < stored_.size())
-        stored_[static_cast<std::size_t>(s->index)] = true;
-      if (s->kind == StmtKind::For || s->kind == StmtKind::If)
-        mark_stores(s->body);
+    for (StmtId id : body) {
+      const Stmt& s = arena_[id];
+      if (s.kind == StmtKind::StoreArray && s.index >= 0 &&
+          static_cast<std::size_t>(s.index) < stored_.size())
+        stored_[static_cast<std::size_t>(s.index)] = true;
+      if (s.kind == StmtKind::For || s.kind == StmtKind::If)
+        mark_stores(arena_.body(s));
     }
   }
 
   // --- statements -------------------------------------------------------
-  void compile_body(const std::vector<ir::StmtPtr>& body) {
-    for (const auto& s : body) compile_stmt(*s);
+  void compile_body(std::span<const StmtId> body) {
+    for (StmtId id : body) compile_stmt(arena_[id]);
   }
 
   void compile_stmt(const Stmt& s) {
@@ -111,13 +115,13 @@ class BytecodeCompiler {
           trap(TrapKind::IndexOutOfRange);
           break;
         }
-        const int r = compile_expr(*s.a, next);
+        const int r = compile_expr(s.a, next);
         if (r != temp_reg)
           emit({BcOp::Mov, 0, 0, 0, temp_reg, r});
         break;
       }
       case StmtKind::AssignComp: {
-        const int r = compile_expr(*s.a, next);
+        const int r = compile_expr(s.a, next);
         BcInsn insn{BcOp::AssignComp};
         insn.aux = static_cast<std::uint8_t>(s.assign_op);
         insn.a = r;
@@ -136,8 +140,8 @@ class BytecodeCompiler {
         }
         IndexMode mode;
         int sub = 0;
-        compile_subscript(*s.a, next, mode, sub);
-        const int rv = compile_expr(*s.b, next);
+        compile_subscript(s.a, next, mode, sub);
+        const int rv = compile_expr(s.b, next);
         BcInsn insn{BcOp::StoreArr};
         insn.aux = static_cast<std::uint8_t>(mode);
         insn.u16 = static_cast<std::uint16_t>(array_slot_[static_cast<std::size_t>(s.index)]);
@@ -161,7 +165,7 @@ class BytecodeCompiler {
         init.a = s.bound_param;
         const int init_idx = emit(init);
         const int body_start = here();
-        compile_body(s.body);
+        compile_body(arena_.body(s));
         BcInsn step{BcOp::ForNext};
         step.u16 = static_cast<std::uint16_t>(s.index);
         step.dst = body_start;
@@ -171,8 +175,8 @@ class BytecodeCompiler {
       }
       case StmtKind::If: {
         std::vector<int> to_end;
-        compile_cond(*s.a, next, /*sense=*/false, to_end);
-        compile_body(s.body);
+        compile_cond(s.a, next, /*sense=*/false, to_end);
+        compile_body(arena_.body(s));
         for (int idx : to_end) patch(idx, here());
         break;
       }
@@ -182,7 +186,8 @@ class BytecodeCompiler {
   // --- expressions ------------------------------------------------------
   /// Compile `e`, returning the register holding its value.  Leaves that
   /// already live in a register (temporaries) are returned in place.
-  int compile_expr(const Expr& e, int& next) {
+  int compile_expr(ExprId id, int& next) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Literal: {
         const int dst = alloc(next);
@@ -217,7 +222,7 @@ class BytecodeCompiler {
         const int mark = next;
         IndexMode mode;
         int sub = 0;
-        compile_subscript(*e.kids[0], next, mode, sub);
+        compile_subscript(e.kid[0], next, mode, sub);
         next = mark;
         const int dst = alloc(next);
         const int slot = array_slot_[static_cast<std::size_t>(e.index)];
@@ -250,7 +255,7 @@ class BytecodeCompiler {
       }
       case ExprKind::Neg: {
         const int mark = next;
-        const int r = compile_expr(*e.kids[0], next);
+        const int r = compile_expr(e.kid[0], next);
         next = mark;
         const int dst = alloc(next);
         emit({BcOp::Neg, 0, 0, 0, dst, r});
@@ -258,8 +263,8 @@ class BytecodeCompiler {
       }
       case ExprKind::Bin: {
         const int mark = next;
-        const int ra = compile_expr(*e.kids[0], next);
-        const int rb = compile_expr(*e.kids[1], next);
+        const int ra = compile_expr(e.kid[0], next);
+        const int rb = compile_expr(e.kid[1], next);
         next = mark;
         const int dst = alloc(next);
         BcOp op = BcOp::Add;
@@ -274,9 +279,9 @@ class BytecodeCompiler {
       }
       case ExprKind::Fma: {
         const int mark = next;
-        const int ra = compile_expr(*e.kids[0], next);
-        const int rb = compile_expr(*e.kids[1], next);
-        const int rc = compile_expr(*e.kids[2], next);
+        const int ra = compile_expr(e.kid[0], next);
+        const int rb = compile_expr(e.kid[1], next);
+        const int rc = compile_expr(e.kid[2], next);
         next = mark;
         const int dst = alloc(next);
         emit({BcOp::Fma, 0, 0, 0, dst, ra, rb, rc});
@@ -284,8 +289,8 @@ class BytecodeCompiler {
       }
       case ExprKind::Call: {
         const int mark = next;
-        const int ra = compile_expr(*e.kids[0], next);
-        const int rb = e.kids.size() > 1 ? compile_expr(*e.kids[1], next) : -1;
+        const int ra = compile_expr(e.kid[0], next);
+        const int rb = e.n_kids > 1 ? compile_expr(e.kid[1], next) : -1;
         next = mark;
         const int dst = alloc(next);
         // -ffinite-math-only fmin/fmax lower to a bare compare-select at
@@ -308,19 +313,19 @@ class BytecodeCompiler {
       case ExprKind::BoolBin:
       case ExprKind::BoolNot: {
         // Boolean expression in value position: C semantics (0/1).
-        return compile_bool_value(e, next);
+        return compile_bool_value(id, next);
       }
       case ExprKind::BoolToFp:
-        return compile_bool_value(*e.kids[0], next);
+        return compile_bool_value(e.kid[0], next);
     }
     throw std::runtime_error("run_kernel: bad expression kind");
   }
 
   /// Materialize a boolean expression as 1.0/0.0 in a register.
-  int compile_bool_value(const Expr& e, int& next) {
+  int compile_bool_value(ExprId id, int& next) {
     const int mark = next;
     std::vector<int> to_false;
-    compile_cond(e, next, /*sense=*/false, to_false);
+    compile_cond(id, next, /*sense=*/false, to_false);
     next = mark;
     const int dst = alloc(next);
     emit({BcOp::LoadConst, 0, 0, 0, dst, const_index(1.0)});
@@ -335,12 +340,13 @@ class BytecodeCompiler {
   /// caller) when the boolean value of `e` equals `sense`, and falls
   /// through otherwise.  &&/|| short-circuit exactly as the tree-walk
   /// interpreter does, so skipped operands contribute no ops or flags.
-  void compile_cond(const Expr& e, int& next, bool sense, std::vector<int>& fixups) {
+  void compile_cond(ExprId id, int& next, bool sense, std::vector<int>& fixups) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Cmp: {
         const int mark = next;
-        const int ra = compile_expr(*e.kids[0], next);
-        const int rb = compile_expr(*e.kids[1], next);
+        const int ra = compile_expr(e.kid[0], next);
+        const int rb = compile_expr(e.kid[1], next);
         next = mark;
         BcInsn insn{BcOp::CmpJump};
         insn.aux = static_cast<std::uint8_t>(e.cmp_op);
@@ -356,23 +362,23 @@ class BytecodeCompiler {
         // both propagate directly to the kids; the mixed cases route the
         // first kid to the fall-through point past the second.
         if (is_and != sense) {  // (AND, jump-if-false) or (OR, jump-if-true)
-          compile_cond(*e.kids[0], next, sense, fixups);
-          compile_cond(*e.kids[1], next, sense, fixups);
+          compile_cond(e.kid[0], next, sense, fixups);
+          compile_cond(e.kid[1], next, sense, fixups);
         } else {
           std::vector<int> past;
-          compile_cond(*e.kids[0], next, !sense, past);
-          compile_cond(*e.kids[1], next, sense, fixups);
+          compile_cond(e.kid[0], next, !sense, past);
+          compile_cond(e.kid[1], next, sense, fixups);
           for (int idx : past) patch(idx, here());
         }
         return;
       }
       case ExprKind::BoolNot:
-        compile_cond(*e.kids[0], next, !sense, fixups);
+        compile_cond(e.kid[0], next, !sense, fixups);
         return;
       default: {
         // FP expression in boolean position (C truthiness, not counted).
         const int mark = next;
-        const int r = compile_expr(e, next);
+        const int r = compile_expr(id, next);
         next = mark;
         BcInsn insn{BcOp::TruthJump};
         insn.sense = sense ? 1 : 0;
@@ -387,7 +393,8 @@ class BytecodeCompiler {
   /// literals and integer parameters resolve without touching the register
   /// file; anything else evaluates as a floating expression (with its op
   /// accounting) and converts via fp_to_subscript.
-  void compile_subscript(const Expr& e, int& next, IndexMode& mode, int& operand) {
+  void compile_subscript(ExprId id, int& next, IndexMode& mode, int& operand) {
+    const Expr& e = arena_[id];
     if (e.kind == ExprKind::LoopVarRef) {
       if (e.index < 0 || e.index >= kMaxLoopDepth) {
         mode = IndexMode::Reg;
@@ -409,7 +416,7 @@ class BytecodeCompiler {
       operand = e.index;
     } else {
       mode = IndexMode::Reg;
-      operand = compile_expr(e, next);
+      operand = compile_expr(id, next);
     }
   }
 
@@ -423,6 +430,7 @@ class BytecodeCompiler {
 
  private:
   const Program& program_;
+  const Arena& arena_;
   BytecodeProgram& out_;
   const fp::FpEnv* env_ = nullptr;
   std::vector<bool> stored_;
@@ -456,8 +464,30 @@ BytecodeProgram compile_bytecode(const ir::Program& program, const fp::FpEnv& en
 }
 
 template <typename T>
+void BytecodeProgram::prepare(ExecContext& ctx) const {
+  constexpr bool kFp32 = sizeof(T) == 4;
+  auto& regs_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.regs32; else return ctx.regs64;
+  }();
+  auto& arr_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.arrays32; else return ctx.arrays64;
+  }();
+  if (regs_vec.size() < static_cast<std::size_t>(num_regs_))
+    regs_vec.resize(static_cast<std::size_t>(num_regs_));
+  const std::size_t arr_elems = array_params_.size() * ir::kArrayExtent;
+  if (arr_vec.size() < arr_elems) arr_vec.resize(arr_elems);
+}
+
+template <typename T>
 void BytecodeProgram::run_impl(const KernelArgs& args, ExecContext& ctx,
                                RunResult& out) const {
+  prepare<T>(ctx);
+  run_one<T>(args, ctx, out);
+}
+
+template <typename T>
+void BytecodeProgram::run_one(const KernelArgs& args, ExecContext& ctx,
+                              RunResult& out) const {
   constexpr bool kFp32 = sizeof(T) == 4;
   auto& regs_vec = [&]() -> auto& {
     if constexpr (kFp32) return ctx.regs32; else return ctx.regs64;
@@ -468,11 +498,6 @@ void BytecodeProgram::run_impl(const KernelArgs& args, ExecContext& ctx,
   const auto& consts = [&]() -> const auto& {
     if constexpr (kFp32) return consts32_; else return consts64_;
   }();
-
-  if (regs_vec.size() < static_cast<std::size_t>(num_regs_))
-    regs_vec.resize(static_cast<std::size_t>(num_regs_));
-  const std::size_t arr_bytes = array_params_.size() * ir::kArrayExtent;
-  if (arr_vec.size() < arr_bytes) arr_vec.resize(arr_bytes);
 
   T* const regs = regs_vec.data();
   T* const arrays = arr_vec.data();
@@ -676,6 +701,28 @@ RunResult BytecodeProgram::run(const KernelArgs& args, ExecContext& ctx) const {
   else
     run_impl<double>(args, ctx, out);
   return out;
+}
+
+void BytecodeProgram::run_batch(std::span<const KernelArgs> inputs,
+                                ExecContext& ctx, RunResult* out) const {
+  // Validate the whole batch up front so the execution loop is check-free.
+  for (const KernelArgs& args : inputs)
+    if (args.fp.size() != static_cast<std::size_t>(num_params_) ||
+        args.ints.size() != static_cast<std::size_t>(num_params_))
+      throw std::runtime_error("run_kernel: argument/parameter count mismatch");
+  if (precision_ == ir::Precision::FP32) {
+    prepare<float>(ctx);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = RunResult{};
+      run_one<float>(inputs[i], ctx, out[i]);
+    }
+  } else {
+    prepare<double>(ctx);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = RunResult{};
+      run_one<double>(inputs[i], ctx, out[i]);
+    }
+  }
 }
 
 }  // namespace gpudiff::vgpu

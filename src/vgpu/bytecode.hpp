@@ -29,6 +29,7 @@
 // (vgpu::run_kernel_tree, or globally via vgpu::set_exec_backend).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fp/bits.hpp"
@@ -142,12 +143,25 @@ class BytecodeProgram {
   /// mismatch; numerical misbehaviour never throws.
   RunResult run(const KernelArgs& args, ExecContext& ctx) const;
 
+  /// Execute the kernel over a batch of inputs, writing one RunResult per
+  /// input.  Semantically identical to calling run() per input, but the
+  /// argument validation, buffer sizing and dispatch setup are performed
+  /// once for the whole batch (the campaign sweep shape: one compiled
+  /// variant x many inputs).
+  void run_batch(std::span<const KernelArgs> inputs, ExecContext& ctx,
+                 RunResult* out) const;
+
  private:
   friend class BytecodeCompiler;
   friend BytecodeProgram compile_bytecode(const ir::Program&, const fp::FpEnv&,
                                           const vmath::MathLib* mathlib);
   template <typename T>
   void run_impl(const KernelArgs& args, ExecContext& ctx, RunResult& out) const;
+  /// run_impl minus buffer sizing: requires prepare<T> was called on `ctx`.
+  template <typename T>
+  void run_one(const KernelArgs& args, ExecContext& ctx, RunResult& out) const;
+  template <typename T>
+  void prepare(ExecContext& ctx) const;
 
   std::vector<BcInsn> code_;
   std::vector<double> consts64_;

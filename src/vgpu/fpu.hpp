@@ -50,10 +50,15 @@ class Fpu {
     // Subnormal operands or a (possibly) subnormal product stall hardware
     // multipliers with a microcode assist; the integer soft path computes
     // the identical correctly-rounded result without the stall.
-    const T r = assist_prone_mul(a, b) ? fp::soft_mul(a, b) : a * b;
+    const bool soft = assist_prone_mul(a, b);
+    const T r = soft ? fp::soft_mul(a, b) : a * b;
     if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
       if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
-      else if (!flags_.inexact() && std::fma(a, b, -r) != T(0))
+      // On the soft path the std::fma error-free probe would take the very
+      // subnormal-operand assist soft_mul avoided; an integer exactness
+      // check answers the same question assist-free.
+      else if (!flags_.inexact() &&
+               (soft ? fp::mul_rounds_inexact(a, b) : std::fma(a, b, -r) != T(0)))
         flags_.raise(fp::kInexact);
       if (fp::is_subnormal_bits(r) ||
           (fp::is_zero_bits(r) && !fp::is_zero_bits(a) && !fp::is_zero_bits(b)))
@@ -71,14 +76,17 @@ class Fpu {
       if (env_.div32 != fp::Div32Mode::IEEE) return div32_approx(a, b);
     }
     if (fp::is_nan_bits(a) || fp::is_nan_bits(b)) return propagate_nan(a, b);
-    const T r = assist_prone_div(a, b) ? fp::soft_div(a, b) : a / b;
+    const bool soft = assist_prone_div(a, b);
+    const T r = soft ? fp::soft_div(a, b) : a / b;
     if (fp::is_zero_bits(b) && fp::is_finite_bits(a) && !fp::is_zero_bits(a) &&
         !fp::is_nan_bits(a)) {
       flags_.raise(fp::kDivideByZero);
     } else if (fp::is_finite_bits(a) && fp::is_finite_bits(b)) {
       if (fp::is_nan_bits(r)) flags_.raise(fp::kInvalid);  // 0/0
       else if (fp::is_inf_bits(r)) flags_.raise(fp::kOverflow | fp::kInexact);
-      else if (!flags_.inexact() && std::fma(r, b, -a) != T(0))
+      else if (!flags_.inexact() &&
+               (soft ? fp::div_rounds_inexact(a, b)
+                     : std::fma(r, b, -a) != T(0)))
         flags_.raise(fp::kInexact);
       if (fp::is_subnormal_bits(r) ||
           (fp::is_zero_bits(r) && !fp::is_zero_bits(a)))
@@ -95,7 +103,10 @@ class Fpu {
     c = daz(c);
     if (fp::is_nan_bits(a) || fp::is_nan_bits(b) || fp::is_nan_bits(c))
       return fp::is_nan_bits(a) ? quieted(a) : propagate_nan(b, c);
-    const T r = std::fma(a, b, c);
+    // Subnormal operands or a subnormal-prone product/sum stall the fused
+    // unit with a microcode assist; the integer soft path is bit-identical.
+    const T r = assist_prone_fma(a, b, c) ? fp::soft_fma(a, b, c)
+                                          : std::fma(a, b, c);
     const bool fin = fp::is_finite_bits(a) && fp::is_finite_bits(b) &&
                      fp::is_finite_bits(c);
     if (fin) {
@@ -150,6 +161,26 @@ class Fpu {
     return ea == 0 || eb == 0 || ea + eb <= Tr::exponent_bias + 1;
   }
 
+  /// True when fma(a,b,c) would take an assist: a subnormal operand, a
+  /// product that can land near/below the subnormal range, an addend small
+  /// enough that the sum can, or a near-cancellation (opposite signs,
+  /// overlapping exponents) whose surviving low product bits can be
+  /// subnormal.  Purely a routing heuristic — both paths are bit-identical.
+  static bool assist_prone_fma(T a, T b, T c) noexcept {
+    using Tr = fp::FloatTraits<T>;
+    constexpr int kExpMax = (1 << Tr::exponent_bits) - 1;
+    const int ea = fp::raw_exponent(a);
+    const int eb = fp::raw_exponent(b);
+    const int ec = fp::raw_exponent(c);
+    if (ea == kExpMax || eb == kExpMax || ec == kExpMax) return false;
+    if (ea == 0 || eb == 0 || ec == 0) return true;
+    if (ea + eb <= Tr::exponent_bias + 2 || ec <= 1) return true;
+    const int ep = ea + eb - Tr::exponent_bias;  // biased product exponent +-1
+    const bool opposite = (fp::sign_bit(a) != fp::sign_bit(b)) != fp::sign_bit(c);
+    return opposite && ep - ec <= 2 && ec - ep <= 2 &&
+           ep <= 2 * Tr::mantissa_bits + 4;
+  }
+
   /// True when a/b would take an assist: subnormal operand, or an exponent
   /// gap that can push the quotient into the subnormal range.
   static bool assist_prone_div(T a, T b) noexcept {
@@ -163,6 +194,22 @@ class Fpu {
     return ea == 0 || eb == 0 || ea - eb <= Tr::min_normal_exponent;
   }
 
+  /// float -> double widening; CVTSS2SD assists on subnormal inputs, so
+  /// those route through the (exact) integer path.
+  static double promote32(float v) noexcept {
+    return fp::is_subnormal_bits(v) ? fp::soft_promote(v)
+                                    : static_cast<double>(v);
+  }
+
+  /// double -> float narrowing; CVTSD2SS assists when the rounded float is
+  /// subnormal (and on subnormal double inputs), both under 2^-126 here.
+  static float demote32(double v) noexcept {
+    if (fp::is_finite_bits(v) && !fp::is_zero_bits(v) &&
+        fp::abs_bits(v) < 0x1p-126)
+      return fp::soft_demote(v);
+    return static_cast<float>(v);
+  }
+
   float div32_approx(float a, float b) noexcept {
     flags_.raise(fp::kInexact);
     if (env_.div32 == fp::Div32Mode::NvApprox) {
@@ -171,12 +218,16 @@ class Fpu {
         const bool neg = fp::sign_bit(a) != fp::sign_bit(b);
         return neg ? -0.0f : 0.0f;
       }
-      const float recip = static_cast<float>(1.0 / static_cast<double>(b));
-      return ftz(a * recip);  // two float roundings
+      // Two float roundings; the reciprocal's narrowing cast and the final
+      // float multiply both route assist-prone ranges through soft paths.
+      const float recip = demote32(1.0 / promote32(b));
+      const float r = assist_prone_mul(a, recip) ? fp::soft_mul(a, recip)
+                                                 : a * recip;
+      return ftz(r);
     }
     // AmdApprox (v_rcp + refined multiply): double product, single rounding.
-    const double r = static_cast<double>(a) * (1.0 / static_cast<double>(b));
-    return static_cast<float>(r);  // no FTZ: MI250X keeps FP32 denormals
+    const double r = promote32(a) * (1.0 / promote32(b));
+    return demote32(r);  // no FTZ: MI250X keeps FP32 denormals
   }
 
   const fp::FpEnv& env_;

@@ -14,10 +14,13 @@ namespace gpudiff::vgpu {
 
 namespace {
 
+using ir::Arena;
 using ir::Expr;
+using ir::ExprId;
 using ir::ExprKind;
 using ir::Program;
 using ir::Stmt;
+using ir::StmtId;
 using ir::StmtKind;
 
 /// Issue-cycle model (see RunResult::cycle_count).
@@ -31,7 +34,8 @@ template <typename T>
 class Interp {
  public:
   Interp(const opt::Executable& exe, const KernelArgs& args, RunResult& out)
-      : exe_(exe), args_(args), out_(out), fpu_(exe.env, out.flags) {
+      : exe_(exe), arena_(exe.program.arena()), args_(args), out_(out),
+        fpu_(exe.env, out.flags) {
     if (sizeof(T) == 4) cycles_.divide = 8;
     if (exe_.env.div32 != fp::Div32Mode::IEEE && sizeof(T) == 4)
       cycles_.divide = 2;
@@ -52,23 +56,23 @@ class Interp {
 
   void run() {
     comp_ = static_cast<T>(args_.fp.at(0));
-    exec_body(exe_.program.body());
+    exec_body(std::span<const StmtId>(exe_.program.body()));
     out_.value = static_cast<double>(comp_);
     out_.value_bits = static_cast<std::uint64_t>(fp::to_bits(comp_));
   }
 
  private:
-  void exec_body(const std::vector<ir::StmtPtr>& body) {
-    for (const auto& s : body) exec(*s);
+  void exec_body(std::span<const StmtId> body) {
+    for (StmtId id : body) exec(arena_[id]);
   }
 
   void exec(const Stmt& s) {
     switch (s.kind) {
       case StmtKind::DeclTemp:
-        temps_.at(static_cast<std::size_t>(s.index)) = eval(*s.a);
+        temps_.at(static_cast<std::size_t>(s.index)) = eval(s.a);
         break;
       case StmtKind::AssignComp: {
-        const T v = eval(*s.a);
+        const T v = eval(s.a);
         switch (s.assign_op) {
           case ir::AssignOp::Set: comp_ = v; break;
           case ir::AssignOp::Add: comp_ = fpu_.add(comp_, v); break;
@@ -85,8 +89,8 @@ class Interp {
         auto& arr = arrays_.at(static_cast<std::size_t>(s.index));
         if (arr.empty())
           throw std::runtime_error("run_kernel: store to non-array parameter");
-        const int idx = eval_index(*s.a);
-        arr[static_cast<std::size_t>(idx)] = eval(*s.b);
+        const int idx = eval_index(s.a);
+        arr[static_cast<std::size_t>(idx)] = eval(s.b);
         break;
       }
       case StmtKind::For: {
@@ -96,17 +100,18 @@ class Interp {
         if (bound > kMaxTripCount) bound = kMaxTripCount;
         for (int i = 0; i < bound; ++i) {
           loop_vars_[static_cast<std::size_t>(s.index)] = i;
-          exec_body(s.body);
+          exec_body(arena_.body(s));
         }
         break;
       }
       case StmtKind::If:
-        if (eval_bool(*s.a)) exec_body(s.body);
+        if (eval_bool(s.a)) exec_body(arena_.body(s));
         break;
     }
   }
 
-  T eval(const Expr& e) {
+  T eval(ExprId id) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Literal:
         return static_cast<T>(e.lit_value);
@@ -123,17 +128,17 @@ class Interp {
         const auto& arr = arrays_.at(static_cast<std::size_t>(e.index));
         if (arr.empty())
           throw std::runtime_error("run_kernel: load from non-array parameter");
-        return arr[static_cast<std::size_t>(eval_index(*e.kids[0]))];
+        return arr[static_cast<std::size_t>(eval_index(e.kid[0]))];
       }
       case ExprKind::LoopVarRef:
         return static_cast<T>(loop_vars_.at(static_cast<std::size_t>(e.index)));
       case ExprKind::TempRef:
         return temps_.at(static_cast<std::size_t>(e.index));
       case ExprKind::Neg:
-        return fpu_.neg(eval(*e.kids[0]));
+        return fpu_.neg(eval(e.kid[0]));
       case ExprKind::Bin: {
-        const T a = eval(*e.kids[0]);
-        const T b = eval(*e.kids[1]);
+        const T a = eval(e.kid[0]);
+        const T b = eval(e.kid[1]);
         ++out_.op_count;
         out_.cycle_count +=
             e.bin_op == ir::BinOp::Div ? cycles_.divide : cycles_.basic;
@@ -146,9 +151,9 @@ class Interp {
         return T(0);
       }
       case ExprKind::Fma: {
-        const T a = eval(*e.kids[0]);
-        const T b = eval(*e.kids[1]);
-        const T c = eval(*e.kids[2]);
+        const T a = eval(e.kid[0]);
+        const T b = eval(e.kid[1]);
+        const T c = eval(e.kid[2]);
         ++out_.op_count;
         out_.cycle_count += cycles_.basic;
         return fpu_.fma_op(a, b, c);
@@ -156,19 +161,19 @@ class Interp {
       case ExprKind::Call:
         return eval_call(e);
       case ExprKind::BoolToFp:
-        return eval_bool(*e.kids[0]) ? T(1) : T(0);
+        return eval_bool(e.kid[0]) ? T(1) : T(0);
       case ExprKind::Cmp:
       case ExprKind::BoolBin:
       case ExprKind::BoolNot:
         // Boolean expression in value position: C semantics (0/1).
-        return eval_bool(e) ? T(1) : T(0);
+        return eval_bool(id) ? T(1) : T(0);
     }
     throw std::runtime_error("run_kernel: bad expression kind");
   }
 
   T eval_call(const Expr& e) {
-    const T a = eval(*e.kids[0]);
-    const T b = e.kids.size() > 1 ? eval(*e.kids[1]) : T(0);
+    const T a = eval(e.kid[0]);
+    const T b = e.n_kids > 1 ? eval(e.kid[1]) : T(0);
     ++out_.op_count;
     out_.cycle_count += cycles_.call;
     // -ffinite-math-only simplification: fmin/fmax lower to a bare compare-
@@ -190,11 +195,12 @@ class Interp {
     return fp::apply_ftz(r, exe_.env, &out_.flags);
   }
 
-  bool eval_bool(const Expr& e) {
+  bool eval_bool(ExprId id) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Cmp: {
-        const T a = eval(*e.kids[0]);
-        const T b = eval(*e.kids[1]);
+        const T a = eval(e.kid[0]);
+        const T b = eval(e.kid[1]);
         ++out_.op_count;
         out_.cycle_count += cycles_.basic;
         // IEEE comparison semantics: any NaN operand makes all ordered
@@ -211,20 +217,21 @@ class Interp {
       }
       case ExprKind::BoolBin:
         if (e.bool_op == ir::BoolOp::And)
-          return eval_bool(*e.kids[0]) && eval_bool(*e.kids[1]);
-        return eval_bool(*e.kids[0]) || eval_bool(*e.kids[1]);
+          return eval_bool(e.kid[0]) && eval_bool(e.kid[1]);
+        return eval_bool(e.kid[0]) || eval_bool(e.kid[1]);
       case ExprKind::BoolNot:
-        return !eval_bool(*e.kids[0]);
+        return !eval_bool(e.kid[0]);
       default:
         // FP expression in boolean position (C truthiness).
-        return eval(e) != T(0);
+        return eval(id) != T(0);
     }
   }
 
   /// Array subscripts: evaluated as integers, clamped into the extent
   /// (generated programs index with in-range loop variables; the clamp
   /// protects against hand-written IR).
-  int eval_index(const Expr& e) {
+  int eval_index(ExprId id) {
+    const Expr& e = arena_[id];
     long long idx;
     if (e.kind == ExprKind::LoopVarRef) {
       idx = loop_vars_.at(static_cast<std::size_t>(e.index));
@@ -235,12 +242,13 @@ class Interp {
     } else {
       // Casting NaN or an out-of-range value straight to integer is UB;
       // fp_to_subscript resolves those cases at the bit level first.
-      idx = fp_to_subscript(static_cast<double>(eval(e)));
+      idx = fp_to_subscript(static_cast<double>(eval(id)));
     }
     return clamp_subscript(idx);
   }
 
   const opt::Executable& exe_;
+  const Arena& arena_;
   const KernelArgs& args_;
   RunResult& out_;
   Fpu<T> fpu_;
@@ -283,6 +291,17 @@ RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args) {
   if (exec_backend() == ExecBackend::TreeWalk) return run_kernel_tree(exe, args);
   thread_local ExecContext ctx;
   return exe.bytecode().run(args, ctx);
+}
+
+void run_kernel_batch(const opt::Executable& exe,
+                      std::span<const KernelArgs> inputs, RunResult* out) {
+  if (exec_backend() == ExecBackend::TreeWalk) {
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      out[i] = run_kernel_tree(exe, inputs[i]);
+    return;
+  }
+  thread_local ExecContext ctx;
+  exe.bytecode().run_batch(inputs, ctx, out);
 }
 
 }  // namespace gpudiff::vgpu

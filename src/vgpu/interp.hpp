@@ -24,6 +24,7 @@
 // first and only format when recording a discrepancy.
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "fp/exceptions.hpp"
@@ -60,5 +61,13 @@ RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args);
 /// The tree-walk reference oracle, always available regardless of the
 /// process-wide backend selection (used by the differential self-tests).
 RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args);
+
+/// Execute the kernel over a batch of inputs (one RunResult per input).
+/// Bit-identical to per-input run_kernel calls; the bytecode backend
+/// validates arguments and sizes its ExecContext once per batch instead of
+/// once per run, which is the campaign sweep shape (ROADMAP "batched input
+/// sweeps").
+void run_kernel_batch(const opt::Executable& exe,
+                      std::span<const KernelArgs> inputs, RunResult* out);
 
 }  // namespace gpudiff::vgpu

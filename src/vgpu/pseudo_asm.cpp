@@ -9,11 +9,14 @@ namespace gpudiff::vgpu {
 
 namespace {
 
+using ir::Arena;
 using ir::Expr;
+using ir::ExprId;
 using ir::ExprKind;
 using ir::Precision;
 using ir::Program;
 using ir::Stmt;
+using ir::StmtId;
 using ir::StmtKind;
 
 /// Emits one of the two flavours; shared walking logic, dialect hooks below.
@@ -21,6 +24,7 @@ class Disassembler {
  public:
   explicit Disassembler(const opt::Executable& exe)
       : exe_(exe),
+        arena_(exe.program.arena()),
         nv_(exe.toolchain == opt::Toolchain::Nvcc),
         f32_(exe.program.precision() == Precision::FP32) {}
 
@@ -34,7 +38,7 @@ class Disassembler {
     comp_reg_ = fresh();
     emit_line(nv_ ? support::format("ld.param%s %s, [comp];", suffix(), reg(comp_reg_))
                   : support::format("%s = s_load %s [comp]", reg(comp_reg_), vsuffix()));
-    walk_body(p.body());
+    walk_body(std::span<const StmtId>(p.body()));
     emit_line(nv_ ? support::format("// vprintf(\"%%.17g\", %s)", reg(comp_reg_))
                   : support::format("; printf \"%%.17g\", %s", reg(comp_reg_)));
     out_ += nv_ ? "}\n" : "s_endpgm\n";
@@ -69,7 +73,8 @@ class Disassembler {
                                 reg(dst).c_str(), reg(a).c_str(), reg(b).c_str()));
   }
 
-  int emit_expr(const Expr& e) {
+  int emit_expr(ExprId id) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Literal: {
         const int r = fresh();
@@ -98,7 +103,7 @@ class Disassembler {
         return r;
       }
       case ExprKind::ArrayRef: {
-        const int idx = emit_expr(*e.kids[0]);
+        const int idx = emit_expr(e.kid[0]);
         const int r = fresh();
         const auto& name = exe_.program.params().at(static_cast<std::size_t>(e.index)).name;
         emit_line(nv_ ? support::format("ld.global%s %s, [%s + %s];", suffix(),
@@ -124,7 +129,7 @@ class Disassembler {
         return r;
       }
       case ExprKind::Neg: {
-        const int a = emit_expr(*e.kids[0]);
+        const int a = emit_expr(e.kid[0]);
         const int r = fresh();
         emit_line(nv_ ? support::format("neg%s %s, %s;", suffix(), reg(r).c_str(),
                                         reg(a).c_str())
@@ -133,8 +138,8 @@ class Disassembler {
         return r;
       }
       case ExprKind::Bin: {
-        const int a = emit_expr(*e.kids[0]);
-        const int b = emit_expr(*e.kids[1]);
+        const int a = emit_expr(e.kid[0]);
+        const int b = emit_expr(e.kid[1]);
         const int r = fresh();
         switch (e.bin_op) {
           case ir::BinOp::Add: op3("add.rn", "v_add", r, a, b); break;
@@ -156,9 +161,9 @@ class Disassembler {
         return r;
       }
       case ExprKind::Fma: {
-        const int a = emit_expr(*e.kids[0]);
-        const int b = emit_expr(*e.kids[1]);
-        const int c = emit_expr(*e.kids[2]);
+        const int a = emit_expr(e.kid[0]);
+        const int b = emit_expr(e.kid[1]);
+        const int c = emit_expr(e.kid[2]);
         const int r = fresh();
         if (nv_)
           emit_line(support::format("fma.rn%s %s, %s, %s, %s;", suffix(),
@@ -172,7 +177,7 @@ class Disassembler {
       }
       case ExprKind::Call: {
         std::vector<int> args;
-        for (const auto& k : e.kids) args.push_back(emit_expr(*k));
+        for (int i = 0; i < e.n_kids; ++i) args.push_back(emit_expr(e.kid[i]));
         const int r = fresh();
         const std::string sym = exe_.mathlib->symbol(e.fn, exe_.program.precision());
         std::string arglist;
@@ -191,7 +196,7 @@ class Disassembler {
       case ExprKind::Cmp:
       case ExprKind::BoolBin:
       case ExprKind::BoolNot: {
-        const int p = emit_bool(e);
+        const int p = emit_bool(id);
         const int r = fresh();
         emit_line(nv_ ? support::format("selp%s %s, 1.0, 0.0, %s;", suffix(),
                                         reg(r).c_str(), preg(p).c_str())
@@ -200,7 +205,7 @@ class Disassembler {
         return r;
       }
       case ExprKind::BoolToFp: {
-        const int p = emit_bool(*e.kids[0]);
+        const int p = emit_bool(e.kid[0]);
         const int r = fresh();
         emit_line(nv_ ? support::format("selp%s %s, 1.0, 0.0, %s; // if-conversion",
                                         reg(r).c_str(), preg(p).c_str())
@@ -212,11 +217,12 @@ class Disassembler {
     return fresh();
   }
 
-  int emit_bool(const Expr& e) {
+  int emit_bool(ExprId id) {
+    const Expr& e = arena_[id];
     switch (e.kind) {
       case ExprKind::Cmp: {
-        const int a = emit_expr(*e.kids[0]);
-        const int b = emit_expr(*e.kids[1]);
+        const int a = emit_expr(e.kid[0]);
+        const int b = emit_expr(e.kid[1]);
         const int p = next_pred_++;
         const char* op = "";
         switch (e.cmp_op) {
@@ -235,8 +241,8 @@ class Disassembler {
         return p;
       }
       case ExprKind::BoolBin: {
-        const int a = emit_bool(*e.kids[0]);
-        const int b = emit_bool(*e.kids[1]);
+        const int a = emit_bool(e.kid[0]);
+        const int b = emit_bool(e.kid[1]);
         const int p = next_pred_++;
         const char* op = e.bool_op == ir::BoolOp::And ? "and" : "or";
         emit_line(nv_ ? support::format("%s.pred %s, %s, %s;", op, preg(p).c_str(),
@@ -246,7 +252,7 @@ class Disassembler {
         return p;
       }
       case ExprKind::BoolNot: {
-        const int a = emit_bool(*e.kids[0]);
+        const int a = emit_bool(e.kid[0]);
         const int p = next_pred_++;
         emit_line(nv_ ? support::format("not.pred %s, %s;", preg(p).c_str(),
                                         preg(a).c_str())
@@ -255,7 +261,7 @@ class Disassembler {
         return p;
       }
       default: {
-        const int v = emit_expr(e);
+        const int v = emit_expr(id);
         const int p = next_pred_++;
         emit_line(nv_ ? support::format("setp.ne%s %s, %s, 0.0;", suffix(),
                                         preg(p).c_str(), reg(v).c_str())
@@ -266,21 +272,21 @@ class Disassembler {
     }
   }
 
-  void walk_body(const std::vector<ir::StmtPtr>& body) {
-    for (const auto& s : body) walk(*s);
+  void walk_body(std::span<const StmtId> body) {
+    for (StmtId id : body) walk(arena_[id]);
   }
 
   void walk(const Stmt& s) {
     switch (s.kind) {
       case StmtKind::DeclTemp: {
-        const int v = emit_expr(*s.a);
+        const int v = emit_expr(s.a);
         emit_line(nv_ ? support::format("mov%s %%tmp%d, %s;", suffix(), s.index,
                                         reg(v).c_str())
                       : support::format("tmp%d = v_mov %s", s.index, reg(v).c_str()));
         break;
       }
       case StmtKind::AssignComp: {
-        const int v = emit_expr(*s.a);
+        const int v = emit_expr(s.a);
         const int r = fresh();
         switch (s.assign_op) {
           case ir::AssignOp::Set:
@@ -298,8 +304,8 @@ class Disassembler {
         break;
       }
       case StmtKind::StoreArray: {
-        const int idx = emit_expr(*s.a);
-        const int v = emit_expr(*s.b);
+        const int idx = emit_expr(s.a);
+        const int v = emit_expr(s.b);
         const auto& name = exe_.program.params().at(static_cast<std::size_t>(s.index)).name;
         emit_line(nv_ ? support::format("st.global%s [%s + %s], %s;", suffix(),
                                         name.c_str(), reg(idx).c_str(), reg(v).c_str())
@@ -316,7 +322,7 @@ class Disassembler {
         emit_line(support::format(nv_ ? "LBB_%d: // loop over %s" : "BB_%d: ; loop over %s",
                                   label, bound.c_str()));
         ++indent_;
-        walk_body(s.body);
+        walk_body(arena_.body(s));
         emit_line(nv_ ? support::format("add.s32 %%r_i%d, %%r_i%d, 1;", s.index, s.index)
                       : support::format("s_i%d = s_add_i32 s_i%d, 1", s.index, s.index));
         --indent_;
@@ -327,13 +333,13 @@ class Disassembler {
         break;
       }
       case StmtKind::If: {
-        const int p = emit_bool(*s.a);
+        const int p = emit_bool(s.a);
         const int label = next_label_++;
         emit_line(nv_ ? support::format("@!%s bra LBB_END_%d;", preg(p).c_str(), label)
                       : support::format("s_and_saveexec_b64 exec, %s ; branch BB_END_%d",
                                         preg(p).c_str(), label));
         ++indent_;
-        walk_body(s.body);
+        walk_body(arena_.body(s));
         --indent_;
         emit_line(support::format(nv_ ? "LBB_END_%d:" : "BB_END_%d: ; s_or_b64 exec", label));
         break;
@@ -342,6 +348,7 @@ class Disassembler {
   }
 
   const opt::Executable& exe_;
+  const Arena& arena_;
   bool nv_;
   bool f32_;
   std::string out_;

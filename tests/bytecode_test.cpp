@@ -124,12 +124,13 @@ TEST(Bytecode, ShortCircuitSkipsUncountedOperand) {
   // (0 != 0) && (comp < comp + 1): the RHS Cmp and Add must not execute
   // when the LHS is false — op_count sees exactly one comparison.
   ProgramBuilder b(Precision::FP64);
-  auto cond = make_bool(
-      BoolOp::And, make_cmp(CmpOp::Ne, make_literal(0.0), make_literal(0.0)),
-      make_cmp(CmpOp::Lt, make_param(0),
-               make_bin(BinOp::Add, make_param(0), make_literal(1.0))));
+  Arena& A = b.arena();
+  auto cond = make_bool(A, 
+      BoolOp::And, make_cmp(A, CmpOp::Ne, make_literal(A, 0.0), make_literal(A, 0.0)),
+      make_cmp(A, CmpOp::Lt, make_param(A, 0),
+               make_bin(A, BinOp::Add, make_param(A, 0), make_literal(A, 1.0))));
   b.begin_if(std::move(cond));
-  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
   b.end_block();
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs args;
@@ -146,8 +147,9 @@ TEST(Bytecode, ReadOnlyArrayLoadsBroadcastValue) {
   // comp = arr[3]; the array is never stored to, so the VM elides its
   // backing storage entirely — loads must still see the broadcast argument.
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int arr = b.add_array_param();
-  b.assign_comp(AssignOp::Set, make_array(arr, make_literal(3.0)));
+  b.assign_comp(AssignOp::Set, make_array(A, arr, make_literal(A, 3.0)));
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs args;
   args.fp = {0.0, 6.5};
@@ -159,11 +161,12 @@ TEST(Bytecode, ReadOnlyArrayLoadsBroadcastValue) {
 TEST(Bytecode, StoredArrayRoundTrips) {
   // arr[2] = 41; comp = arr[2] + arr[1]  (arr broadcast-initialized to 1).
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int arr = b.add_array_param();
-  b.store_array(arr, make_literal(2.0), make_literal(41.0));
+  b.store_array(arr, make_literal(A, 2.0), make_literal(A, 41.0));
   b.assign_comp(AssignOp::Set,
-                make_bin(BinOp::Add, make_array(arr, make_literal(2.0)),
-                         make_array(arr, make_literal(1.0))));
+                make_bin(A, BinOp::Add, make_array(A, arr, make_literal(A, 2.0)),
+                         make_array(A, arr, make_literal(A, 1.0))));
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs args;
   args.fp = {0.0, 1.0};
@@ -176,11 +179,12 @@ TEST(Bytecode, NanSubscriptIndexesElementZero) {
   // arr[0] = 9; comp = arr[0.0/0.0]: a NaN subscript must clamp to element
   // 0 in both backends (previously UB in the tree-walk interpreter).
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int arr = b.add_array_param();
-  b.store_array(arr, make_literal(0.0), make_literal(9.0));
+  b.store_array(arr, make_literal(A, 0.0), make_literal(A, 9.0));
   b.assign_comp(
       AssignOp::Set,
-      make_array(arr, make_bin(BinOp::Div, make_literal(0.0), make_literal(0.0))));
+      make_array(A, arr, make_bin(A, BinOp::Div, make_literal(A, 0.0), make_literal(A, 0.0))));
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs args;
   args.fp = {0.0, 1.0};
@@ -196,11 +200,12 @@ TEST(Bytecode, LoopVarAfterLoopMatchesOracle) {
   // observe the final iteration value (n-1), and a zero-trip loop must
   // leave the variable untouched (0 at run start).
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   b.begin_for(n);
-  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
   b.end_block();
-  b.assign_comp(AssignOp::Set, make_loop_var(0));
+  b.assign_comp(AssignOp::Set, make_loop_var(A, 0));
   const opt::Executable exe = compile_o0(b.build());
   for (const int bound : {3, 1, 0}) {
     vgpu::KernelArgs args;
@@ -217,9 +222,10 @@ TEST(Bytecode, HugeLiteralSubscriptMatchesOracle) {
   // A literal subscript beyond long long range saturates identically in
   // both backends (previously UB in the tree-walk Literal fast path).
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int arr = b.add_array_param();
-  b.store_array(arr, make_literal(255.0), make_literal(7.0));
-  b.assign_comp(AssignOp::Set, make_array(arr, make_literal(1e30)));
+  b.store_array(arr, make_literal(A, 255.0), make_literal(A, 7.0));
+  b.assign_comp(AssignOp::Set, make_array(A, arr, make_literal(A, 1e30)));
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs args;
   args.fp = {0.0, 1.0};
@@ -237,16 +243,19 @@ TEST(Bytecode, MalformedStatementFaultsOnlyWhenReached) {
   // error once the guard lets the statement execute.
   const auto build = [](double guard_rhs) {
     // Raw IR assembly: ProgramBuilder (rightly) refuses to emit this.
+    Arena A;
     std::vector<Param> params{{ParamKind::Comp, "comp"},
                               {ParamKind::Scalar, "var_1"}};
-    std::vector<StmtPtr> guarded;
-    guarded.push_back(make_store_array(1, make_literal(0.0), make_literal(1.0)));
-    std::vector<StmtPtr> body;
+    std::vector<StmtId> guarded;
+    guarded.push_back(
+        make_store_array(A, 1, make_literal(A, 0.0), make_literal(A, 1.0)));
+    std::vector<StmtId> body;
     body.push_back(make_if(
-        make_cmp(CmpOp::Ne, make_literal(0.0), make_literal(guard_rhs)),
-        std::move(guarded)));
-    body.push_back(make_assign_comp(AssignOp::Add, make_literal(2.0)));
-    return compile_o0(Program(Precision::FP64, std::move(params), std::move(body)));
+        A, make_cmp(A, CmpOp::Ne, make_literal(A, 0.0), make_literal(A, guard_rhs)),
+        guarded));
+    body.push_back(make_assign_comp(A, AssignOp::Add, make_literal(A, 2.0)));
+    return compile_o0(Program(Precision::FP64, std::move(params), std::move(A),
+                              std::move(body)));
   };
   vgpu::KernelArgs args;
   args.fp = {1.0, 3.0};
@@ -261,12 +270,62 @@ TEST(Bytecode, MalformedStatementFaultsOnlyWhenReached) {
 
 TEST(Bytecode, ArgumentCountMismatchThrows) {
   ProgramBuilder b(Precision::FP64);
-  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
   const opt::Executable exe = compile_o0(b.build());
   vgpu::KernelArgs bad;
   bad.fp = {1.0, 2.0};
   bad.ints = {0, 0};
   EXPECT_THROW((void)vgpu::run_kernel(exe, bad), std::runtime_error);
+}
+
+TEST(Bytecode, BatchedSweepBitIdenticalToPerRunLoop) {
+  // compare_batch must be indistinguishable from the compare_run loop it
+  // replaced in the campaign driver: same bits, flags, op counts and
+  // classification, for both backends.
+  gen::GenConfig cfg;
+  const gen::Generator generator(cfg, 77);
+  const gen::InputGenerator input_gen(77);
+  for (std::uint64_t pi = 0; pi < 25; ++pi) {
+    const Program program = generator.generate(pi);
+    std::vector<vgpu::KernelArgs> inputs;
+    for (int ii = 0; ii < 6; ++ii) inputs.push_back(input_gen.generate(program, pi, ii));
+    for (const opt::OptLevel level : opt::kAllOptLevels) {
+      const diff::CompiledPair pair = diff::compile_pair(program, level);
+      for (const auto backend :
+           {vgpu::ExecBackend::Bytecode, vgpu::ExecBackend::TreeWalk}) {
+        vgpu::set_exec_backend(backend);
+        const auto batch = diff::compare_batch(pair, inputs);
+        ASSERT_EQ(batch.size(), inputs.size());
+        for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
+          const auto single = diff::compare_run(pair, inputs[ii]);
+          EXPECT_EQ(batch[ii].nvcc.bits, single.nvcc.bits);
+          EXPECT_EQ(batch[ii].hipcc.bits, single.hipcc.bits);
+          EXPECT_EQ(batch[ii].nvcc.flags.raw(), single.nvcc.flags.raw());
+          EXPECT_EQ(batch[ii].hipcc.op_count, single.hipcc.op_count);
+          EXPECT_EQ(batch[ii].cls, single.cls);
+        }
+      }
+      vgpu::set_exec_backend(vgpu::ExecBackend::Bytecode);
+    }
+  }
+}
+
+TEST(Bytecode, BatchRejectsMismatchedArguments) {
+  ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
+  const opt::Executable exe = compile_o0(b.build());
+  vgpu::KernelArgs good;
+  good.fp = {1.0};
+  good.ints = {0};
+  vgpu::KernelArgs bad;
+  bad.fp = {1.0, 2.0};
+  bad.ints = {0, 0};
+  const vgpu::KernelArgs inputs[] = {good, bad};
+  vgpu::RunResult out[2];
+  vgpu::ExecContext ctx;
+  EXPECT_THROW(exe.bytecode().run_batch(inputs, ctx, out), std::runtime_error);
 }
 
 TEST(Bytecode, CompiledProgramIsCachedOnExecutable) {

@@ -92,11 +92,12 @@ TEST(ClassifyPair, IndexRoundTrip) {
 TEST(Runner, CeilCaseStudyDivergesAtO0) {
   // Paper Fig. 5 in miniature: comp += tmp_1 / ceil(1.5955E-125).
   ir::ProgramBuilder b(ir::Precision::FP64);
-  const int t = b.decl_temp(ir::make_literal(1.1147e-307, "+1.1147E-307"));
+  ir::Arena& A = b.arena();
+  const int t = b.decl_temp(ir::make_literal(A, 1.1147e-307, "+1.1147E-307"));
   b.assign_comp(ir::AssignOp::Add,
-                ir::make_bin(ir::BinOp::Div, ir::make_temp(t),
-                             ir::make_call(ir::MathFn::Ceil,
-                                           ir::make_literal(1.5955e-125,
+                ir::make_bin(A, ir::BinOp::Div, ir::make_temp(A, t),
+                             ir::make_call(A, ir::MathFn::Ceil,
+                                           ir::make_literal(A, 1.5955e-125,
                                                             "+1.5955E-125"))));
   const ir::Program p = b.build();
   vgpu::KernelArgs args;
@@ -110,9 +111,10 @@ TEST(Runner, CeilCaseStudyDivergesAtO0) {
 
 TEST(Runner, IdenticalProgramsAgreeOnBenignInputs) {
   ir::ProgramBuilder b(ir::Precision::FP64);
+  ir::Arena& A = b.arena();
   const int x = b.add_scalar_param();
   b.assign_comp(ir::AssignOp::Add,
-                ir::make_bin(ir::BinOp::Mul, ir::make_param(x), ir::make_param(x)));
+                ir::make_bin(A, ir::BinOp::Mul, ir::make_param(A, x), ir::make_param(A, x)));
   const ir::Program p = b.build();
   vgpu::KernelArgs args;
   args.fp = {1.0, 3.0};
@@ -126,8 +128,9 @@ TEST(Runner, IdenticalProgramsAgreeOnBenignInputs) {
 
 TEST(Runner, CompiledPairReusableAcrossInputs) {
   ir::ProgramBuilder b(ir::Precision::FP64);
+  ir::Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(ir::AssignOp::Add, ir::make_param(x));
+  b.assign_comp(ir::AssignOp::Add, ir::make_param(A, x));
   const ir::Program p = b.build();
   const CompiledPair pair = compile_pair(p, opt::OptLevel::O2);
   for (double v : {1.0, -2.5, 1e300}) {

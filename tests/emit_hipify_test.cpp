@@ -14,13 +14,14 @@ using namespace gpudiff::ir;
 
 Program tiny_program() {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   const int x = b.add_scalar_param();
   const int arr = b.add_array_param();
   b.begin_for(n);
   b.assign_comp(AssignOp::Add,
-                make_call(MathFn::Fmod, make_array(arr, make_loop_var(0)),
-                          make_param(x)));
+                make_call(A, MathFn::Fmod, make_array(A, arr, make_loop_var(A, 0)),
+                          make_param(A, x)));
   b.end_block();
   return b.build();
 }
@@ -66,8 +67,9 @@ TEST(Emit, HipTranslationUnitUsesHipApi) {
 
 TEST(Emit, Fp32UsesFloatTypesAndSuffixedCalls) {
   ProgramBuilder b(Precision::FP32);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Cos, make_param(A, x)));
   const std::string cu = emit::emit_cuda(b.build());
   EXPECT_NE(cu.find("void compute(float comp, float var_1)"), std::string::npos);
   EXPECT_NE(cu.find("cosf(var_1)"), std::string::npos);

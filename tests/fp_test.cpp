@@ -359,4 +359,154 @@ TEST(SoftFloat, DirectedEdgeCases64) {
             to_bits(std::numeric_limits<double>::infinity()));
 }
 
+// ---------------------------------------------------------------------------
+// soft_fma / conversions / exactness probes: the remaining assist sites.
+// Same contract: the hardware operation is the oracle, bit-for-bit.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void check_soft_fma_against_hardware() {
+  using B = typename FloatTraits<T>::Bits;
+  gpudiff::support::Rng rng(0xF3A5u);
+  const auto gen = [&]() -> T {
+    const auto cls = rng.next() % 5;
+    B bits = static_cast<B>(rng.next());
+    constexpr int m = FloatTraits<T>::mantissa_bits;
+    constexpr int ebits = FloatTraits<T>::exponent_bits;
+    const B sign = bits & FloatTraits<T>::sign_mask;
+    if (cls == 0) {  // subnormal
+      bits = sign | (bits & FloatTraits<T>::mantissa_mask);
+    } else if (cls == 1) {  // tiny normal exponent
+      const B e = static_cast<B>(1 + rng.next() % 40);
+      bits = sign | (e << m) | (bits & FloatTraits<T>::mantissa_mask);
+    } else if (cls == 2) {  // huge exponent
+      const B e = static_cast<B>(((B{1} << ebits) - 2) - rng.next() % 40);
+      bits = sign | (e << m) | (bits & FloatTraits<T>::mantissa_mask);
+    } else if (cls == 3) {  // mid-range (cancellation fodder)
+      const B e = static_cast<B>(FloatTraits<T>::exponent_bias - 2 +
+                                 rng.next() % 5);
+      bits = sign | (e << m) | (bits & FloatTraits<T>::mantissa_mask);
+    }
+    return from_bits<T>(bits);
+  };
+  int checked = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const T a = gen();
+    const T b = gen();
+    T c = gen();
+    if (rng.next() % 4 == 0) {
+      // Directed near-cancellation: c ~ -(a*b) so the fused low bits
+      // survive, the hardest rounding case for a fused implementation.
+      c = -(a * b);
+    }
+    if (is_nan_bits(a) || is_nan_bits(b) || is_nan_bits(c) || is_inf_bits(a) ||
+        is_inf_bits(b) || is_inf_bits(c))
+      continue;
+    const T hw = std::fma(a, b, c);
+    ASSERT_EQ(to_bits(soft_fma(a, b, c)), to_bits(hw))
+        << encode_bits(a) << " * " << encode_bits(b) << " + " << encode_bits(c);
+    ++checked;
+  }
+  ASSERT_GT(checked, 100000);
+}
+
+TEST(SoftFloat, FmaMatchesHardware64) { check_soft_fma_against_hardware<double>(); }
+TEST(SoftFloat, FmaMatchesHardware32) { check_soft_fma_against_hardware<float>(); }
+
+TEST(SoftFloat, FmaDirectedEdgeCases64) {
+  const double cases[][3] = {
+      {1.0 + 0x1p-52, 1.0 - 0x1p-52, -1.0},       // fused -2^-104 survives
+      {1.0 + 0x1p-52, 1.0 + 0x1p-52, -1.0},       // cancellation, low bits up
+      {0x1p-537, 0x1p-537, 0x1p-1074},            // subnormal product + ulp
+      {0x1p-537, 0x1p-537, -0x1p-1074},           // ... and cancelled
+      {0x1p-1074, 0x1p-1074, 0.0},                // product underflows to 0
+      {0x1p-1074, 0x1p-1074, -0.0},               // signed-zero addend
+      {0.0, 5.0, -0.0},                           // 0*x + -0 = +0 (RNE)
+      {-0.0, 5.0, 0.0},                           // -0*x + 0 = +0 (RNE)
+      {-0.0, 5.0, -0.0},                          // both negative: -0
+      {0x1.fffffffffffffp+1023, 2.0, -0x1.fffffffffffffp+1023},  // huge
+      {0x1p+1000, 0x1p+100, -0x1p-1000},          // far-apart magnitudes
+      {0x1p-1000, 0x1p-100, 0x1p+1000},           // addend dominates
+      {3.0, 7.0, 1e-300},                         // sticky below plain product
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(to_bits(soft_fma(c[0], c[1], c[2])),
+              to_bits(std::fma(c[0], c[1], c[2])))
+        << encode_bits(c[0]) << " * " << encode_bits(c[1]) << " + "
+        << encode_bits(c[2]);
+  }
+}
+
+TEST(SoftFloat, PromoteDemoteMatchCasts) {
+  gpudiff::support::Rng rng(0xCA57u);
+  for (int i = 0; i < 200000; ++i) {
+    // Demote: bias toward the narrow band that lands subnormal in float.
+    const std::uint64_t bits = rng.next();
+    double d = from_bits<double>(bits);
+    if (rng.next() % 2) {
+      const int e = 1023 - 120 - static_cast<int>(rng.next() % 40);
+      d = from_bits<double>((bits & 0x800FFFFFFFFFFFFFull) |
+                            (static_cast<std::uint64_t>(e) << 52));
+    }
+    if (!is_nan_bits(d) && !is_inf_bits(d)) {
+      EXPECT_EQ(to_bits(soft_demote(d)), to_bits(static_cast<float>(d)))
+          << encode_bits(d);
+    }
+    const float f = from_bits<float>(static_cast<std::uint32_t>(rng.next()));
+    if (!is_nan_bits(f) && !is_inf_bits(f)) {
+      EXPECT_EQ(to_bits(soft_promote(f)), to_bits(static_cast<double>(f)))
+          << encode_bits(f);
+    }
+  }
+}
+
+TEST(SoftFloat, ExactnessProbesMatchErrorFreeTransformations) {
+  // The std::fma error-free probe is only a trustworthy oracle away from
+  // the underflow boundary: when the rounding residual falls below
+  // 2^-1074 the fused probe itself flushes it to zero and falsely reports
+  // "exact" (the integer probes get those hairline cases right — pinned
+  // by the directed checks below).
+  gpudiff::support::Rng rng(0xE4AC7u);
+  // The fused probe's residual is a multiple of 2^(ulp-exponent sum of its
+  // product operands); the probe is an oracle only when that frame is at
+  // or above the smallest subnormal.
+  const auto frame_ok = [](double x, double y) {
+    return (std::ilogb(x) - 52) + (std::ilogb(y) - 52) >= -1074;
+  };
+  int checked = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double a = from_bits<double>(rng.next());
+    const double b = from_bits<double>(rng.next());
+    if (is_nan_bits(a) || is_nan_bits(b) || is_inf_bits(a) || is_inf_bits(b) ||
+        is_zero_bits(a) || is_zero_bits(b))
+      continue;
+    const double r = a * b;
+    if (is_finite_bits(r) && frame_ok(a, b)) {
+      EXPECT_EQ(mul_rounds_inexact(a, b), std::fma(a, b, -r) != 0.0)
+          << encode_bits(a) << " * " << encode_bits(b);
+      ++checked;
+    }
+    const double q = a / b;
+    if (is_finite_bits(q) && !is_zero_bits(q) && frame_ok(q, b)) {
+      EXPECT_EQ(div_rounds_inexact(a, b), std::fma(q, b, -a) != 0.0)
+          << encode_bits(a) << " / " << encode_bits(b);
+    }
+  }
+  EXPECT_GT(checked, 50000);
+  // Directed: exact cases must not report inexact.
+  EXPECT_FALSE(mul_rounds_inexact(1.5, 2.0));
+  EXPECT_FALSE(mul_rounds_inexact(0x1p-537, 0x1p-537));  // exact subnormal
+  // Exactly representable at the subnormal ulp (2^-1022 + 2^-1074).
+  EXPECT_FALSE(mul_rounds_inexact(1.0 + 0x1p-52, 0x1p-1022));
+  EXPECT_FALSE(div_rounds_inexact(6.0, 3.0));
+  // Hairline inexactness the fused probe cannot see:
+  // 2^-1023 + 2^-1075 has a dropped half-ulp below the subnormal grid.
+  EXPECT_TRUE(mul_rounds_inexact(1.0 + 0x1p-52, 0x1p-1023));
+  // 2^-537 * 2^-538 = 2^-1075: rounds to zero on the subnormal grid.
+  EXPECT_TRUE(mul_rounds_inexact(0x1p-537, 0x1p-538));
+  // 2^-1074 / 2 is below the subnormal ulp and rounds (to zero): inexact.
+  EXPECT_TRUE(div_rounds_inexact(0x1p-1074, 2.0));
+  EXPECT_TRUE(div_rounds_inexact(1.0, 3.0));
+}
+
 }  // namespace

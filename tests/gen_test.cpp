@@ -24,30 +24,35 @@ using ir::Precision;
 using ir::Program;
 using ir::StmtKind;
 
-int expr_depth(const ir::Expr& e) {
+int expr_depth(const ir::Arena& A, ir::ExprId id) {
+  const ir::Expr& e = A[id];
   int deepest = 0;
-  for (const auto& k : e.kids) deepest = std::max(deepest, expr_depth(*k));
+  for (int i = 0; i < e.n_kids; ++i)
+    deepest = std::max(deepest, expr_depth(A, e.kid[i]));
   return 1 + deepest;
 }
 
-void walk_stmts(const std::vector<ir::StmtPtr>& body,
+void walk_stmts(const ir::Arena& A, std::span<const ir::StmtId> body,
                 const std::function<void(const ir::Stmt&)>& fn) {
-  for (const auto& s : body) {
-    fn(*s);
-    walk_stmts(s->body, fn);
+  for (ir::StmtId id : body) {
+    const ir::Stmt& s = A[id];
+    fn(s);
+    walk_stmts(A, A.body(s), fn);
   }
 }
 
-void walk_exprs(const ir::Expr& e, const std::function<void(const ir::Expr&)>& fn) {
+void walk_exprs(const ir::Arena& A, ir::ExprId id,
+                const std::function<void(const ir::Expr&)>& fn) {
+  const ir::Expr& e = A[id];
   fn(e);
-  for (const auto& k : e.kids) walk_exprs(*k, fn);
+  for (int i = 0; i < e.n_kids; ++i) walk_exprs(A, e.kid[i], fn);
 }
 
 void walk_all_exprs(const Program& p,
                     const std::function<void(const ir::Expr&)>& fn) {
-  walk_stmts(p.body(), [&](const ir::Stmt& s) {
-    if (s.a) walk_exprs(*s.a, fn);
-    if (s.b) walk_exprs(*s.b, fn);
+  walk_stmts(p.arena(), p.body(), [&](const ir::Stmt& s) {
+    if (s.a) walk_exprs(p.arena(), s.a, fn);
+    if (s.b) walk_exprs(p.arena(), s.b, fn);
   });
 }
 
@@ -108,11 +113,13 @@ TEST(Generator, RespectsExprDepthLimit) {
   cfg.max_expr_depth = 3;
   Generator g(cfg, 8);
   for (int i = 0; i < 40; ++i) {
-    walk_all_exprs(g.generate(i), [](const ir::Expr& e) {
+    const Program p = g.generate(i);
+    walk_stmts(p.arena(), p.body(), [&](const ir::Stmt& s) {
       // Depth limit applies to value expressions; conditions add a
       // comparison + two depth-2 operand trees on top, and the array
       // subscript adds one more level.
-      EXPECT_LE(expr_depth(e), 3 + 3);
+      if (s.a) EXPECT_LE(expr_depth(p.arena(), s.a), 3 + 3);
+      if (s.b) EXPECT_LE(expr_depth(p.arena(), s.b), 3 + 3);
     });
   }
 }
@@ -123,17 +130,18 @@ TEST(Generator, RespectsLoopNestLimit) {
   Generator g(cfg, 9);
   for (int i = 0; i < 60; ++i) {
     const Program p = g.generate(i);
-    const std::function<int(const std::vector<ir::StmtPtr>&)> max_nest =
-        [&](const std::vector<ir::StmtPtr>& body) -> int {
+    const std::function<int(std::span<const ir::StmtId>)> max_nest =
+        [&](std::span<const ir::StmtId> body) -> int {
       int deepest = 0;
-      for (const auto& s : body) {
-        int inner = max_nest(s->body);
-        if (s->kind == StmtKind::For) inner += 1;
+      for (ir::StmtId id : body) {
+        const ir::Stmt& s = p.stmt(id);
+        int inner = max_nest(p.body_of(s));
+        if (s.kind == StmtKind::For) inner += 1;
         deepest = std::max(deepest, inner);
       }
       return deepest;
     };
-    EXPECT_LE(max_nest(p.body()), 2);
+    EXPECT_LE(max_nest(std::span<const ir::StmtId>(p.body())), 2);
   }
 }
 
@@ -146,7 +154,7 @@ TEST(Generator, FeaturetogglesWork) {
   Generator g(cfg, 10);
   for (int i = 0; i < 30; ++i) {
     const Program p = g.generate(i);
-    walk_stmts(p.body(), [](const ir::Stmt& s) {
+    walk_stmts(p.arena(), p.body(), [](const ir::Stmt& s) {
       EXPECT_NE(s.kind, StmtKind::For);
       EXPECT_NE(s.kind, StmtKind::If);
       EXPECT_NE(s.kind, StmtKind::StoreArray);
@@ -163,45 +171,50 @@ TEST(Generator, LoopVarsReferenceEnclosingLoopsOnly) {
   Generator g(cfg, 11);
   for (int i = 0; i < 60; ++i) {
     const Program p = g.generate(i);
-    const std::function<void(const std::vector<ir::StmtPtr>&, int)> check =
-        [&](const std::vector<ir::StmtPtr>& body, int depth) {
-          for (const auto& s : body) {
-            const auto check_expr = [&](const ir::Expr& root) {
-              walk_exprs(root, [&](const ir::Expr& e) {
+    const std::function<void(std::span<const ir::StmtId>, int)> check =
+        [&](std::span<const ir::StmtId> body, int depth) {
+          for (ir::StmtId id : body) {
+            const ir::Stmt& s = p.stmt(id);
+            const auto check_expr = [&](ir::ExprId root) {
+              walk_exprs(p.arena(), root, [&](const ir::Expr& e) {
                 if (e.kind == ExprKind::LoopVarRef) {
                   EXPECT_GE(e.index, 0);
                   EXPECT_LT(e.index, depth);
                 }
               });
             };
-            if (s->a) check_expr(*s->a);
-            if (s->b) check_expr(*s->b);
-            check(s->body, depth + (s->kind == StmtKind::For ? 1 : 0));
+            if (s.a) check_expr(s.a);
+            if (s.b) check_expr(s.b);
+            check(p.body_of(s), depth + (s.kind == StmtKind::For ? 1 : 0));
           }
         };
-    check(p.body(), 0);
+    check(std::span<const ir::StmtId>(p.body()), 0);
   }
 }
 
 TEST(Generator, LiteralSpellingParsesBackToValue) {
   support::Rng rng(12);
+  ir::Arena A;
   for (int i = 0; i < 3000; ++i) {
-    auto lit = random_literal(rng, Precision::FP64);
-    const auto parsed = fp::parse_double(lit->lit_text);
-    ASSERT_TRUE(parsed.has_value()) << lit->lit_text;
-    EXPECT_EQ(fp::to_bits(*parsed), fp::to_bits(lit->lit_value)) << lit->lit_text;
+    const ir::ExprId lit = random_literal(A, rng, Precision::FP64);
+    const std::string text(A.text(lit));
+    const auto parsed = fp::parse_double(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(fp::to_bits(*parsed), fp::to_bits(A[lit].lit_value)) << text;
   }
 }
 
 TEST(Generator, Fp32LiteralsCarrySuffixAndFloatValue) {
   support::Rng rng(13);
+  ir::Arena A;
   for (int i = 0; i < 2000; ++i) {
-    auto lit = random_literal(rng, Precision::FP32);
-    ASSERT_FALSE(lit->lit_text.empty());
-    EXPECT_EQ(lit->lit_text.back(), 'F') << lit->lit_text;
+    const ir::ExprId lit = random_literal(A, rng, Precision::FP32);
+    const std::string text(A.text(lit));
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), 'F') << text;
     // Value is exactly representable as float.
-    const float f = static_cast<float>(lit->lit_value);
-    EXPECT_EQ(static_cast<double>(f), lit->lit_value);
+    const float f = static_cast<float>(A[lit].lit_value);
+    EXPECT_EQ(static_cast<double>(f), A[lit].lit_value);
   }
 }
 
@@ -212,24 +225,26 @@ TEST(Generator, TempsDeclaredBeforeUse) {
     const Program p = g.generate(i);
     int declared = 0;
     // Walk in program order; every TempRef must reference a prior decl.
-    const std::function<void(const std::vector<ir::StmtPtr>&)> scan =
-        [&](const std::vector<ir::StmtPtr>& body) {
-          for (const auto& s : body) {
-            const auto check_expr = [&](const ir::Expr& root) {
-              walk_exprs(root, [&](const ir::Expr& e) {
+    const std::function<void(std::span<const ir::StmtId>)> scan =
+        [&](std::span<const ir::StmtId> body) {
+          for (ir::StmtId id : body) {
+            const ir::Stmt& s = p.stmt(id);
+            const auto check_expr = [&](ir::ExprId root) {
+              walk_exprs(p.arena(), root, [&](const ir::Expr& e) {
                 if (e.kind == ExprKind::TempRef) {
                   EXPECT_GE(e.index, 1);
                   EXPECT_LE(e.index, declared);
                 }
               });
             };
-            if (s->a) check_expr(*s->a);
-            if (s->b) check_expr(*s->b);
-            scan(s->body);
-            if (s->kind == StmtKind::DeclTemp) declared = std::max(declared, s->index);
+            if (s.a) check_expr(s.a);
+            if (s.b) check_expr(s.b);
+            scan(p.body_of(s));
+            if (s.kind == StmtKind::DeclTemp)
+              declared = std::max(declared, static_cast<int>(s.index));
           }
         };
-    scan(p.body());
+    scan(std::span<const ir::StmtId>(p.body()));
   }
 }
 

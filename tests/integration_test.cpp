@@ -31,19 +31,20 @@ TEST(CaseStudy1, FmodExtremeRatioDivergesLikeFig4) {
   //   comp -= fmod(-1.7538E305 * (var_8 / (+0.0 / var_9 - +1.3065E-306)),
   //                +1.5793E-307);
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int var_8 = b.add_scalar_param();
   const int var_9 = b.add_scalar_param();
   b.assign_comp(
       AssignOp::Sub,
-      make_call(
+      make_call(A, 
           MathFn::Fmod,
-          make_bin(BinOp::Mul, make_literal(-1.7538e305, "-1.7538E305"),
-                   make_bin(BinOp::Div, make_param(var_8),
-                            make_bin(BinOp::Sub,
-                                     make_bin(BinOp::Div, make_literal(0.0, "+0.0"),
-                                              make_param(var_9)),
-                                     make_literal(1.3065e-306, "+1.3065E-306")))),
-          make_literal(1.5793e-307, "+1.5793E-307")));
+          make_bin(A, BinOp::Mul, make_literal(A, -1.7538e305, "-1.7538E305"),
+                   make_bin(A, BinOp::Div, make_param(A, var_8),
+                            make_bin(A, BinOp::Sub,
+                                     make_bin(A, BinOp::Div, make_literal(A, 0.0, "+0.0"),
+                                              make_param(A, var_9)),
+                                     make_literal(A, 1.3065e-306, "+1.3065E-306")))),
+          make_literal(A, 1.5793e-307, "+1.5793E-307")));
   const Program p = b.build();
 
   // Paper inputs: var_8 = +1.1757E-322, var_9 = +1.7130E-319.
@@ -75,10 +76,11 @@ TEST(CaseStudy1, MostInputsForTheSameProgramAgree) {
   // Paper: "out of ten randomly generated inputs, only this specific input
   // created a discrepancy."  Ordinary-magnitude inputs agree.
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
   const int y = b.add_scalar_param();
   b.assign_comp(AssignOp::Add,
-                make_call(MathFn::Fmod, make_param(x), make_param(y)));
+                make_call(A, MathFn::Fmod, make_param(A, x), make_param(A, y)));
   const Program p = b.build();
   const diff::CompiledPair pair = diff::compile_pair(p, opt::OptLevel::O0);
   int diffs = 0;
@@ -103,11 +105,12 @@ TEST(CaseStudy2, CeilTinyValueInfVsNumber) {
   //   double tmp_1 = +1.1147E-307;
   //   comp += tmp_1 / ceil(+1.5955E-125);
   ProgramBuilder b(Precision::FP64);
-  const int t = b.decl_temp(make_literal(1.1147e-307, "+1.1147E-307"));
+  Arena& A = b.arena();
+  const int t = b.decl_temp(make_literal(A, 1.1147e-307, "+1.1147E-307"));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Div, make_temp(t),
-                         make_call(MathFn::Ceil,
-                                   make_literal(1.5955e-125, "+1.5955E-125"))));
+                make_bin(A, BinOp::Div, make_temp(A, t),
+                         make_call(A, MathFn::Ceil,
+                                   make_literal(A, 1.5955e-125, "+1.5955E-125"))));
   const Program p = b.build();
   vgpu::KernelArgs args;
   args.fp = {1.2374e-306};  // paper input
@@ -133,31 +136,32 @@ Program case_study_3_program() {
   // keeps it at -inf, and a guarded single-statement add of an infinite
   // product is if-converted by hipcc-sim at O1+.
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int var_1 = b.add_int_param();
   const int var_2 = b.add_scalar_param();
   const int var_5 = b.add_scalar_param();
   const int var_8 = b.add_scalar_param();
   // tmp_1 = (small - cosh(huge)) -> -inf
-  const int t = b.decl_temp(make_bin(
-      BinOp::Sub, make_literal(-1.8007e-323, "-1.8007E-323"),
-      make_call(MathFn::Cosh, make_bin(BinOp::Div, make_param(var_2),
-                                       make_literal(-1.7569e192, "-1.7569E192")))));
+  const int t = b.decl_temp(make_bin(A, 
+      BinOp::Sub, make_literal(A, -1.8007e-323, "-1.8007E-323"),
+      make_call(A, MathFn::Cosh, make_bin(A, BinOp::Div, make_param(A, var_2),
+                                       make_literal(A, -1.7569e192, "-1.7569E192")))));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Add, make_temp(t),
-                         make_call(MathFn::Fabs, make_literal(1.5726e-307,
+                make_bin(A, BinOp::Add, make_temp(A, t),
+                         make_call(A, MathFn::Fabs, make_literal(A, 1.5726e-307,
                                                               "+1.5726E-307"))));
   b.begin_for(var_1);
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Div, make_literal(1.9903e306, "+1.9903E306"),
-                         make_param(var_5)));
+                make_bin(A, BinOp::Div, make_literal(A, 1.9903e306, "+1.9903E306"),
+                         make_param(A, var_5)));
   b.end_block();
   // Guarded single add whose value overflows to +inf: the if-conversion
   // candidate.  Condition is false because comp == -inf.
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0 /*comp*/),
-                      make_literal(-1.4205e305, "-1.4205E305")));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0 /*comp*/),
+                      make_literal(A, -1.4205e305, "-1.4205E305")));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Mul, make_literal(1.3803e305, "+1.3803E305"),
-                         make_param(var_8)));
+                make_bin(A, BinOp::Mul, make_literal(A, 1.3803e305, "+1.3803E305"),
+                         make_param(A, var_8)));
   b.end_block();
   return b.build();
 }

@@ -1,43 +1,51 @@
-// Unit tests for the program IR: node construction, cloning, equality,
-// builder, source rendering, JSON serialization round-trips.
+// Unit tests for the program IR: arena node construction, pool copying,
+// equality, builder, source rendering, JSON serialization round-trips.
 
 #include <gtest/gtest.h>
 
 #include "gen/generator.hpp"
+#include "gen/inputs.hpp"
 #include "ir/builder.hpp"
 #include "ir/program.hpp"
 #include "ir/serialize.hpp"
+#include "opt/pipeline.hpp"
+#include "vgpu/interp.hpp"
 
 namespace {
 
 using namespace gpudiff::ir;
 
 TEST(Expr, ConstructorsSetPayload) {
-  auto lit = make_literal(1.5, "+1.5E0");
-  EXPECT_EQ(lit->kind, ExprKind::Literal);
-  EXPECT_EQ(lit->lit_value, 1.5);
-  EXPECT_EQ(lit->lit_text, "+1.5E0");
+  Arena A;
+  const ExprId lit = make_literal(A, 1.5, "+1.5E0");
+  EXPECT_EQ(A[lit].kind, ExprKind::Literal);
+  EXPECT_EQ(A[lit].lit_value, 1.5);
+  EXPECT_EQ(A.text(lit), "+1.5E0");
 
-  auto bin = make_bin(BinOp::Div, make_param(1), make_temp(2));
-  EXPECT_EQ(bin->kind, ExprKind::Bin);
-  EXPECT_EQ(bin->bin_op, BinOp::Div);
-  ASSERT_EQ(bin->kids.size(), 2u);
-  EXPECT_EQ(bin->kids[0]->index, 1);
-  EXPECT_EQ(bin->kids[1]->index, 2);
+  const ExprId bin = make_bin(A, BinOp::Div, make_param(A, 1), make_temp(A, 2));
+  EXPECT_EQ(A[bin].kind, ExprKind::Bin);
+  EXPECT_EQ(A[bin].bin_op, BinOp::Div);
+  ASSERT_EQ(A[bin].n_kids, 2);
+  EXPECT_EQ(A[A[bin].kid[0]].index, 1);
+  EXPECT_EQ(A[A[bin].kid[1]].index, 2);
 
-  auto call = make_call(MathFn::Fmod, make_param(1), make_param(2));
-  EXPECT_EQ(call->kids.size(), 2u);
-  auto fma = make_fma(make_param(1), make_param(2), make_param(3));
-  EXPECT_EQ(fma->kids.size(), 3u);
+  const ExprId call = make_call(A, MathFn::Fmod, make_param(A, 1), make_param(A, 2));
+  EXPECT_EQ(A[call].n_kids, 2);
+  const ExprId fma = make_fma(A, make_param(A, 1), make_param(A, 2), make_param(A, 3));
+  EXPECT_EQ(A[fma].n_kids, 3);
 }
 
 TEST(Expr, BoolValuedPredicates) {
-  EXPECT_TRUE(make_cmp(CmpOp::Lt, make_param(1), make_param(2))->is_bool_valued());
-  EXPECT_TRUE(make_not(make_cmp(CmpOp::Eq, make_param(1), make_param(1)))
-                  ->is_bool_valued());
-  EXPECT_FALSE(make_param(1)->is_bool_valued());
-  EXPECT_FALSE(make_bool_to_fp(make_cmp(CmpOp::Lt, make_param(1), make_param(2)))
-                   ->is_bool_valued());
+  Arena A;
+  EXPECT_TRUE(A[make_cmp(A, CmpOp::Lt, make_param(A, 1), make_param(A, 2))]
+                  .is_bool_valued());
+  EXPECT_TRUE(A[make_not(A, make_cmp(A, CmpOp::Eq, make_param(A, 1),
+                                     make_param(A, 1)))]
+                  .is_bool_valued());
+  EXPECT_FALSE(A[make_param(A, 1)].is_bool_valued());
+  EXPECT_FALSE(A[make_bool_to_fp(A, make_cmp(A, CmpOp::Lt, make_param(A, 1),
+                                             make_param(A, 2)))]
+                   .is_bool_valued());
 }
 
 TEST(Expr, ArityAndNames) {
@@ -49,54 +57,76 @@ TEST(Expr, ArityAndNames) {
   EXPECT_EQ(name_of(MathFn::Fmod, Precision::FP32), "fmodf");
 }
 
-TEST(Expr, CloneIsDeepAndEqual) {
-  auto e = make_bin(BinOp::Add, make_call(MathFn::Sqrt, make_param(1)),
-                    make_neg(make_literal(2.0)));
-  auto c = e->clone();
-  EXPECT_TRUE(e->equals(*c));
-  // Mutating the clone does not affect the original.
-  c->kids[1]->kids[0]->lit_value = 99.0;
-  EXPECT_FALSE(e->equals(*c));
-  EXPECT_EQ(e->kids[1]->kids[0]->lit_value, 2.0);
+TEST(Expr, IdsAreStableAcrossArenaGrowth) {
+  Arena A;
+  const ExprId first = make_literal(A, 2.0);
+  for (int i = 0; i < 10000; ++i) (void)make_literal(A, static_cast<double>(i));
+  EXPECT_EQ(A[first].lit_value, 2.0);  // growth must never move ids
 }
 
 TEST(Expr, EqualsComparesLiteralBits) {
-  auto a = make_literal(0.0);
-  auto b = make_literal(-0.0);
-  EXPECT_FALSE(a->equals(*b));  // signed zeros are distinct
-  auto c = make_literal(0.0, "different spelling");
-  EXPECT_TRUE(a->equals(*c));  // spelling is cosmetic
+  Arena A;
+  const ExprId a = make_literal(A, 0.0);
+  const ExprId b = make_literal(A, -0.0);
+  EXPECT_FALSE(equal(A, a, A, b));  // signed zeros are distinct
+  const ExprId c = make_literal(A, 0.0, "different spelling");
+  EXPECT_TRUE(equal(A, a, A, c));  // spelling is cosmetic
+}
+
+TEST(Expr, EqualsWorksAcrossArenas) {
+  Arena A, B;
+  const ExprId x = make_bin(A, BinOp::Add, make_call(A, MathFn::Sqrt, make_param(A, 1)),
+                            make_neg(A, make_literal(A, 2.0)));
+  const ExprId y = make_bin(B, BinOp::Add, make_call(B, MathFn::Sqrt, make_param(B, 1)),
+                            make_neg(B, make_literal(B, 2.0)));
+  EXPECT_TRUE(equal(A, x, B, y));
+  B[B[y].kid[1]].kind = ExprKind::BoolNot;
+  EXPECT_FALSE(equal(A, x, B, y));
 }
 
 TEST(Expr, NodeCount) {
-  auto e = make_bin(BinOp::Mul, make_param(1),
-                    make_bin(BinOp::Add, make_literal(1.0), make_temp(1)));
-  EXPECT_EQ(e->node_count(), 5u);
+  Arena A;
+  const ExprId e = make_bin(
+      A, BinOp::Mul, make_param(A, 1),
+      make_bin(A, BinOp::Add, make_literal(A, 1.0), make_temp(A, 1)));
+  EXPECT_EQ(node_count(A, e), 5u);
 }
 
-TEST(Stmt, CloneAndCount) {
-  std::vector<StmtPtr> body;
-  body.push_back(make_assign_comp(AssignOp::Add, make_param(1)));
-  auto loop = make_for(0, 1, std::move(body));
-  auto c = loop->clone();
-  EXPECT_EQ(c->kind, StmtKind::For);
-  EXPECT_EQ(c->bound_param, 1);
-  ASSERT_EQ(c->body.size(), 1u);
-  EXPECT_EQ(loop->node_count(), c->node_count());
+TEST(Expr, NodeCountSurvivesDeepChains) {
+  // The pointer IR's recursive clone()/~Expr() would overflow the stack on
+  // chains like this; arena traversals are iterative by construction.
+  Arena A;
+  ExprId e = make_literal(A, 1.0);
+  constexpr std::size_t kDepth = 1000000;
+  for (std::size_t i = 0; i < kDepth; ++i) e = make_neg(A, e);
+  EXPECT_EQ(node_count(A, e), kDepth + 1);
+  EXPECT_TRUE(equal(A, e, A, e));
+}
+
+TEST(Stmt, BodySpansAndCount) {
+  Arena A;
+  std::vector<StmtId> body;
+  body.push_back(make_assign_comp(A, AssignOp::Add, make_param(A, 1)));
+  const StmtId loop = make_for(A, 0, 1, body);
+  EXPECT_EQ(A[loop].kind, StmtKind::For);
+  EXPECT_EQ(A[loop].bound_param, 1);
+  ASSERT_EQ(A.body(A[loop]).size(), 1u);
+  EXPECT_EQ(node_count(A, loop), 3u);  // for + assign + param
 }
 
 TEST(Builder, BuildsVarityShapedKernel) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   const int x = b.add_scalar_param();
   const int arr = b.add_array_param();
-  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Cos, make_param(A, x)));
   b.begin_for(n);
-  b.store_array(arr, make_loop_var(0), make_param(x));
-  b.assign_comp(AssignOp::Sub, make_array(arr, make_loop_var(0)));
+  b.store_array(arr, make_loop_var(A, 0), make_param(A, x));
+  b.assign_comp(AssignOp::Sub, make_array(A, arr, make_loop_var(A, 0)));
   b.end_block();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_literal(0.0)));
-  b.assign_comp(AssignOp::Mul, make_literal(2.0, "+2.0E0"));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0), make_literal(A, 0.0)));
+  b.assign_comp(AssignOp::Mul, make_literal(A, 2.0, "+2.0E0"));
   b.end_block();
   Program p = b.build();
 
@@ -105,7 +135,7 @@ TEST(Builder, BuildsVarityShapedKernel) {
   EXPECT_EQ(p.params()[0].name, "comp");
   EXPECT_EQ(p.params()[1].name, "var_1");
   EXPECT_EQ(p.body().size(), 3u);
-  EXPECT_EQ(p.body()[1]->kind, StmtKind::For);
+  EXPECT_EQ(p.stmt(p.body()[1]).kind, StmtKind::For);
   const std::string src = p.dump();
   EXPECT_NE(src.find("for (int i = 0; i < var_1; ++i)"), std::string::npos);
   EXPECT_NE(src.find("cos(var_2)"), std::string::npos);
@@ -114,20 +144,22 @@ TEST(Builder, BuildsVarityShapedKernel) {
 
 TEST(Builder, RejectsMisuse) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
   EXPECT_THROW(b.begin_for(x), std::logic_error);       // not an int param
-  EXPECT_THROW(b.begin_if(make_param(x)), std::logic_error);  // not boolean
-  EXPECT_THROW(b.store_array(x, make_loop_var(0), make_literal(1.0)),
+  EXPECT_THROW(b.begin_if(make_param(A, x)), std::logic_error);  // not boolean
+  EXPECT_THROW(b.store_array(x, make_loop_var(A, 0), make_literal(A, 1.0)),
                std::logic_error);                       // not an array
   EXPECT_THROW(b.end_block(), std::logic_error);        // nothing open
-  b.begin_if(make_cmp(CmpOp::Lt, make_param(x), make_literal(1.0)));
+  b.begin_if(make_cmp(A, CmpOp::Lt, make_param(A, x), make_literal(A, 1.0)));
   EXPECT_THROW(b.build(), std::logic_error);            // unclosed block
 }
 
 TEST(Builder, TempIdsAreSequential) {
   ProgramBuilder b(Precision::FP32);
-  EXPECT_EQ(b.decl_temp(make_literal(1.0)), 1);
-  EXPECT_EQ(b.decl_temp(make_literal(2.0)), 2);
+  Arena& A = b.arena();
+  EXPECT_EQ(b.decl_temp(make_literal(A, 1.0)), 1);
+  EXPECT_EQ(b.decl_temp(make_literal(A, 2.0)), 2);
   Program p = b.build();
   EXPECT_EQ(p.max_temp_id(), 2);
   EXPECT_EQ(std::string(p.scalar_type()), "float");
@@ -135,26 +167,29 @@ TEST(Builder, TempIdsAreSequential) {
 
 TEST(Program, SourceRenderingPreservesLiteralSpelling) {
   ProgramBuilder b(Precision::FP64);
-  b.assign_comp(AssignOp::Add, make_literal(1.5955e-125, "+1.5955E-125"));
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.5955e-125, "+1.5955E-125"));
   Program p = b.build();
   EXPECT_NE(p.dump().find("+1.5955E-125"), std::string::npos);
 }
 
 TEST(Program, Fp32FallbackSpellingHasSuffix) {
   ProgramBuilder b(Precision::FP32);
-  b.assign_comp(AssignOp::Add, make_literal(1.5));  // no spelling recorded
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.5));  // no spelling recorded
   Program p = b.build();
   EXPECT_NE(p.dump().find("F"), std::string::npos);
 }
 
 TEST(Program, CopyIsDeep) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_param(x));
+  b.assign_comp(AssignOp::Add, make_param(A, x));
   Program p = b.build();
-  Program q = p;  // copy
-  q.body()[0]->assign_op = AssignOp::Mul;
-  EXPECT_EQ(p.body()[0]->assign_op, AssignOp::Add);
+  Program q = p;  // pool copy
+  q.stmt(q.body()[0]).assign_op = AssignOp::Mul;
+  EXPECT_EQ(p.stmt(p.body()[0]).assign_op, AssignOp::Add);
 }
 
 // ---------------------------------------------------------------------------
@@ -162,50 +197,89 @@ TEST(Program, CopyIsDeep) {
 // ---------------------------------------------------------------------------
 
 TEST(Serialize, ExprRoundTrip) {
-  auto e = make_bin(
-      BinOp::Div,
-      make_call(MathFn::Fmod, make_param(2), make_literal(1.5793e-307, "+1.5793E-307")),
-      make_fma(make_temp(1), make_loop_var(0), make_array(3, make_loop_var(0))));
-  auto back = expr_from_json(expr_to_json(*e));
-  EXPECT_TRUE(e->equals(*back));
-  EXPECT_EQ(back->kids[0]->kids[1]->lit_text, "+1.5793E-307");
+  Arena A;
+  const ExprId e = make_bin(
+      A, BinOp::Div,
+      make_call(A, MathFn::Fmod, make_param(A, 2),
+                make_literal(A, 1.5793e-307, "+1.5793E-307")),
+      make_fma(A, make_temp(A, 1), make_loop_var(A, 0),
+               make_array(A, 3, make_loop_var(A, 0))));
+  Arena B;
+  const ExprId back = expr_from_json(B, expr_to_json(A, e));
+  EXPECT_TRUE(equal(A, e, B, back));
+  EXPECT_EQ(B.text(B[B[back].kid[0]].kid[1]), "+1.5793E-307");
 }
 
 TEST(Serialize, BooleanExprRoundTrip) {
-  auto e = make_bool(BoolOp::And,
-                     make_cmp(CmpOp::Ge, make_param(1), make_literal(0.0)),
-                     make_not(make_cmp(CmpOp::Ne, make_temp(1), make_param(2))));
-  auto back = expr_from_json(expr_to_json(*e));
-  EXPECT_TRUE(e->equals(*back));
+  Arena A;
+  const ExprId e = make_bool(
+      A, BoolOp::And, make_cmp(A, CmpOp::Ge, make_param(A, 1), make_literal(A, 0.0)),
+      make_not(A, make_cmp(A, CmpOp::Ne, make_temp(A, 1), make_param(A, 2))));
+  Arena B;
+  const ExprId back = expr_from_json(B, expr_to_json(A, e));
+  EXPECT_TRUE(equal(A, e, B, back));
 }
 
 TEST(Serialize, SignedZeroLiteralSurvives) {
-  auto e = make_literal(-0.0, "-0.0");
-  auto back = expr_from_json(expr_to_json(*e));
-  EXPECT_TRUE(e->equals(*back));
+  Arena A;
+  const ExprId e = make_literal(A, -0.0, "-0.0");
+  Arena B;
+  const ExprId back = expr_from_json(B, expr_to_json(A, e));
+  EXPECT_TRUE(equal(A, e, B, back));
 }
 
 TEST(Serialize, RejectsGarbage) {
   using gpudiff::support::Json;
-  EXPECT_THROW(expr_from_json(Json::parse(R"({"k":"wat"})")), std::runtime_error);
-  EXPECT_THROW(stmt_from_json(Json::parse(R"({"k":"wat"})")), std::runtime_error);
+  Arena A;
+  EXPECT_THROW(expr_from_json(A, Json::parse(R"({"k":"wat"})")), std::runtime_error);
+  EXPECT_THROW(stmt_from_json(A, Json::parse(R"({"k":"wat"})")), std::runtime_error);
 }
 
 /// Property: random generated programs survive JSON round-trips with
-/// structural equality and byte-identical rendered source.
+/// byte-identical re-serialization, byte-identical rendered source, and
+/// bit-identical execution of the parsed copy (both backends).
 class ProgramRoundTrip : public ::testing::TestWithParam<int> {};
 
-TEST_P(ProgramRoundTrip, JsonPreservesProgram) {
+TEST_P(ProgramRoundTrip, JsonPreservesProgramAndExecution) {
   gpudiff::gen::GenConfig cfg;
   cfg.precision = GetParam() % 2 == 0 ? Precision::FP64 : Precision::FP32;
   gpudiff::gen::Generator g(cfg, 99);
+  gpudiff::gen::InputGenerator ig(99);
   const Program p = g.generate(static_cast<std::uint64_t>(GetParam()));
-  const Program q = program_from_json(program_to_json(p));
+
+  // serialize -> parse -> re-serialize must be byte-equal: the wire format
+  // is structural, so arena pool layout never leaks into the JSON.
+  const gpudiff::support::Json j1 = program_to_json(p);
+  const Program q = program_from_json(j1);
+  const gpudiff::support::Json j2 = program_to_json(q);
+  EXPECT_EQ(j1.dump(), j2.dump());
+
   ASSERT_EQ(p.params().size(), q.params().size());
   EXPECT_EQ(p.precision(), q.precision());
   EXPECT_EQ(p.dump(), q.dump());
   ASSERT_EQ(p.body().size(), q.body().size());
   EXPECT_EQ(p.node_count(), q.node_count());
+
+  // Execution replayed from the parsed copy is bit-identical to the
+  // original arena, at every level, on both platforms and both backends.
+  const auto args = ig.generate(p, static_cast<std::uint64_t>(GetParam()), 0);
+  namespace opt = gpudiff::opt;
+  namespace vgpu = gpudiff::vgpu;
+  for (const opt::OptLevel level : opt::kAllOptLevels) {
+    for (const opt::Toolchain tc : {opt::Toolchain::Nvcc, opt::Toolchain::Hipcc}) {
+      const opt::Executable ep = opt::compile(p, {tc, level, false});
+      const opt::Executable eq = opt::compile(q, {tc, level, false});
+      const auto rp = vgpu::run_kernel(ep, args);
+      const auto rq = vgpu::run_kernel(eq, args);
+      EXPECT_EQ(rp.value_bits, rq.value_bits);
+      EXPECT_EQ(rp.flags.raw(), rq.flags.raw());
+      EXPECT_EQ(rp.op_count, rq.op_count);
+      const auto tp = vgpu::run_kernel_tree(ep, args);
+      const auto tq = vgpu::run_kernel_tree(eq, args);
+      EXPECT_EQ(tp.value_bits, tq.value_bits);
+      EXPECT_EQ(rp.value_bits, tp.value_bits);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProgramRoundTrip, ::testing::Range(0, 24));

@@ -19,14 +19,23 @@ using namespace gpudiff;
 using namespace gpudiff::ir;
 using namespace gpudiff::opt;
 
-Program one_stmt_program(ExprPtr value, Precision prec = Precision::FP64) {
+/// Builder pre-seeded with four scalar params (var_1..var_4).
+ProgramBuilder four_scalar_builder(Precision prec = Precision::FP64) {
   ProgramBuilder b(prec);
   b.add_scalar_param();  // var_1
   b.add_scalar_param();  // var_2
   b.add_scalar_param();  // var_3
   b.add_scalar_param();  // var_4
-  b.assign_comp(AssignOp::Add, std::move(value));
-  return b.build();
+  return b;
+}
+
+/// The root expression of the i-th top-level statement.
+const Expr& root_expr(const Program& p, std::size_t i = 0) {
+  return p.expr(p.stmt(p.body()[i]).a);
+}
+
+const Expr& kid(const Program& p, const Expr& e, int i) {
+  return p.expr(e.kid[i]);
 }
 
 // ---------------------------------------------------------------------------
@@ -34,37 +43,50 @@ Program one_stmt_program(ExprPtr value, Precision prec = Precision::FP64) {
 // ---------------------------------------------------------------------------
 
 TEST(FoldConstants, FoldsLiteralSubtrees) {
-  Program p = one_stmt_program(make_bin(
-      BinOp::Mul, make_bin(BinOp::Add, make_literal(1.5), make_literal(2.5)),
-      make_param(1)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Mul,
+                         make_bin(A, BinOp::Add, make_literal(A, 1.5),
+                                  make_literal(A, 2.5)),
+                         make_param(A, 1)));
+  Program p = b.build();
   fold_constants(p);
-  const Expr& root = *p.body()[0]->a;
+  const Expr& root = root_expr(p);
   ASSERT_EQ(root.kind, ExprKind::Bin);
-  EXPECT_EQ(root.kids[0]->kind, ExprKind::Literal);
-  EXPECT_EQ(root.kids[0]->lit_value, 4.0);
+  EXPECT_EQ(kid(p, root, 0).kind, ExprKind::Literal);
+  EXPECT_EQ(kid(p, root, 0).lit_value, 4.0);
 }
 
 TEST(FoldConstants, FoldsNegation) {
-  Program p = one_stmt_program(make_neg(make_literal(-0.0)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_neg(A, make_literal(A, -0.0)));
+  Program p = b.build();
   fold_constants(p);
-  const Expr& root = *p.body()[0]->a;
+  const Expr& root = root_expr(p);
   EXPECT_EQ(root.kind, ExprKind::Literal);
   EXPECT_FALSE(fp::sign_bit(root.lit_value));  // -(-0.0) == +0.0
 }
 
 TEST(FoldConstants, RespectsFp32Precision) {
   // 1e30f * 1e30f overflows float but not double.
-  Program p = one_stmt_program(
-      make_bin(BinOp::Mul, make_literal(1e30), make_literal(1e30)),
-      Precision::FP32);
+  ProgramBuilder b = four_scalar_builder(Precision::FP32);
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_bin(A, BinOp::Mul, make_literal(A, 1e30),
+                                        make_literal(A, 1e30)));
+  Program p = b.build();
   fold_constants(p);
-  EXPECT_TRUE(fp::is_inf_bits(p.body()[0]->a->lit_value));
+  EXPECT_TRUE(fp::is_inf_bits(root_expr(p).lit_value));
 }
 
 TEST(FoldConstants, LeavesCallsAlone) {
-  Program p = one_stmt_program(make_call(MathFn::Cos, make_literal(1.0)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Cos, make_literal(A, 1.0)));
+  Program p = b.build();
   fold_constants(p);
-  EXPECT_EQ(p.body()[0]->a->kind, ExprKind::Call);
+  EXPECT_EQ(root_expr(p).kind, ExprKind::Call);
 }
 
 // ---------------------------------------------------------------------------
@@ -73,66 +95,88 @@ TEST(FoldConstants, LeavesCallsAlone) {
 
 TEST(ContractFma, SingleProductContractsIdenticallyBothWays) {
   for (auto pref : {FmaPreference::LeftProduct, FmaPreference::RightProduct}) {
-    Program p = one_stmt_program(make_bin(
-        BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-        make_param(3)));
+    ProgramBuilder b = four_scalar_builder();
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Add,
+                  make_bin(A, BinOp::Add,
+                           make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2)),
+                           make_param(A, 3)));
+    Program p = b.build();
     contract_fma(p, pref);
-    const Expr& root = *p.body()[0]->a;
+    const Expr& root = root_expr(p);
     ASSERT_EQ(root.kind, ExprKind::Fma);
-    EXPECT_EQ(root.kids[0]->index, 1);
-    EXPECT_EQ(root.kids[1]->index, 2);
-    EXPECT_EQ(root.kids[2]->index, 3);
+    EXPECT_EQ(kid(p, root, 0).index, 1);
+    EXPECT_EQ(kid(p, root, 1).index, 2);
+    EXPECT_EQ(kid(p, root, 2).index, 3);
   }
 }
 
 TEST(ContractFma, TieBreakDiffersOnDoubleProduct) {
   const auto make = [] {
-    return one_stmt_program(make_bin(
-        BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-        make_bin(BinOp::Mul, make_param(3), make_param(4))));
+    ProgramBuilder b = four_scalar_builder();
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Add,
+                  make_bin(A, BinOp::Add,
+                           make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2)),
+                           make_bin(A, BinOp::Mul, make_param(A, 3), make_param(A, 4))));
+    return b.build();
   };
   Program left = make();
   contract_fma(left, FmaPreference::LeftProduct);
-  const Expr& lr = *left.body()[0]->a;
+  const Expr& lr = root_expr(left);
   ASSERT_EQ(lr.kind, ExprKind::Fma);
-  EXPECT_EQ(lr.kids[0]->index, 1);  // fma(a, b, c*d)
-  EXPECT_EQ(lr.kids[2]->kind, ExprKind::Bin);
+  EXPECT_EQ(kid(left, lr, 0).index, 1);  // fma(a, b, c*d)
+  EXPECT_EQ(kid(left, lr, 2).kind, ExprKind::Bin);
 
   Program right = make();
   contract_fma(right, FmaPreference::RightProduct);
-  const Expr& rr = *right.body()[0]->a;
+  const Expr& rr = root_expr(right);
   ASSERT_EQ(rr.kind, ExprKind::Fma);
-  EXPECT_EQ(rr.kids[0]->index, 3);  // fma(c, d, a*b)
-  EXPECT_EQ(rr.kids[2]->kind, ExprKind::Bin);
+  EXPECT_EQ(kid(right, rr, 0).index, 3);  // fma(c, d, a*b)
+  EXPECT_EQ(kid(right, rr, 2).kind, ExprKind::Bin);
 }
 
 TEST(ContractFma, SubtractionNegatesCorrectOperand) {
   // a*b - c  ->  fma(a, b, -c)
-  Program p = one_stmt_program(make_bin(
-      BinOp::Sub, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-      make_param(3)));
-  contract_fma(p, FmaPreference::LeftProduct);
-  const Expr& root = *p.body()[0]->a;
-  ASSERT_EQ(root.kind, ExprKind::Fma);
-  EXPECT_EQ(root.kids[2]->kind, ExprKind::Neg);
-
+  {
+    ProgramBuilder b = four_scalar_builder();
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Add,
+                  make_bin(A, BinOp::Sub,
+                           make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2)),
+                           make_param(A, 3)));
+    Program p = b.build();
+    contract_fma(p, FmaPreference::LeftProduct);
+    const Expr& root = root_expr(p);
+    ASSERT_EQ(root.kind, ExprKind::Fma);
+    EXPECT_EQ(kid(p, root, 2).kind, ExprKind::Neg);
+  }
   // c - a*b  ->  fma(-a, b, c)
-  Program q = one_stmt_program(make_bin(
-      BinOp::Sub, make_param(3),
-      make_bin(BinOp::Mul, make_param(1), make_param(2))));
-  contract_fma(q, FmaPreference::LeftProduct);
-  const Expr& root2 = *q.body()[0]->a;
-  ASSERT_EQ(root2.kind, ExprKind::Fma);
-  EXPECT_EQ(root2.kids[0]->kind, ExprKind::Neg);
+  {
+    ProgramBuilder b = four_scalar_builder();
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Add,
+                  make_bin(A, BinOp::Sub, make_param(A, 3),
+                           make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2))));
+    Program q = b.build();
+    contract_fma(q, FmaPreference::LeftProduct);
+    const Expr& root2 = root_expr(q);
+    ASSERT_EQ(root2.kind, ExprKind::Fma);
+    EXPECT_EQ(kid(q, root2, 0).kind, ExprKind::Neg);
+  }
 }
 
 TEST(ContractFma, ContractionChangesRoundingObservably) {
   // a*b + c with a*b requiring the fused wide intermediate:
   // a = 1+2^-52, b = 1-2^-52 -> a*b = 1 - 2^-104 (exact product).
   // Unfused: rounds to 1.0, +(-1.0) = 0.  Fused: fma gives -2^-104 exactly.
-  Program p = one_stmt_program(make_bin(
-      BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-      make_param(3)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Add,
+                         make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2)),
+                         make_param(A, 3)));
+  Program p = b.build();
   vgpu::KernelArgs args;
   args.fp = {0.0, 1.0 + 0x1p-52, 1.0 - 0x1p-52, -1.0, 0.0};
   args.ints = {0, 0, 0, 0, 0};
@@ -148,9 +192,13 @@ TEST(ContractFma, ContractionChangesRoundingObservably) {
 }
 
 TEST(ContractFma, CountsNodes) {
-  Program p = one_stmt_program(make_bin(
-      BinOp::Add, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-      make_param(3)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Add,
+                         make_bin(A, BinOp::Mul, make_param(A, 1), make_param(A, 2)),
+                         make_param(A, 3)));
+  Program p = b.build();
   EXPECT_EQ(count_fma_nodes(p), 0u);
   contract_fma(p, FmaPreference::LeftProduct);
   EXPECT_EQ(count_fma_nodes(p), 1u);
@@ -162,50 +210,55 @@ TEST(ContractFma, CountsNodes) {
 
 TEST(IfConvert, ConvertsSingleCheapGuardedAdd) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
-  b.assign_comp(AssignOp::Add, make_bin(BinOp::Mul, make_literal(2.0), make_param(x)));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0), make_param(A, x)));
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Mul, make_literal(A, 2.0), make_param(A, x)));
   b.end_block();
   Program p = b.build();
   if_convert(p);
-  ASSERT_EQ(p.body()[0]->kind, StmtKind::AssignComp);
-  const Expr& root = *p.body()[0]->a;
+  ASSERT_EQ(p.stmt(p.body()[0]).kind, StmtKind::AssignComp);
+  const Expr& root = root_expr(p);
   ASSERT_EQ(root.kind, ExprKind::Bin);
   EXPECT_EQ(root.bin_op, BinOp::Mul);
-  EXPECT_EQ(root.kids[0]->kind, ExprKind::BoolToFp);
+  EXPECT_EQ(kid(p, root, 0).kind, ExprKind::BoolToFp);
 }
 
 TEST(IfConvert, SkipsMultiStatementBodies) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
-  b.assign_comp(AssignOp::Add, make_param(x));
-  b.assign_comp(AssignOp::Add, make_param(x));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0), make_param(A, x)));
+  b.assign_comp(AssignOp::Add, make_param(A, x));
+  b.assign_comp(AssignOp::Add, make_param(A, x));
   b.end_block();
   Program p = b.build();
   if_convert(p);
-  EXPECT_EQ(p.body()[0]->kind, StmtKind::If);
+  EXPECT_EQ(p.stmt(p.body()[0]).kind, StmtKind::If);
 }
 
 TEST(IfConvert, SkipsExpensiveOrCallBodies) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(0), make_param(x)));
-  b.assign_comp(AssignOp::Add, make_call(MathFn::Cos, make_param(x)));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, 0), make_param(A, x)));
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Cos, make_param(A, x)));
   b.end_block();
   Program p = b.build();
   if_convert(p);
-  EXPECT_EQ(p.body()[0]->kind, StmtKind::If);  // call: not speculated
+  EXPECT_EQ(p.stmt(p.body()[0]).kind, StmtKind::If);  // call: not speculated
 }
 
 TEST(IfConvert, ZeroTimesInfinityProducesNaN) {
   // Case Study 3's mechanism in miniature: guarded add of an infinite value
   // with a false condition.
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();  // will be huge -> 2*x = inf
-  b.begin_if(make_cmp(CmpOp::Gt, make_param(0), make_literal(0.0)));
+  b.begin_if(make_cmp(A, CmpOp::Gt, make_param(A, 0), make_literal(A, 0.0)));
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Mul, make_literal(2.0), make_param(x)));
+                make_bin(A, BinOp::Mul, make_literal(A, 2.0), make_param(A, x)));
   b.end_block();
   Program p = b.build();
 
@@ -225,45 +278,57 @@ TEST(IfConvert, ZeroTimesInfinityProducesNaN) {
 // reassociate
 // ---------------------------------------------------------------------------
 
-ExprPtr chain4() {
+ExprId chain4(Arena& A) {
   return make_bin(
-      BinOp::Add,
-      make_bin(BinOp::Add, make_bin(BinOp::Add, make_param(1), make_param(2)),
-               make_param(3)),
-      make_param(4));
+      A, BinOp::Add,
+      make_bin(A, BinOp::Add,
+               make_bin(A, BinOp::Add, make_param(A, 1), make_param(A, 2)),
+               make_param(A, 3)),
+      make_param(A, 4));
 }
 
 TEST(Reassociate, BalancedTreeReshapesLongChains) {
-  Program p = one_stmt_program(chain4());
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, chain4(A));
+  Program p = b.build();
   reassociate(p, ReassocStyle::BalancedTree, 4);
-  const Expr& root = *p.body()[0]->a;
+  const Expr& root = root_expr(p);
   ASSERT_EQ(root.kind, ExprKind::Bin);
   // (a+b) + (c+d): both children are additions.
-  EXPECT_EQ(root.kids[0]->kind, ExprKind::Bin);
-  EXPECT_EQ(root.kids[1]->kind, ExprKind::Bin);
-  EXPECT_EQ(root.kids[1]->kids[0]->index, 3);
+  EXPECT_EQ(kid(p, root, 0).kind, ExprKind::Bin);
+  EXPECT_EQ(kid(p, root, 1).kind, ExprKind::Bin);
+  EXPECT_EQ(kid(p, kid(p, root, 1), 0).index, 3);
 }
 
 TEST(Reassociate, FlattenLeftKeepsCanonicalShape) {
-  Program p = one_stmt_program(
-      make_bin(BinOp::Add, make_param(1),
-               make_bin(BinOp::Add, make_param(2),
-                        make_bin(BinOp::Add, make_param(3), make_param(4)))));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Add, make_param(A, 1),
+                         make_bin(A, BinOp::Add, make_param(A, 2),
+                                  make_bin(A, BinOp::Add, make_param(A, 3),
+                                           make_param(A, 4)))));
+  Program p = b.build();
   reassociate(p, ReassocStyle::FlattenLeft, 4);
   // ((a+b)+c)+d: left spine.
-  const Expr* e = p.body()[0]->a.get();
-  EXPECT_EQ(e->kids[1]->index, 4);
-  e = e->kids[0].get();
-  EXPECT_EQ(e->kids[1]->index, 3);
-  e = e->kids[0].get();
-  EXPECT_EQ(e->kids[1]->index, 2);
-  EXPECT_EQ(e->kids[0]->index, 1);
+  const Expr* e = &root_expr(p);
+  EXPECT_EQ(kid(p, *e, 1).index, 4);
+  e = &kid(p, *e, 0);
+  EXPECT_EQ(kid(p, *e, 1).index, 3);
+  e = &kid(p, *e, 0);
+  EXPECT_EQ(kid(p, *e, 1).index, 2);
+  EXPECT_EQ(kid(p, *e, 0).index, 1);
 }
 
 TEST(Reassociate, ShortChainsUntouchedByThreshold) {
-  Program p = one_stmt_program(
-      make_bin(BinOp::Add, make_param(1),
-               make_bin(BinOp::Add, make_param(2), make_param(3))));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Add, make_param(A, 1),
+                         make_bin(A, BinOp::Add, make_param(A, 2),
+                                  make_param(A, 3))));
+  Program p = b.build();
   Program q = p;
   reassociate(p, ReassocStyle::BalancedTree, 4);
   reassociate(q, ReassocStyle::FlattenLeft, 4);
@@ -272,13 +337,18 @@ TEST(Reassociate, ShortChainsUntouchedByThreshold) {
 }
 
 TEST(Reassociate, MulChainsToo) {
-  Program p = one_stmt_program(make_bin(
-      BinOp::Mul,
-      make_bin(BinOp::Mul, make_bin(BinOp::Mul, make_param(1), make_param(2)),
-               make_param(3)),
-      make_param(4)));
+  ProgramBuilder b = four_scalar_builder();
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Mul,
+                         make_bin(A, BinOp::Mul,
+                                  make_bin(A, BinOp::Mul, make_param(A, 1),
+                                           make_param(A, 2)),
+                                  make_param(A, 3)),
+                         make_param(A, 4)));
+  Program p = b.build();
   reassociate(p, ReassocStyle::BalancedTree, 4);
-  EXPECT_EQ(p.body()[0]->a->kids[1]->kind, ExprKind::Bin);
+  EXPECT_EQ(kid(p, root_expr(p), 1).kind, ExprKind::Bin);
 }
 
 // ---------------------------------------------------------------------------
@@ -287,35 +357,41 @@ TEST(Reassociate, MulChainsToo) {
 
 TEST(ReciprocalDivision, OnlyInsideLoops) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_bin(BinOp::Div, make_param(0), make_param(x)));
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Div, make_param(A, 0), make_param(A, x)));
   b.begin_for(n);
-  b.assign_comp(AssignOp::Add, make_bin(BinOp::Div, make_param(0), make_param(x)));
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Div, make_param(A, 0), make_param(A, x)));
   b.end_block();
   Program p = b.build();
   reciprocal_division(p);
   // Top-level division untouched.
-  EXPECT_EQ(p.body()[0]->a->bin_op, BinOp::Div);
+  EXPECT_EQ(root_expr(p).bin_op, BinOp::Div);
   // Loop-body division rewritten to multiply by reciprocal.
-  const Expr& in_loop = *p.body()[1]->body[0]->a;
+  const Stmt& loop = p.stmt(p.body()[1]);
+  const Expr& in_loop = p.expr(p.stmt(p.body_of(loop)[0]).a);
   ASSERT_EQ(in_loop.kind, ExprKind::Bin);
   EXPECT_EQ(in_loop.bin_op, BinOp::Mul);
-  ASSERT_EQ(in_loop.kids[1]->kind, ExprKind::Bin);
-  EXPECT_EQ(in_loop.kids[1]->bin_op, BinOp::Div);
-  EXPECT_EQ(in_loop.kids[1]->kids[0]->lit_value, 1.0);
+  ASSERT_EQ(kid(p, in_loop, 1).kind, ExprKind::Bin);
+  EXPECT_EQ(kid(p, in_loop, 1).bin_op, BinOp::Div);
+  EXPECT_EQ(kid(p, kid(p, in_loop, 1), 0).lit_value, 1.0);
 }
 
 TEST(ReciprocalDivision, SkipsPowerOfTwoDenominators) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   b.begin_for(n);
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Div, make_param(0), make_literal(4.0)));
+                make_bin(A, BinOp::Div, make_param(A, 0), make_literal(A, 4.0)));
   b.end_block();
   Program p = b.build();
   reciprocal_division(p);
-  EXPECT_EQ(p.body()[0]->body[0]->a->bin_op, BinOp::Div);
+  const Stmt& loop = p.stmt(p.body()[0]);
+  EXPECT_EQ(p.expr(p.stmt(p.body_of(loop)[0]).a).bin_op, BinOp::Div);
 }
 
 // ---------------------------------------------------------------------------

@@ -135,12 +135,13 @@ TEST(Fpu, FmaSingleRounding) {
 
 Program sample_program() {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   const int x = b.add_scalar_param();
   const int arr = b.add_array_param();
   b.begin_for(n);
-  b.assign_comp(AssignOp::Add, make_array(arr, make_loop_var(0)));
-  b.assign_comp(AssignOp::Add, make_param(x));
+  b.assign_comp(AssignOp::Add, make_array(A, arr, make_loop_var(A, 0)));
+  b.assign_comp(AssignOp::Add, make_param(A, x));
   b.end_block();
   return b.build();
 }
@@ -203,13 +204,14 @@ TEST(Interp, ZeroTripLoopSkipsBody) {
 
 TEST(Interp, ArrayStoreAndLoad) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int n = b.add_int_param();
   const int arr = b.add_array_param();
   b.begin_for(n);
-  b.store_array(arr, make_loop_var(0),
-                make_bin(BinOp::Mul, make_literal(2.0),
-                         make_array(arr, make_loop_var(0))));
-  b.assign_comp(AssignOp::Add, make_array(arr, make_loop_var(0)));
+  b.store_array(arr, make_loop_var(A, 0),
+                make_bin(A, BinOp::Mul, make_literal(A, 2.0),
+                         make_array(A, arr, make_loop_var(A, 0))));
+  b.assign_comp(AssignOp::Add, make_array(A, arr, make_loop_var(A, 0)));
   b.end_block();
   const Program p = b.build();
   KernelArgs args;
@@ -221,12 +223,13 @@ TEST(Interp, ArrayStoreAndLoad) {
 
 TEST(Interp, TempsAndCompoundOps) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  const int t = b.decl_temp(make_bin(BinOp::Add, make_param(x), make_literal(1.0)));
-  b.assign_comp(AssignOp::Set, make_temp(t));
-  b.assign_comp(AssignOp::Mul, make_literal(3.0));
-  b.assign_comp(AssignOp::Div, make_literal(2.0));
-  b.assign_comp(AssignOp::Sub, make_literal(0.5));
+  const int t = b.decl_temp(make_bin(A, BinOp::Add, make_param(A, x), make_literal(A, 1.0)));
+  b.assign_comp(AssignOp::Set, make_temp(A, t));
+  b.assign_comp(AssignOp::Mul, make_literal(A, 3.0));
+  b.assign_comp(AssignOp::Div, make_literal(A, 2.0));
+  b.assign_comp(AssignOp::Sub, make_literal(A, 0.5));
   const Program p = b.build();
   KernelArgs args;
   args.fp = {99.0, 3.0};  // comp ignored by Set; x=3
@@ -237,12 +240,13 @@ TEST(Interp, TempsAndCompoundOps) {
 
 TEST(Interp, IfConditionSemanticsWithNaN) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_cmp(CmpOp::Ge, make_param(x), make_literal(0.0)));
-  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.begin_if(make_cmp(A, CmpOp::Ge, make_param(A, x), make_literal(A, 0.0)));
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
   b.end_block();
-  b.begin_if(make_not(make_cmp(CmpOp::Ge, make_param(x), make_literal(0.0))));
-  b.assign_comp(AssignOp::Add, make_literal(2.0));
+  b.begin_if(make_not(A, make_cmp(A, CmpOp::Ge, make_param(A, x), make_literal(A, 0.0))));
+  b.assign_comp(AssignOp::Add, make_literal(A, 2.0));
   b.end_block();
   const Program p = b.build();
   KernelArgs args;
@@ -254,11 +258,12 @@ TEST(Interp, IfConditionSemanticsWithNaN) {
 
 TEST(Interp, BooleanOperatorsShortCircuitValue) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_bool(BoolOp::Or,
-                       make_cmp(CmpOp::Lt, make_param(x), make_literal(0.0)),
-                       make_cmp(CmpOp::Gt, make_param(x), make_literal(10.0))));
-  b.assign_comp(AssignOp::Add, make_literal(1.0));
+  b.begin_if(make_bool(A, BoolOp::Or,
+                       make_cmp(A, CmpOp::Lt, make_param(A, x), make_literal(A, 0.0)),
+                       make_cmp(A, CmpOp::Gt, make_param(A, x), make_literal(A, 10.0))));
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.0));
   b.end_block();
   const Program p = b.build();
   KernelArgs inside;
@@ -273,8 +278,9 @@ TEST(Interp, BooleanOperatorsShortCircuitValue) {
 
 TEST(Interp, Fp32ExecutesInSinglePrecision) {
   ProgramBuilder b(Precision::FP32);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_bin(BinOp::Add, make_param(x), make_literal(1.0)));
+  b.assign_comp(AssignOp::Add, make_bin(A, BinOp::Add, make_param(A, x), make_literal(A, 1.0)));
   const Program p = b.build();
   KernelArgs args;
   args.fp = {0.0, static_cast<double>(1e-10f)};
@@ -287,8 +293,9 @@ TEST(Interp, Fp32ExecutesInSinglePrecision) {
 
 TEST(Interp, ExceptionFlagsSurface) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_bin(BinOp::Div, make_literal(1.0), make_param(x)));
+  b.assign_comp(AssignOp::Add, make_bin(A, BinOp::Div, make_literal(A, 1.0), make_param(A, x)));
   const Program p = b.build();
   KernelArgs args;
   args.fp = {0.0, 0.0};
@@ -300,7 +307,8 @@ TEST(Interp, ExceptionFlagsSurface) {
 
 TEST(Interp, MathCallGoesThroughBoundLibrary) {
   ProgramBuilder b(Precision::FP64);
-  b.assign_comp(AssignOp::Add, make_call(MathFn::Ceil, make_literal(1.5955e-125)));
+  Arena& A = b.arena();
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Ceil, make_literal(A, 1.5955e-125)));
   const Program p = b.build();
   KernelArgs args;
   args.fp = {0.0};
@@ -342,8 +350,9 @@ TEST(Device, DescriptorsPairToolchains) {
 
 TEST(PseudoAsm, ShowsLibrarySymbolsPerVendor) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.assign_comp(AssignOp::Add, make_call(MathFn::Fmod, make_param(x), make_literal(2.0)));
+  b.assign_comp(AssignOp::Add, make_call(A, MathFn::Fmod, make_param(A, x), make_literal(A, 2.0)));
   const Program p = b.build();
   const std::string nv =
       disassemble(opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O0, false}));
@@ -357,10 +366,11 @@ TEST(PseudoAsm, ShowsLibrarySymbolsPerVendor) {
 
 TEST(PseudoAsm, ShowsFmaAfterContraction) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
   b.assign_comp(AssignOp::Add,
-                make_bin(BinOp::Add, make_bin(BinOp::Mul, make_param(x), make_param(x)),
-                         make_literal(1.0)));
+                make_bin(A, BinOp::Add, make_bin(A, BinOp::Mul, make_param(A, x), make_param(A, x)),
+                         make_literal(A, 1.0)));
   const Program p = b.build();
   const std::string o0 =
       disassemble(opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O0, false}));
@@ -372,9 +382,10 @@ TEST(PseudoAsm, ShowsFmaAfterContraction) {
 
 TEST(PseudoAsm, MarksIfConversion) {
   ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
   const int x = b.add_scalar_param();
-  b.begin_if(make_cmp(CmpOp::Gt, make_param(x), make_literal(0.0)));
-  b.assign_comp(AssignOp::Add, make_param(x));
+  b.begin_if(make_cmp(A, CmpOp::Gt, make_param(A, x), make_literal(A, 0.0)));
+  b.assign_comp(AssignOp::Add, make_param(A, x));
   b.end_block();
   const Program p = b.build();
   const std::string amd =

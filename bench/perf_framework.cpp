@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "campaign/merge.hpp"
+#include "campaign/shard.hpp"
 #include "diff/campaign.hpp"
 #include "diff/runner.hpp"
 #include "gen/generator.hpp"
@@ -131,6 +135,26 @@ void BM_BatchedSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSweep)->Unit(benchmark::kMicrosecond);
 
+/// The same sweep over a generated program with a stored-to array
+/// parameter: the shape the lazy array materialization targets (the
+/// per-input 256-element broadcast is hoisted; the extent-wide fill only
+/// happens if a store executes).  Program 2 of seed 42 carries a guarded
+/// array store.
+void BM_BatchedSweepStoredArray(benchmark::State& state) {
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(2);
+  const auto pair = diff::compile_pair(p, opt::OptLevel::O2);
+  std::vector<vgpu::KernelArgs> inputs;
+  for (int ii = 0; ii < 32; ++ii) inputs.push_back(ig.generate(p, 2, ii));
+  diff::SweepContext sweep;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::compare_batch(pair, inputs, sweep));
+  }
+}
+BENCHMARK(BM_BatchedSweepStoredArray)->Unit(benchmark::kMicrosecond);
+
 void BM_UnbatchedSweep(benchmark::State& state) {
   gen::GenConfig cfg;
   gen::Generator g(cfg, 42);
@@ -158,6 +182,34 @@ void BM_CampaignSmall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignSmall)->Unit(benchmark::kMillisecond);
+
+/// The same campaign as BM_CampaignSmall carved into N shards, each run on
+/// its own std::thread (single-threaded internally — the scale-out shape
+/// where a shard is one machine), then merged.  Compares against
+/// BM_CampaignSmall to price the orchestration layer and show the
+/// shard-level speedup.
+void BM_CampaignSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 16;
+  cfg.inputs_per_program = 4;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    std::vector<campaign::ShardProgress> parts(static_cast<std::size_t>(shards));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+      workers.emplace_back([&, i] {
+        campaign::ShardRunOptions options;
+        options.shard = {i, shards};
+        parts[static_cast<std::size_t>(i)] = campaign::run_shard(cfg, options);
+      });
+    }
+    for (auto& w : workers) w.join();
+    benchmark::DoNotOptimize(campaign::merge_shards(std::move(parts)));
+  }
+}
+BENCHMARK(BM_CampaignSharded)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_FullComparison(benchmark::State& state) {
   gen::GenConfig cfg;

@@ -1,0 +1,286 @@
+#include "campaign/checkpoint.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace gpudiff::campaign {
+
+using support::Json;
+using support::JsonArray;
+
+namespace {
+
+constexpr const char* kShardFormat = "gpudiff-shard";
+constexpr const char* kResultsFormat = "gpudiff-campaign-results";
+
+Json levels_to_json(const std::vector<opt::OptLevel>& levels) {
+  Json arr = Json::array();
+  for (const auto level : levels) arr.push_back(opt::to_string(level));
+  return arr;
+}
+
+std::vector<opt::OptLevel> levels_from_json(const Json& arr) {
+  std::vector<opt::OptLevel> levels;
+  for (const auto& l : arr.as_array()) {
+    opt::OptLevel level;
+    if (!opt::parse_opt_level(l.as_string(), &level))
+      throw std::runtime_error("campaign: bad opt level " + l.as_string());
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+Json outcome_to_json(const fp::Outcome& o) {
+  Json j = Json::object();
+  j["cls"] = static_cast<int>(o.cls);
+  j["neg"] = o.negative;
+  return j;
+}
+
+/// Reject foreign documents with a real diagnostic (a missing "format"
+/// key must not surface as a low-level JSON type error) and refuse
+/// versions this binary does not understand.
+void check_format(const Json& j, const char* format, const char* what) {
+  if (!j.is_object() || !j.contains("format") || !j.at("format").is_string() ||
+      j.at("format").as_string() != format)
+    throw std::runtime_error(std::string("campaign: not a ") + what);
+  if (!j.contains("version") || !j.at("version").is_number() ||
+      j.at("version").as_int() != 1)
+    throw std::runtime_error(std::string("campaign: unsupported ") + what +
+                             " version");
+}
+
+fp::Outcome outcome_from_json(const Json& j) {
+  const auto cls = j.at("cls").as_int();
+  if (cls < 0 || cls > 3)
+    throw std::runtime_error("campaign: bad outcome class");
+  fp::Outcome o;
+  o.cls = static_cast<fp::OutcomeClass>(cls);
+  o.negative = j.at("neg").as_bool();
+  return o;
+}
+
+}  // namespace
+
+Json config_to_json(const diff::CampaignConfig& config) {
+  Json j = Json::object();
+  j["seed"] = static_cast<long long>(config.seed);
+  j["precision"] = ir::to_string(config.gen.precision);
+  j["hipify_converted"] = config.hipify_converted;
+  j["num_programs"] = config.num_programs;
+  j["inputs_per_program"] = config.inputs_per_program;
+  j["levels"] = levels_to_json(config.levels);
+  j["max_records"] = static_cast<long long>(config.max_records);
+
+  // The full generator grammar: any change to it changes every generated
+  // program, so it is part of the fingerprint resume/merge validate.
+  const gen::GenConfig& g = config.gen;
+  Json gj = Json::object();
+  gj["max_expr_depth"] = g.max_expr_depth;
+  gj["min_stmts"] = g.min_stmts;
+  gj["max_stmts"] = g.max_stmts;
+  gj["max_loop_nest"] = g.max_loop_nest;
+  gj["max_block_stmts"] = g.max_block_stmts;
+  gj["min_scalar_params"] = g.min_scalar_params;
+  gj["max_scalar_params"] = g.max_scalar_params;
+  gj["max_int_params"] = g.max_int_params;
+  gj["max_array_params"] = g.max_array_params;
+  gj["allow_loops"] = g.allow_loops;
+  gj["allow_ifs"] = g.allow_ifs;
+  gj["allow_arrays"] = g.allow_arrays;
+  gj["allow_calls"] = g.allow_calls;
+  gj["w_bin"] = g.w_bin;
+  gj["w_call"] = g.w_call;
+  gj["w_neg"] = g.w_neg;
+  gj["w_leaf"] = g.w_leaf;
+  gj["w_leaf_literal"] = g.w_leaf_literal;
+  gj["w_leaf_param"] = g.w_leaf_param;
+  gj["w_leaf_temp"] = g.w_leaf_temp;
+  gj["w_leaf_array"] = g.w_leaf_array;
+  Json fns = Json::array();
+  for (const auto fn : g.functions) fns.push_back(static_cast<int>(fn));
+  gj["functions"] = std::move(fns);
+  j["gen"] = std::move(gj);
+  return j;
+}
+
+Json stats_to_json(const diff::LevelStats& stats) {
+  Json j = Json::object();
+  j["comparisons"] = static_cast<long long>(stats.comparisons);
+  Json classes = Json::array();
+  for (const auto c : stats.class_counts)
+    classes.push_back(static_cast<long long>(c));
+  j["class_counts"] = std::move(classes);
+  Json adjacency = Json::array();
+  for (const auto& row : stats.adjacency) {
+    Json r = Json::array();
+    for (const auto c : row) r.push_back(static_cast<long long>(c));
+    adjacency.push_back(std::move(r));
+  }
+  j["adjacency"] = std::move(adjacency);
+  return j;
+}
+
+diff::LevelStats stats_from_json(const Json& j) {
+  diff::LevelStats stats;
+  stats.comparisons = static_cast<std::uint64_t>(j.at("comparisons").as_int());
+  const auto& classes = j.at("class_counts").as_array();
+  if (classes.size() != stats.class_counts.size())
+    throw std::runtime_error("campaign: bad class_counts size");
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    stats.class_counts[i] = static_cast<std::uint64_t>(classes[i].as_int());
+  const auto& adjacency = j.at("adjacency").as_array();
+  if (adjacency.size() != 4)
+    throw std::runtime_error("campaign: bad adjacency size");
+  for (int r = 0; r < 4; ++r) {
+    const auto& row = adjacency[static_cast<std::size_t>(r)].as_array();
+    if (row.size() != 4) throw std::runtime_error("campaign: bad adjacency row");
+    for (int c = 0; c < 4; ++c)
+      stats.adjacency[r][c] =
+          static_cast<std::uint64_t>(row[static_cast<std::size_t>(c)].as_int());
+  }
+  return stats;
+}
+
+Json record_to_json(const diff::DiscrepancyRecord& rec) {
+  Json j = Json::object();
+  j["program"] = static_cast<long long>(rec.program_index);
+  j["input"] = rec.input_index;
+  j["level"] = opt::to_string(rec.level);
+  j["class"] = diff::class_index(rec.cls);
+  Json nv = Json::object();
+  nv["outcome"] = outcome_to_json(rec.nvcc_outcome);
+  nv["printed"] = rec.nvcc_printed;
+  j["nvcc"] = std::move(nv);
+  Json amd = Json::object();
+  amd["outcome"] = outcome_to_json(rec.hipcc_outcome);
+  amd["printed"] = rec.hipcc_printed;
+  j["hipcc"] = std::move(amd);
+  return j;
+}
+
+diff::DiscrepancyRecord record_from_json(const Json& j) {
+  diff::DiscrepancyRecord rec;
+  rec.program_index = static_cast<std::uint64_t>(j.at("program").as_int());
+  rec.input_index = static_cast<int>(j.at("input").as_int());
+  if (!opt::parse_opt_level(j.at("level").as_string(), &rec.level))
+    throw std::runtime_error("campaign: bad record level");
+  rec.cls = diff::class_from_index(static_cast<int>(j.at("class").as_int()));
+  rec.nvcc_outcome = outcome_from_json(j.at("nvcc").at("outcome"));
+  rec.nvcc_printed = j.at("nvcc").at("printed").as_string();
+  rec.hipcc_outcome = outcome_from_json(j.at("hipcc").at("outcome"));
+  rec.hipcc_printed = j.at("hipcc").at("printed").as_string();
+  return rec;
+}
+
+Json progress_to_json(const ShardProgress& progress) {
+  Json j = Json::object();
+  j["format"] = kShardFormat;
+  j["version"] = 1;
+  j["config"] = progress.config_echo;
+  Json shard = Json::object();
+  shard["index"] = progress.shard.index;
+  shard["count"] = progress.shard.count;
+  j["shard"] = std::move(shard);
+  Json range = Json::object();
+  range["begin"] = static_cast<long long>(progress.begin);
+  range["end"] = static_cast<long long>(progress.end);
+  j["range"] = std::move(range);
+  j["cursor"] = static_cast<long long>(progress.cursor);
+  Json per_level = Json::array();
+  for (const auto& stats : progress.per_level)
+    per_level.push_back(stats_to_json(stats));
+  j["per_level"] = std::move(per_level);
+  Json records = Json::array();
+  for (const auto& rec : progress.records) records.push_back(record_to_json(rec));
+  j["records"] = std::move(records);
+  return j;
+}
+
+ShardProgress progress_from_json(const Json& j) {
+  check_format(j, kShardFormat, "gpudiff shard checkpoint");
+  ShardProgress progress;
+  progress.config_echo = j.at("config");
+  progress.shard.index = static_cast<int>(j.at("shard").at("index").as_int());
+  progress.shard.count = static_cast<int>(j.at("shard").at("count").as_int());
+  progress.shard.validate();
+  progress.begin = static_cast<std::uint64_t>(j.at("range").at("begin").as_int());
+  progress.end = static_cast<std::uint64_t>(j.at("range").at("end").as_int());
+  progress.cursor = static_cast<std::uint64_t>(j.at("cursor").as_int());
+  if (progress.begin > progress.end || progress.cursor < progress.begin ||
+      progress.cursor > progress.end)
+    throw std::runtime_error("campaign: checkpoint cursor out of range");
+  const auto n_levels = progress.config_echo.at("levels").as_array().size();
+  const auto& per_level = j.at("per_level").as_array();
+  if (per_level.size() != n_levels)
+    throw std::runtime_error("campaign: checkpoint level count mismatch");
+  for (const auto& stats : per_level)
+    progress.per_level.push_back(stats_from_json(stats));
+  for (const auto& rec : j.at("records").as_array())
+    progress.records.push_back(record_from_json(rec));
+  return progress;
+}
+
+std::string checkpoint_path(const std::string& dir, const ShardSpec& spec) {
+  spec.validate();
+  return dir + "/shard-" + std::to_string(spec.index) + "-of-" +
+         std::to_string(spec.count) + ".json";
+}
+
+void save_checkpoint(const std::string& dir, const ShardProgress& progress) {
+  std::filesystem::create_directories(dir);
+  support::write_file_atomic(checkpoint_path(dir, progress.shard),
+                             progress_to_json(progress).dump(1));
+}
+
+ShardProgress load_checkpoint(const std::string& path) {
+  return progress_from_json(Json::parse(support::read_file(path)));
+}
+
+Json results_to_json(const diff::CampaignResults& results) {
+  Json j = Json::object();
+  j["format"] = kResultsFormat;
+  j["version"] = 1;
+  j["seed"] = static_cast<long long>(results.seed);
+  j["precision"] = ir::to_string(results.precision);
+  j["hipify_converted"] = results.hipify_converted;
+  j["num_programs"] = results.num_programs;
+  j["inputs_per_program"] = results.inputs_per_program;
+  j["levels"] = levels_to_json(results.levels);
+  Json per_level = Json::array();
+  for (const auto& stats : results.per_level)
+    per_level.push_back(stats_to_json(stats));
+  j["per_level"] = std::move(per_level);
+  Json records = Json::array();
+  for (const auto& rec : results.records) records.push_back(record_to_json(rec));
+  j["records"] = std::move(records);
+  Json totals = Json::object();
+  totals["comparisons"] = static_cast<long long>(results.comparisons_total());
+  totals["runs"] = static_cast<long long>(results.runs_total());
+  totals["discrepancies"] = static_cast<long long>(results.discrepancies_total());
+  j["totals"] = std::move(totals);
+  return j;
+}
+
+diff::CampaignResults results_from_json(const Json& j) {
+  check_format(j, kResultsFormat, "gpudiff campaign results file");
+  diff::CampaignResults results;
+  results.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+  if (!ir::parse_precision(j.at("precision").as_string(), &results.precision))
+    throw std::runtime_error("campaign: bad precision " +
+                             j.at("precision").as_string());
+  results.hipify_converted = j.at("hipify_converted").as_bool();
+  results.num_programs = static_cast<int>(j.at("num_programs").as_int());
+  results.inputs_per_program =
+      static_cast<int>(j.at("inputs_per_program").as_int());
+  results.levels = levels_from_json(j.at("levels"));
+  for (const auto& stats : j.at("per_level").as_array())
+    results.per_level.push_back(stats_from_json(stats));
+  if (results.per_level.size() != results.levels.size())
+    throw std::runtime_error("campaign: results level count mismatch");
+  for (const auto& rec : j.at("records").as_array())
+    results.records.push_back(record_from_json(rec));
+  return results;
+}
+
+}  // namespace gpudiff::campaign

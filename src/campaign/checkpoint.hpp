@@ -1,0 +1,49 @@
+#pragma once
+// Checkpoint and result serialization for sharded campaigns.
+//
+// Everything here is deterministic: JSON objects keep sorted keys, counts
+// are integers, and floating-point payloads are the %.17g strings the
+// records already carry — so two runs that produce equal state produce
+// byte-equal files, which is what the shard-equivalence CI job diffs.
+//
+// Checkpoints are written with write_file_atomic (write to `<path>.tmp`,
+// then rename), so a kill mid-write leaves the previous snapshot intact
+// and `--resume` always finds a whole file.
+
+#include <string>
+
+#include "campaign/shard.hpp"
+#include "diff/campaign.hpp"
+#include "support/json.hpp"
+
+namespace gpudiff::campaign {
+
+/// Full configuration fingerprint: every field of CampaignConfig that
+/// affects results (seed, precision, counts, levels, record cap, the whole
+/// generator grammar) — but not `threads`, which never changes output.
+/// Resume and merge compare fingerprints for equality.
+support::Json config_to_json(const diff::CampaignConfig& config);
+
+support::Json stats_to_json(const diff::LevelStats& stats);
+diff::LevelStats stats_from_json(const support::Json& j);
+
+support::Json record_to_json(const diff::DiscrepancyRecord& rec);
+diff::DiscrepancyRecord record_from_json(const support::Json& j);
+
+support::Json progress_to_json(const ShardProgress& progress);
+ShardProgress progress_from_json(const support::Json& j);
+
+/// `<dir>/shard-<i>-of-<N>.json`
+std::string checkpoint_path(const std::string& dir, const ShardSpec& spec);
+
+/// Atomic write-then-rename snapshot (creates `dir` if needed).
+void save_checkpoint(const std::string& dir, const ShardProgress& progress);
+/// Load and validate one checkpoint file (throws on malformed input).
+ShardProgress load_checkpoint(const std::string& path);
+
+/// Canonical JSON for a finished campaign: the artifact the CLI's --report
+/// writes and the CI equivalence job compares byte-for-byte.
+support::Json results_to_json(const diff::CampaignResults& results);
+diff::CampaignResults results_from_json(const support::Json& j);
+
+}  // namespace gpudiff::campaign

@@ -1,0 +1,108 @@
+#include "campaign/merge.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <iterator>
+#include <stdexcept>
+
+#include "campaign/checkpoint.hpp"
+
+namespace gpudiff::campaign {
+
+diff::CampaignResults merge_shards(std::vector<ShardProgress> parts) {
+  if (parts.empty())
+    throw std::runtime_error("merge_shards: no shard states to merge");
+  std::sort(parts.begin(), parts.end(),
+            [](const ShardProgress& a, const ShardProgress& b) {
+              return a.shard.index < b.shard.index;
+            });
+  const int count = parts.front().shard.count;
+  if (static_cast<std::size_t>(count) != parts.size())
+    throw std::runtime_error(
+        "merge_shards: have " + std::to_string(parts.size()) + " shards of " +
+        std::to_string(count));
+  const support::Json& echo = parts.front().config_echo;
+  std::uint64_t expected_begin = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const ShardProgress& p = parts[i];
+    if (p.shard.count != count || p.shard.index != static_cast<int>(i))
+      throw std::runtime_error("merge_shards: shard set does not cover 0.." +
+                               std::to_string(count - 1) + " exactly (saw " +
+                               to_string(p.shard) + ")");
+    if (p.config_echo != echo)
+      throw std::runtime_error(
+          "merge_shards: shard " + to_string(p.shard) +
+          " was run under a different campaign configuration");
+    if (!p.complete())
+      throw std::runtime_error(
+          "merge_shards: shard " + to_string(p.shard) + " is incomplete (" +
+          std::to_string(p.cursor - p.begin) + "/" +
+          std::to_string(p.end - p.begin) + " programs)");
+    if (p.begin != expected_begin)
+      throw std::runtime_error("merge_shards: shard " + to_string(p.shard) +
+                               " range does not abut its predecessor");
+    expected_begin = p.end;
+  }
+
+  diff::CampaignResults results;
+  results.seed = static_cast<std::uint64_t>(echo.at("seed").as_int());
+  if (!ir::parse_precision(echo.at("precision").as_string(), &results.precision))
+    throw std::runtime_error("merge_shards: bad precision in fingerprint");
+  results.hipify_converted = echo.at("hipify_converted").as_bool();
+  results.num_programs = static_cast<int>(echo.at("num_programs").as_int());
+  results.inputs_per_program =
+      static_cast<int>(echo.at("inputs_per_program").as_int());
+  for (const auto& l : echo.at("levels").as_array()) {
+    opt::OptLevel level;
+    if (!opt::parse_opt_level(l.as_string(), &level))
+      throw std::runtime_error("merge_shards: bad opt level in fingerprint");
+    results.levels.push_back(level);
+  }
+  if (expected_begin != static_cast<std::uint64_t>(results.num_programs))
+    throw std::runtime_error("merge_shards: shards do not cover the campaign");
+  const auto max_records =
+      static_cast<std::size_t>(echo.at("max_records").as_int());
+
+  results.per_level.assign(results.levels.size(), diff::LevelStats{});
+  for (const ShardProgress& p : parts) {
+    if (p.per_level.size() != results.per_level.size())
+      throw std::runtime_error("merge_shards: level count mismatch");
+    for (std::size_t li = 0; li < results.per_level.size(); ++li)
+      results.per_level[li].merge(p.per_level[li]);
+  }
+  // Shards are contiguous program ranges in index order, and each shard's
+  // records are its canonical-order prefix, so concatenation is the global
+  // canonical order; re-applying the cap keeps the lowest
+  // (program_index, input_index, level) records — exactly what the
+  // unsharded run retains.
+  for (ShardProgress& p : parts) {
+    if (results.records.size() >= max_records) break;
+    diff::append_capped_records(results.records, std::move(p.records),
+                                max_records);
+  }
+  return results;
+}
+
+std::vector<ShardProgress> load_shards(const std::string& dir) {
+  std::vector<ShardProgress> parts;
+  if (!std::filesystem::is_directory(dir))
+    throw std::runtime_error("load_shards: not a directory: " + dir);
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0)
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  parts.reserve(paths.size());
+  for (const auto& path : paths) parts.push_back(load_checkpoint(path));
+  return parts;
+}
+
+diff::CampaignResults merge_checkpoint_dir(const std::string& dir) {
+  return merge_shards(load_shards(dir));
+}
+
+}  // namespace gpudiff::campaign

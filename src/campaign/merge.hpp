@@ -1,0 +1,32 @@
+#pragma once
+// Merge stage: fold N completed shard states into one CampaignResults.
+//
+// For a fixed configuration the merged output is byte-identical to the
+// unsharded diff::run_campaign result: statistics are commutative sums
+// folded in shard-index (= program) order, and records — each shard keeps
+// its own canonical-order prefix — concatenate into the global canonical
+// order before the record cap is re-applied, so the cap keeps the lowest
+// (program_index, input_index, level) records no matter how the campaign
+// was carved up or interrupted.
+
+#include <string>
+#include <vector>
+
+#include "campaign/shard.hpp"
+#include "diff/campaign.hpp"
+
+namespace gpudiff::campaign {
+
+/// Fold completed shards into campaign results.  Validates that the parts
+/// share one configuration fingerprint, agree on the shard count, cover
+/// every index 0..N-1 exactly once and are all complete; throws
+/// std::runtime_error otherwise.
+diff::CampaignResults merge_shards(std::vector<ShardProgress> parts);
+
+/// Load every `shard-*-of-*.json` checkpoint in `dir`.
+std::vector<ShardProgress> load_shards(const std::string& dir);
+
+/// load_shards + merge_shards.
+diff::CampaignResults merge_checkpoint_dir(const std::string& dir);
+
+}  // namespace gpudiff::campaign

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <iterator>
-#include <mutex>
 #include <stdexcept>
 
 #include "support/thread_pool.hpp"
@@ -46,31 +45,36 @@ namespace {
 
 struct ProgramOutcome {
   std::vector<LevelStats> per_level;
-  std::vector<DiscrepancyRecord> records;
+  std::vector<DiscrepancyRecord> records;  ///< canonical (input, level) order
 };
 
 }  // namespace
 
-CampaignResults run_campaign(const CampaignConfig& config) {
+void append_capped_records(std::vector<DiscrepancyRecord>& dst,
+                           std::vector<DiscrepancyRecord>&& src,
+                           std::size_t cap) {
+  if (dst.size() >= cap) return;
+  const std::size_t take = std::min(src.size(), cap - dst.size());
+  dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+             std::make_move_iterator(src.begin() +
+                                     static_cast<std::ptrdiff_t>(take)));
+}
+
+RangeOutcome run_campaign_range(const CampaignConfig& config,
+                                std::uint64_t begin, std::uint64_t end) {
+  if (begin > end)
+    throw std::invalid_argument("run_campaign_range: begin > end");
   const gen::Generator generator(config.gen, config.seed);
   const gen::InputGenerator input_gen(config.seed);
 
-  CampaignResults results;
-  results.seed = config.seed;
-  results.precision = config.gen.precision;
-  results.hipify_converted = config.hipify_converted;
-  results.num_programs = config.num_programs;
-  results.inputs_per_program = config.inputs_per_program;
-  results.levels = config.levels;
-  results.per_level.assign(config.levels.size(), LevelStats{});
-
-  const auto n_programs = static_cast<std::size_t>(config.num_programs);
+  const std::size_t n_programs = static_cast<std::size_t>(end - begin);
   std::vector<ProgramOutcome> outcomes(n_programs);
 
   support::parallel_for(
       n_programs,
-      [&](std::size_t pi) {
-        ProgramOutcome& out = outcomes[pi];
+      [&](std::size_t oi) {
+        const std::uint64_t pi = begin + oi;
+        ProgramOutcome& out = outcomes[oi];
         out.per_level.assign(config.levels.size(), LevelStats{});
         const ir::Program program = generator.generate(pi);
 
@@ -80,13 +84,24 @@ CampaignResults run_campaign(const CampaignConfig& config) {
         for (int ii = 0; ii < config.inputs_per_program; ++ii)
           inputs.push_back(input_gen.generate(program, pi, ii));
 
+        // The execution scratch (VM context, run/comparison buffers) lives
+        // once per worker thread and is reused across every program and
+        // level that thread processes within this range invocation.  (The
+        // calling thread's scratch persists across invocations too;
+        // parallel_for's extra workers are per-call, so in the default
+        // one-thread-per-shard distribution shape reuse is total.)
+        thread_local SweepContext sweep;
+        // (level position, record) pairs, sorted into canonical order below.
+        std::vector<std::pair<std::size_t, DiscrepancyRecord>> found;
+
         for (std::size_t li = 0; li < config.levels.size(); ++li) {
           const CompiledPair pair =
               compile_pair(program, config.levels[li], config.hipify_converted);
           LevelStats& stats = out.per_level[li];
           // Batched sweep: all of this program's inputs through one VM
           // invocation loop per platform (arg checks amortized).
-          const std::vector<ComparisonResult> cmps = compare_batch(pair, inputs);
+          const std::vector<ComparisonResult>& cmps =
+              compare_batch(pair, inputs, sweep);
           for (int ii = 0; ii < config.inputs_per_program; ++ii) {
             const ComparisonResult& cmp = cmps[static_cast<std::size_t>(ii)];
             ++stats.comparisons;
@@ -103,27 +118,52 @@ CampaignResults run_campaign(const CampaignConfig& config) {
             rec.hipcc_outcome = cmp.hipcc.outcome;
             rec.nvcc_printed = cmp.nvcc.printed();
             rec.hipcc_printed = cmp.hipcc.printed();
-            out.records.push_back(std::move(rec));
+            found.emplace_back(li, std::move(rec));
           }
         }
+        // Canonical per-program record order: input-major, then level
+        // position.  The emission loop above is level-major (one compiled
+        // pair per level), so reorder before handing the records over.
+        std::stable_sort(found.begin(), found.end(),
+                         [](const auto& a, const auto& b) {
+                           if (a.second.input_index != b.second.input_index)
+                             return a.second.input_index < b.second.input_index;
+                           return a.first < b.first;
+                         });
+        out.records.reserve(found.size());
+        for (auto& [li, rec] : found) out.records.push_back(std::move(rec));
       },
       config.threads, /*chunk=*/4);
 
   // Deterministic merge in program order.  Statistics are never capped;
   // record retention stops outright once max_records is reached instead of
   // re-entering the record loop for every remaining program.
+  RangeOutcome range;
+  range.per_level.assign(config.levels.size(), LevelStats{});
   for (auto& out : outcomes)
     for (std::size_t li = 0; li < config.levels.size(); ++li)
-      results.per_level[li].merge(out.per_level[li]);
+      range.per_level[li].merge(out.per_level[li]);
   for (auto& out : outcomes) {
-    if (results.records.size() >= config.max_records) break;
-    const std::size_t take = std::min(out.records.size(),
-                                      config.max_records - results.records.size());
-    results.records.insert(results.records.end(),
-                           std::make_move_iterator(out.records.begin()),
-                           std::make_move_iterator(out.records.begin() +
-                                                   static_cast<std::ptrdiff_t>(take)));
+    if (range.records.size() >= config.max_records) break;
+    append_capped_records(range.records, std::move(out.records),
+                          config.max_records);
   }
+  return range;
+}
+
+CampaignResults run_campaign(const CampaignConfig& config) {
+  CampaignResults results;
+  results.seed = config.seed;
+  results.precision = config.gen.precision;
+  results.hipify_converted = config.hipify_converted;
+  results.num_programs = config.num_programs;
+  results.inputs_per_program = config.inputs_per_program;
+  results.levels = config.levels;
+
+  RangeOutcome range = run_campaign_range(
+      config, 0, static_cast<std::uint64_t>(config.num_programs));
+  results.per_level = std::move(range.per_level);
+  results.records = std::move(range.records);
   return results;
 }
 

@@ -6,6 +6,14 @@
 // accumulates discrepancy statistics.  Execution parallelizes over programs
 // (deterministic regardless of thread count: per-program results are
 // accumulated in index order).
+//
+// The loop is exposed at two granularities:
+//   * run_campaign      — the whole [0, num_programs) range in one call;
+//   * run_campaign_range — any contiguous program-index subrange, the
+//     building block the campaign orchestration layer (src/campaign/) uses
+//     for sharding and checkpointed incremental execution.  Per-program
+//     seeds derive from (seed, program_index), so the union of subrange
+//     results is byte-identical to the single-range run.
 
 #include <array>
 #include <cstdint>
@@ -29,6 +37,9 @@ struct CampaignConfig {
                                     opt::kAllOptLevels + 5};
   unsigned threads = 0;         ///< 0 = hardware concurrency
   /// Cap on retained per-discrepancy records (statistics are never capped).
+  /// Applied deterministically in canonical record order — lowest
+  /// (program_index, input_index, level) first — so a capped run, a merge
+  /// of capped shards and a resumed shard all retain the same records.
   std::size_t max_records = 50000;
 };
 
@@ -55,6 +66,8 @@ struct LevelStats {
     return n;
   }
   void merge(const LevelStats& other);
+
+  friend bool operator==(const LevelStats&, const LevelStats&) = default;
 };
 
 struct CampaignResults {
@@ -65,7 +78,7 @@ struct CampaignResults {
   int inputs_per_program = 0;
   std::vector<opt::OptLevel> levels;
   std::vector<LevelStats> per_level;  ///< aligned with `levels`
-  std::vector<DiscrepancyRecord> records;
+  std::vector<DiscrepancyRecord> records;  ///< canonical order, capped
 
   std::uint64_t comparisons_total() const;
   std::uint64_t discrepancies_total() const;
@@ -75,6 +88,31 @@ struct CampaignResults {
   double discrepancy_percent() const;
   const LevelStats& stats_for(opt::OptLevel level) const;
 };
+
+/// Stats and records for one contiguous program-index range.  Records are
+/// in canonical order — (program_index, input_index, level position) — and
+/// capped at `max_records` within the range; since any record dropped by
+/// the per-range cap has at least max_records predecessors inside its own
+/// range, concatenating capped ranges in program order and re-capping
+/// yields exactly the records an uncapped-concatenation-then-cap would.
+struct RangeOutcome {
+  std::vector<LevelStats> per_level;  ///< aligned with config.levels
+  std::vector<DiscrepancyRecord> records;
+};
+
+/// Move records from `src` onto the end of `dst` until `dst` holds `cap`
+/// of them.  Both sides must already be in canonical order with src's
+/// keys all above dst's; every capped-prefix composition in the campaign
+/// and sharding layers goes through this one helper so the cap invariant
+/// cannot drift between them.
+void append_capped_records(std::vector<DiscrepancyRecord>& dst,
+                           std::vector<DiscrepancyRecord>&& src,
+                           std::size_t cap);
+
+/// Run program indices [begin, end) of the campaign `config` describes.
+/// Deterministic for fixed (config, begin, end) regardless of thread count.
+RangeOutcome run_campaign_range(const CampaignConfig& config,
+                                std::uint64_t begin, std::uint64_t end);
 
 CampaignResults run_campaign(const CampaignConfig& config);
 

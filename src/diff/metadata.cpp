@@ -144,9 +144,10 @@ CampaignResults Metadata::analyze() const {
     throw std::runtime_error("metadata: both platforms must be recorded first");
 
   const Json& cfg = root_.at("config");
-  const ir::Precision precision =
-      cfg.at("precision").as_string() == "FP32" ? ir::Precision::FP32
-                                                : ir::Precision::FP64;
+  ir::Precision precision;
+  if (!ir::parse_precision(cfg.at("precision").as_string(), &precision))
+    throw std::runtime_error("metadata: bad precision " +
+                             cfg.at("precision").as_string());
   const auto levels = levels_from_json(cfg.at("levels"));
 
   CampaignResults results;
@@ -164,14 +165,25 @@ CampaignResults Metadata::analyze() const {
     const Json& res = tests[ti].at("results");
     const Json& nv = res.at("nvcc-sim");
     const Json& amd = res.at("hipcc-sim");
+    // Iterate input-major so records come out in the campaign driver's
+    // canonical (program, input, level) order.
+    std::vector<const JsonArray*> nv_by_level(levels.size());
+    std::vector<const JsonArray*> amd_by_level(levels.size());
+    std::size_t n_runs = 0;
     for (std::size_t li = 0; li < levels.size(); ++li) {
       const std::string key = opt::to_string(levels[li]);
-      const auto& nv_runs = nv.at(key).as_array();
-      const auto& amd_runs = amd.at(key).as_array();
-      if (nv_runs.size() != amd_runs.size())
+      nv_by_level[li] = &nv.at(key).as_array();
+      amd_by_level[li] = &amd.at(key).as_array();
+      if (nv_by_level[li]->size() != amd_by_level[li]->size() ||
+          (li > 0 && nv_by_level[li]->size() != n_runs))
         throw std::runtime_error("metadata: run count mismatch");
-      LevelStats& stats = results.per_level[li];
-      for (std::size_t ii = 0; ii < nv_runs.size(); ++ii) {
+      n_runs = nv_by_level[li]->size();
+    }
+    for (std::size_t ii = 0; ii < n_runs; ++ii) {
+      for (std::size_t li = 0; li < levels.size(); ++li) {
+        const auto& nv_runs = *nv_by_level[li];
+        const auto& amd_runs = *amd_by_level[li];
+        LevelStats& stats = results.per_level[li];
         ++stats.comparisons;
         std::uint64_t nb, ab;
         fp::Outcome no, ao;

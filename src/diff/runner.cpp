@@ -44,21 +44,29 @@ ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& a
   return out;
 }
 
+const std::vector<ComparisonResult>& compare_batch(
+    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs,
+    SweepContext& ctx) {
+  const ir::Precision prec = pair.nvcc.program.precision();
+  ctx.nvcc_runs.resize(inputs.size());
+  ctx.hipcc_runs.resize(inputs.size());
+  vgpu::run_kernel_batch(pair.nvcc, inputs, ctx.nvcc_runs.data(), ctx.exec);
+  vgpu::run_kernel_batch(pair.hipcc, inputs, ctx.hipcc_runs.data(), ctx.exec);
+  ctx.cmps.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ComparisonResult& cmp = ctx.cmps[i];
+    cmp.nvcc = to_platform_result(ctx.nvcc_runs[i], prec);
+    cmp.hipcc = to_platform_result(ctx.hipcc_runs[i], prec);
+    cmp.cls = classify_pair(cmp.nvcc.outcome, cmp.nvcc.bits,
+                            cmp.hipcc.outcome, cmp.hipcc.bits);
+  }
+  return ctx.cmps;
+}
+
 std::vector<ComparisonResult> compare_batch(
     const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs) {
-  const ir::Precision prec = pair.nvcc.program.precision();
-  std::vector<vgpu::RunResult> nv(inputs.size());
-  std::vector<vgpu::RunResult> amd(inputs.size());
-  vgpu::run_kernel_batch(pair.nvcc, inputs, nv.data());
-  vgpu::run_kernel_batch(pair.hipcc, inputs, amd.data());
-  std::vector<ComparisonResult> out(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    out[i].nvcc = to_platform_result(nv[i], prec);
-    out[i].hipcc = to_platform_result(amd[i], prec);
-    out[i].cls = classify_pair(out[i].nvcc.outcome, out[i].nvcc.bits,
-                               out[i].hipcc.outcome, out[i].hipcc.bits);
-  }
-  return out;
+  SweepContext ctx;
+  return compare_batch(pair, inputs, ctx);
 }
 
 ComparisonResult run_differential(const ir::Program& program,

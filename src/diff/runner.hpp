@@ -11,6 +11,7 @@
 #include "fp/hexfloat.hpp"
 #include "opt/pipeline.hpp"
 #include "vgpu/args.hpp"
+#include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 
 namespace gpudiff::diff {
@@ -50,10 +51,27 @@ struct ComparisonResult {
 
 ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args);
 
+/// Reusable scratch for batched sweeps: one VM execution context plus the
+/// per-platform run buffers and the comparison output.  A campaign worker
+/// keeps one of these per thread and hands it to every compare_batch call,
+/// so the steady state performs no allocation at all (buffer capacity is
+/// retained across programs and levels).
+struct SweepContext {
+  vgpu::ExecContext exec;
+  std::vector<vgpu::RunResult> nvcc_runs, hipcc_runs;
+  std::vector<ComparisonResult> cmps;
+};
+
 /// Batched sweep: run every input through one VM invocation loop per
 /// platform, amortizing argument validation and execution-context setup
 /// across the program's whole input set.  Result i is bit-identical to
-/// compare_run(pair, inputs[i]).
+/// compare_run(pair, inputs[i]).  The returned reference aliases ctx.cmps
+/// and is valid until the next call with the same context.
+const std::vector<ComparisonResult>& compare_batch(
+    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs,
+    SweepContext& ctx);
+
+/// Convenience overload with throwaway scratch.
 std::vector<ComparisonResult> compare_batch(const CompiledPair& pair,
                                             std::span<const vgpu::KernelArgs> inputs);
 

@@ -6,6 +6,15 @@ std::string to_string(Precision p) {
   return p == Precision::FP32 ? "FP32" : "FP64";
 }
 
+bool parse_precision(const std::string& text, Precision* out) {
+  Precision p;
+  if (text == "FP32") p = Precision::FP32;
+  else if (text == "FP64") p = Precision::FP64;
+  else return false;
+  if (out != nullptr) *out = p;
+  return true;
+}
+
 int arity(MathFn fn) noexcept {
   switch (fn) {
     case MathFn::Fmod:

@@ -20,6 +20,8 @@ namespace gpudiff::ir {
 
 enum class Precision : std::uint8_t { FP32, FP64 };
 std::string to_string(Precision p);
+/// Inverse of to_string; returns false on anything but "FP32"/"FP64".
+bool parse_precision(const std::string& text, Precision* out);
 
 enum class ExprKind : std::uint8_t {
   Literal,     // floating constant (value + original spelling)

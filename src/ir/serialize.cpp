@@ -270,8 +270,10 @@ Json program_to_json(const Program& p) {
 }
 
 Program program_from_json(const Json& j) {
-  const Precision prec =
-      j.at("precision").as_string() == "FP32" ? Precision::FP32 : Precision::FP64;
+  Precision prec;
+  if (!parse_precision(j.at("precision").as_string(), &prec))
+    throw std::runtime_error("program_from_json: bad precision " +
+                             j.at("precision").as_string());
   std::vector<Param> params;
   for (const auto& pj : j.at("params").as_array()) {
     Param p;

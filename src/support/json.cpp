@@ -3,8 +3,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace gpudiff::support {
 
@@ -353,6 +360,41 @@ void write_file(const std::string& path, std::string_view contents) {
   if (!out) throw std::runtime_error("cannot open file for writing: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open file for writing: " + tmp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + tmp);
+  }
+#ifndef _WIN32
+  // Flush the data before the rename so a power loss cannot persist the
+  // rename ahead of the contents (which would leave a truncated file where
+  // the previous good snapshot used to be).  Best-effort: a filesystem
+  // that rejects the sync still gets process-kill atomicity.
+  if (const int fd = ::open(tmp.c_str(), O_WRONLY); fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("rename failed: " + tmp + " -> " + path + ": " +
+                             ec.message());
+#ifndef _WIN32
+  // Make the rename itself durable.
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  if (const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+      dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
 }
 
 }  // namespace gpudiff::support

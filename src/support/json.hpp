@@ -116,5 +116,10 @@ class Json {
 std::string read_file(const std::string& path);
 /// Write a string to a file atomically enough for our purposes.
 void write_file(const std::string& path, std::string_view contents);
+/// Crash-safe write: the contents land in `path + ".tmp"` first and are
+/// renamed over `path` only after the write completes, so readers never
+/// observe a torn file (the campaign checkpoint requirement — a kill mid
+/// write leaves the previous checkpoint intact).
+void write_file_atomic(const std::string& path, std::string_view contents);
 
 }  // namespace gpudiff::support

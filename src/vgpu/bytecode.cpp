@@ -472,10 +472,23 @@ void BytecodeProgram::prepare(ExecContext& ctx) const {
   auto& arr_vec = [&]() -> auto& {
     if constexpr (kFp32) return ctx.arrays32; else return ctx.arrays64;
   }();
+  auto& base_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.base32; else return ctx.base64;
+  }();
+  auto& epoch_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.slot_epoch32; else return ctx.slot_epoch64;
+  }();
   if (regs_vec.size() < static_cast<std::size_t>(num_regs_))
     regs_vec.resize(static_cast<std::size_t>(num_regs_));
   const std::size_t arr_elems = array_params_.size() * ir::kArrayExtent;
   if (arr_vec.size() < arr_elems) arr_vec.resize(arr_elems);
+  if (base_vec.size() < array_params_.size())
+    base_vec.resize(array_params_.size());
+  // New entries are value-initialized to 0, which can never equal the
+  // current epoch (the reset bumps it before any slot is consulted), so a
+  // freshly grown slot starts unmaterialized.
+  if (epoch_vec.size() < array_params_.size())
+    epoch_vec.resize(array_params_.size());
 }
 
 template <typename T>
@@ -499,17 +512,27 @@ void BytecodeProgram::run_one(const KernelArgs& args, ExecContext& ctx,
     if constexpr (kFp32) return consts32_; else return consts64_;
   }();
 
+  auto& base_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.base32; else return ctx.base64;
+  }();
+  auto& epoch_vec = [&]() -> auto& {
+    if constexpr (kFp32) return ctx.slot_epoch32; else return ctx.slot_epoch64;
+  }();
+
   T* const regs = regs_vec.data();
   T* const arrays = arr_vec.data();
+  T* const base = base_vec.data();
+  std::uint64_t* const slot_epoch = epoch_vec.data();
   // Temporaries read-before-declare observe 0, as in the tree-walk
   // interpreter; loop variables likewise start at 0 every run.
   std::fill(regs, regs + num_temps_, T(0));
   std::fill(ctx.loop_vars, ctx.loop_vars + kMaxLoopDepth, 0);
-  for (std::size_t s = 0; s < array_params_.size(); ++s) {
-    const T v = static_cast<T>(
-        args.fp[static_cast<std::size_t>(array_params_[s])]);
-    std::fill(arrays + s * ir::kArrayExtent, arrays + (s + 1) * ir::kArrayExtent, v);
-  }
+  // Array broadcast is hoisted out of the reset: record the broadcast
+  // value per slot and invalidate all materializations by bumping the
+  // epoch.  The extent-wide fill happens only if a store executes.
+  const std::uint64_t epoch = ++ctx.epoch;
+  for (std::size_t s = 0; s < array_params_.size(); ++s)
+    base[s] = static_cast<T>(args.fp[static_cast<std::size_t>(array_params_[s])]);
 
   // Accumulate counters and flags in locals so the dispatch loop keeps
   // them in registers (writes through `out` would alias-block that);
@@ -601,14 +624,25 @@ void BytecodeProgram::run_one(const KernelArgs& args, ExecContext& ctx,
         regs[in.dst] = a > b ? a : b;
         break;
       }
-      case BcOp::LoadArr:
-        regs[in.dst] = arrays[static_cast<std::size_t>(in.u16) * ir::kArrayExtent +
-                              subscript(in)];
+      case BcOp::LoadArr: {
+        const std::size_t s = in.u16;
+        // An unmaterialized slot holds the broadcast value everywhere, so
+        // the subscript (pure arithmetic, no flags) does not matter.
+        regs[in.dst] = slot_epoch[s] == epoch
+                           ? arrays[s * ir::kArrayExtent + subscript(in)]
+                           : base[s];
         break;
-      case BcOp::StoreArr:
-        arrays[static_cast<std::size_t>(in.u16) * ir::kArrayExtent + subscript(in)] =
-            regs[in.b];
+      }
+      case BcOp::StoreArr: {
+        const std::size_t s = in.u16;
+        if (slot_epoch[s] != epoch) {
+          std::fill(arrays + s * ir::kArrayExtent,
+                    arrays + (s + 1) * ir::kArrayExtent, base[s]);
+          slot_epoch[s] = epoch;
+        }
+        arrays[s * ir::kArrayExtent + subscript(in)] = regs[in.b];
         break;
+      }
       case BcOp::AssignComp: {
         const T v = regs[in.a];
         switch (static_cast<ir::AssignOp>(in.aux)) {

@@ -122,11 +122,25 @@ struct BcInsn {
 /// Reusable per-thread execution state.  run_bytecode grows the buffers to
 /// the program's requirements on first use and reuses the capacity for
 /// every subsequent run (no per-run allocation on the steady state).
+///
+/// Stored-to array parameters are materialized lazily: the per-run reset
+/// records only the broadcast argument value (`base*`) and bumps `epoch`;
+/// the kArrayExtent-element backing buffer is filled with the broadcast
+/// value the first time a store to the slot actually executes that run
+/// (`slot_epoch* == epoch` marks a materialized slot).  Loads from an
+/// unmaterialized slot return the broadcast value directly, so a run whose
+/// stores never execute — the array behaves read-only at runtime — pays
+/// one scalar write instead of a 256-element broadcast.
 struct ExecContext {
   std::vector<double> regs64;
   std::vector<float> regs32;
   std::vector<double> arrays64;  ///< stored-to array params, slot-major
   std::vector<float> arrays32;
+  std::vector<double> base64;    ///< per-slot broadcast value, this run
+  std::vector<float> base32;
+  std::vector<std::uint64_t> slot_epoch64;  ///< slot materialized at epoch
+  std::vector<std::uint64_t> slot_epoch32;
+  std::uint64_t epoch = 0;       ///< bumped once per run; never reused
   int loop_vars[kMaxLoopDepth] = {};
   int loop_bounds[kMaxLoopDepth] = {};
 };

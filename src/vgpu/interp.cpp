@@ -294,14 +294,20 @@ RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args) {
 }
 
 void run_kernel_batch(const opt::Executable& exe,
-                      std::span<const KernelArgs> inputs, RunResult* out) {
+                      std::span<const KernelArgs> inputs, RunResult* out,
+                      ExecContext& ctx) {
   if (exec_backend() == ExecBackend::TreeWalk) {
     for (std::size_t i = 0; i < inputs.size(); ++i)
       out[i] = run_kernel_tree(exe, inputs[i]);
     return;
   }
-  thread_local ExecContext ctx;
   exe.bytecode().run_batch(inputs, ctx, out);
+}
+
+void run_kernel_batch(const opt::Executable& exe,
+                      std::span<const KernelArgs> inputs, RunResult* out) {
+  thread_local ExecContext ctx;
+  run_kernel_batch(exe, inputs, out, ctx);
 }
 
 }  // namespace gpudiff::vgpu

@@ -70,4 +70,14 @@ RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args);
 void run_kernel_batch(const opt::Executable& exe,
                       std::span<const KernelArgs> inputs, RunResult* out);
 
+struct ExecContext;  // vgpu/bytecode.hpp
+
+/// Batch execution with a caller-owned ExecContext, for callers that sweep
+/// many (program, level) batches on one thread and want the VM scratch
+/// reused across all of them (the campaign driver's SweepContext).  The
+/// tree-walk backend ignores the context.
+void run_kernel_batch(const opt::Executable& exe,
+                      std::span<const KernelArgs> inputs, RunResult* out,
+                      ExecContext& ctx);
+
 }  // namespace gpudiff::vgpu

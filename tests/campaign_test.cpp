@@ -1,0 +1,397 @@
+// Tests for the campaign orchestration subsystem: deterministic shard
+// partitioning, checkpoint/resume, the merge stage and record-cap
+// semantics.  The load-bearing property throughout is byte-identity: the
+// canonical JSON of a merged sharded (or killed-and-resumed) campaign must
+// equal the unsharded diff::run_campaign output exactly.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/shard.hpp"
+#include "diff/campaign.hpp"
+#include "ir/builder.hpp"
+#include "support/json.hpp"
+#include "vgpu/bytecode.hpp"
+#include "vgpu/interp.hpp"
+
+namespace {
+
+using namespace gpudiff;
+using campaign::ShardProgress;
+using campaign::ShardRunOptions;
+using campaign::ShardSpec;
+
+diff::CampaignConfig small_config(int programs = 45) {
+  diff::CampaignConfig cfg;
+  cfg.num_programs = programs;
+  cfg.inputs_per_program = 5;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::string canonical(const diff::CampaignResults& results) {
+  return campaign::results_to_json(results).dump(1);
+}
+
+diff::CampaignResults run_sharded(const diff::CampaignConfig& cfg, int count) {
+  std::vector<ShardProgress> parts;
+  for (int i = 0; i < count; ++i) {
+    ShardRunOptions options;
+    options.shard = {i, count};
+    parts.push_back(campaign::run_shard(cfg, options));
+  }
+  return campaign::merge_shards(std::move(parts));
+}
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+// ---------------------------------------------------------------------------
+// shard partitioning
+// ---------------------------------------------------------------------------
+
+TEST(ShardSpec, PartitionCoversRangeDisjointly) {
+  for (int n : {0, 1, 5, 45, 354, 3540}) {
+    for (int count : {1, 2, 3, 7, 64}) {
+      std::uint64_t expected_begin = 0;
+      for (int i = 0; i < count; ++i) {
+        const auto [begin, end] = ShardSpec{i, count}.program_range(n);
+        EXPECT_EQ(begin, expected_begin) << n << " " << count << " " << i;
+        EXPECT_LE(begin, end);
+        // Shard sizes are balanced to within one program.
+        const auto size = end - begin;
+        EXPECT_LE(size, static_cast<std::uint64_t>(n) / count + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, static_cast<std::uint64_t>(n));
+    }
+  }
+}
+
+TEST(ShardSpec, ValidatesAndParses) {
+  EXPECT_THROW(ShardSpec({2, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW(ShardSpec({-1, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW(ShardSpec({0, 0}).validate(), std::invalid_argument);
+
+  ShardSpec spec;
+  EXPECT_TRUE(campaign::parse_shard("2/8", &spec));
+  EXPECT_EQ(spec, (ShardSpec{2, 8}));
+  EXPECT_EQ(campaign::to_string(spec), "2/8");
+  for (const char* bad : {"", "3", "/4", "3/", "8/8", "-1/4", "a/4", "1/b", "1/2/3"})
+    EXPECT_FALSE(campaign::parse_shard(bad, nullptr)) << bad;
+}
+
+// ---------------------------------------------------------------------------
+// shard equivalence: merged == unsharded, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST(ShardEquivalence, MergeMatchesUnshardedByteForByte) {
+  const auto cfg = small_config();
+  const std::string direct = canonical(diff::run_campaign(cfg));
+  for (int count : {2, 3, 7}) {
+    EXPECT_EQ(canonical(run_sharded(cfg, count)), direct) << count << " shards";
+  }
+}
+
+TEST(ShardEquivalence, HoldsForFp32AndHipify) {
+  auto cfg = small_config(30);
+  cfg.gen.precision = ir::Precision::FP32;
+  cfg.hipify_converted = true;
+  EXPECT_EQ(canonical(run_sharded(cfg, 3)), canonical(diff::run_campaign(cfg)));
+}
+
+TEST(ShardEquivalence, MoreShardsThanProgramsStillMerges) {
+  const auto cfg = small_config(3);
+  EXPECT_EQ(canonical(run_sharded(cfg, 7)), canonical(diff::run_campaign(cfg)));
+  // The same over a checkpoint directory: empty-range shards must still
+  // write their (trivially complete) result files or the merge cannot
+  // account for them.
+  TempDir dir("gpudiff_empty_range_shards");
+  for (int i = 0; i < 7; ++i) {
+    ShardRunOptions options;
+    options.shard = {i, 7};
+    options.checkpoint_dir = dir.str();
+    campaign::run_shard(cfg, options);
+  }
+  EXPECT_EQ(canonical(campaign::merge_checkpoint_dir(dir.str())),
+            canonical(diff::run_campaign(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// record-cap semantics under sharding
+// ---------------------------------------------------------------------------
+
+TEST(RecordCap, AppliedDeterministicallyAtMergeTime) {
+  auto cfg = small_config();
+  const auto uncapped = diff::run_campaign(cfg);
+  ASSERT_GT(uncapped.records.size(), 6u) << "config produces too few records";
+
+  cfg.max_records = 6;
+  const auto direct = diff::run_campaign(cfg);
+  ASSERT_EQ(direct.records.size(), 6u);
+  // The capped set is the lowest (program, input, level) records: the
+  // uncapped run's canonical prefix.
+  for (std::size_t i = 0; i < direct.records.size(); ++i) {
+    EXPECT_EQ(direct.records[i].program_index, uncapped.records[i].program_index);
+    EXPECT_EQ(direct.records[i].input_index, uncapped.records[i].input_index);
+    EXPECT_EQ(direct.records[i].level, uncapped.records[i].level);
+  }
+  // And sharding does not change it, whichever shard the records fall into.
+  for (int count : {2, 3, 7})
+    EXPECT_EQ(canonical(run_sharded(cfg, count)), canonical(direct)) << count;
+}
+
+TEST(RecordCap, CanonicalOrderIsProgramInputLevel) {
+  const auto results = diff::run_campaign(small_config());
+  const auto& levels = results.levels;
+  const auto pos = [&](opt::OptLevel l) {
+    for (std::size_t i = 0; i < levels.size(); ++i)
+      if (levels[i] == l) return i;
+    ADD_FAILURE() << "record level not in campaign";
+    return std::size_t{0};
+  };
+  for (std::size_t i = 1; i < results.records.size(); ++i) {
+    const auto& a = results.records[i - 1];
+    const auto& b = results.records[i];
+    const auto ka = std::tuple(a.program_index, a.input_index, pos(a.level));
+    const auto kb = std::tuple(b.program_index, b.input_index, pos(b.level));
+    EXPECT_LT(ka, kb) << "record " << i << " out of canonical order";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// checkpointing and resume
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, KillAndResumeIsByteIdenticalToUninterrupted) {
+  const auto cfg = small_config();
+  const std::string direct = canonical(diff::run_campaign(cfg));
+  TempDir dir("gpudiff_ckpt_resume");
+
+  // First run: stop after three 4-program blocks, as a SIGTERM would.
+  int blocks = 0;
+  ShardRunOptions options;
+  options.shard = {0, 1};
+  options.checkpoint_dir = dir.str();
+  options.checkpoint_every = 4;
+  options.on_progress = [&](const ShardProgress&) { ++blocks; };
+  options.stop_requested = [&] { return blocks >= 3; };
+  const ShardProgress killed = campaign::run_shard(cfg, options);
+  EXPECT_FALSE(killed.complete());
+  EXPECT_EQ(killed.cursor, 12u);
+  ASSERT_TRUE(std::filesystem::exists(
+      campaign::checkpoint_path(dir.str(), options.shard)));
+
+  // Second run: resume from the checkpoint and finish.
+  ShardRunOptions resume;
+  resume.shard = options.shard;
+  resume.checkpoint_dir = dir.str();
+  resume.checkpoint_every = 4;
+  resume.resume = true;
+  std::uint64_t first_resumed_block = 0;
+  resume.on_progress = [&](const ShardProgress& p) {
+    if (first_resumed_block == 0) first_resumed_block = p.cursor;
+  };
+  const ShardProgress finished = campaign::run_shard(cfg, resume);
+  EXPECT_TRUE(finished.complete());
+  // The resumed run picked up after the kill point instead of redoing work.
+  EXPECT_EQ(first_resumed_block, 16u);
+  EXPECT_EQ(canonical(campaign::merge_shards({finished})), direct);
+}
+
+TEST(Checkpoint, ResumeWithoutCheckpointStartsFresh) {
+  const auto cfg = small_config(10);
+  TempDir dir("gpudiff_ckpt_cold");
+  ShardRunOptions options;
+  options.shard = {0, 1};
+  options.checkpoint_dir = dir.str();
+  options.resume = true;
+  const ShardProgress progress = campaign::run_shard(cfg, options);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_EQ(canonical(campaign::merge_shards({progress})),
+            canonical(diff::run_campaign(cfg)));
+}
+
+TEST(Checkpoint, NonResumeRefusesToOverwriteExistingCheckpoint) {
+  // A scheduler restarting the same command line without resume must not
+  // silently restart the shard from program 0 over checkpointed work.
+  const auto cfg = small_config(10);
+  TempDir dir("gpudiff_ckpt_overwrite");
+  ShardRunOptions options;
+  options.shard = {0, 1};
+  options.checkpoint_dir = dir.str();
+  campaign::run_shard(cfg, options);
+  EXPECT_THROW(campaign::run_shard(cfg, options), std::runtime_error);
+  options.resume = true;
+  EXPECT_NO_THROW(campaign::run_shard(cfg, options));
+}
+
+TEST(Checkpoint, RejectsForeignAndVersionedDocuments) {
+  using support::Json;
+  EXPECT_THROW(campaign::progress_from_json(Json::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW(campaign::progress_from_json(Json::parse(R"({"format":"x"})")),
+               std::runtime_error);
+  EXPECT_THROW(campaign::progress_from_json(Json::parse(
+                   R"({"format":"gpudiff-shard","version":2})")),
+               std::runtime_error);
+  EXPECT_THROW(campaign::progress_from_json(Json::parse(
+                   R"({"format":"gpudiff-shard"})")),
+               std::runtime_error);
+  EXPECT_THROW(campaign::results_from_json(Json::parse(
+                   R"({"format":"gpudiff-shard","version":1})")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ResumeRejectsMismatchedConfig) {
+  auto cfg = small_config(10);
+  TempDir dir("gpudiff_ckpt_mismatch");
+  ShardRunOptions options;
+  options.shard = {0, 1};
+  options.checkpoint_dir = dir.str();
+  campaign::run_shard(cfg, options);
+
+  options.resume = true;
+  cfg.seed = 99;
+  EXPECT_THROW(campaign::run_shard(cfg, options), std::runtime_error);
+}
+
+TEST(Checkpoint, ProgressJsonRoundTrips) {
+  const auto cfg = small_config(12);
+  ShardRunOptions options;
+  options.shard = {1, 3};
+  const ShardProgress progress = campaign::run_shard(cfg, options);
+  const support::Json j = campaign::progress_to_json(progress);
+  const ShardProgress reloaded =
+      campaign::progress_from_json(support::Json::parse(j.dump()));
+  EXPECT_EQ(campaign::progress_to_json(reloaded).dump(), j.dump());
+  EXPECT_EQ(reloaded.cursor, progress.cursor);
+  EXPECT_EQ(reloaded.records.size(), progress.records.size());
+}
+
+TEST(Checkpoint, ResultsJsonRoundTrips) {
+  const auto results = diff::run_campaign(small_config(20));
+  const support::Json j = campaign::results_to_json(results);
+  const auto reloaded =
+      campaign::results_from_json(support::Json::parse(j.dump(1)));
+  EXPECT_EQ(campaign::results_to_json(reloaded).dump(1), j.dump(1));
+  EXPECT_EQ(reloaded.discrepancies_total(), results.discrepancies_total());
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTempFile) {
+  TempDir dir("gpudiff_atomic_write");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = (dir.path / "out.json").string();
+  support::write_file_atomic(path, "{\"x\": 1}\n");
+  EXPECT_EQ(support::read_file(path), "{\"x\": 1}\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// merge validation
+// ---------------------------------------------------------------------------
+
+TEST(Merge, RejectsIncompleteAndMissingShards) {
+  const auto cfg = small_config(20);
+  ShardRunOptions options;
+  options.shard = {0, 2};
+  int blocks = 0;
+  options.checkpoint_every = 2;
+  options.on_progress = [&](const ShardProgress&) { ++blocks; };
+  options.stop_requested = [&] { return blocks >= 1; };
+  ShardProgress half = campaign::run_shard(cfg, options);
+  EXPECT_FALSE(half.complete());
+
+  ShardRunOptions full0;
+  full0.shard = {0, 2};
+  ShardRunOptions full1;
+  full1.shard = {1, 2};
+  const ShardProgress shard0 = campaign::run_shard(cfg, full0);
+  const ShardProgress shard1 = campaign::run_shard(cfg, full1);
+
+  EXPECT_THROW(campaign::merge_shards({shard0, half}), std::runtime_error);
+  EXPECT_THROW(campaign::merge_shards({shard0}), std::runtime_error);
+  EXPECT_THROW(campaign::merge_shards({shard0, shard0}), std::runtime_error);
+  EXPECT_THROW(campaign::merge_shards({}), std::runtime_error);
+  EXPECT_NO_THROW(campaign::merge_shards({shard1, shard0}));  // order-insensitive
+}
+
+TEST(Merge, RejectsMixedConfigurations) {
+  auto cfg = small_config(10);
+  ShardRunOptions s0;
+  s0.shard = {0, 2};
+  ShardRunOptions s1;
+  s1.shard = {1, 2};
+  const ShardProgress shard0 = campaign::run_shard(cfg, s0);
+  cfg.seed = 4321;
+  const ShardProgress shard1 = campaign::run_shard(cfg, s1);
+  EXPECT_THROW(campaign::merge_shards({shard0, shard1}), std::runtime_error);
+}
+
+TEST(Merge, LoadsShardsFromCheckpointDirectory) {
+  const auto cfg = small_config(21);
+  TempDir dir("gpudiff_merge_dir");
+  for (int i = 0; i < 3; ++i) {
+    ShardRunOptions options;
+    options.shard = {i, 3};
+    options.checkpoint_dir = dir.str();
+    options.checkpoint_every = 2;
+    campaign::run_shard(cfg, options);
+  }
+  EXPECT_EQ(canonical(campaign::merge_checkpoint_dir(dir.str())),
+            canonical(diff::run_campaign(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// VM regression: lazy array materialization must not leak state across a
+// batch (a store in run i, then a store-free run i+1 over the same slot).
+// ---------------------------------------------------------------------------
+
+TEST(LazyArrays, NoCrossInputContaminationInBatch) {
+  // if (gate > 0) arr[0] = 99; comp += arr[0];
+  ir::ProgramBuilder b(ir::Precision::FP64);
+  ir::Arena& A = b.arena();
+  const int arr = b.add_array_param();
+  const int gate = b.add_scalar_param();
+  b.begin_if(ir::make_cmp(A, ir::CmpOp::Gt, ir::make_param(A, gate),
+                          ir::make_literal(A, 0.0)));
+  b.store_array(arr, ir::make_literal(A, 0.0), ir::make_literal(A, 99.0));
+  b.end_block();
+  b.assign_comp(ir::AssignOp::Add, ir::make_array(A, arr, ir::make_literal(A, 0.0)));
+  const ir::Program p = b.build();
+  const auto exe =
+      opt::compile(p, {opt::Toolchain::Nvcc, opt::OptLevel::O0, false});
+
+  // Input 0 stores (comp = 99), input 1 must observe its own broadcast (7),
+  // not the previous run's store; input 2 stores again.
+  std::vector<vgpu::KernelArgs> inputs(3);
+  inputs[0].fp = {0.0, 5.0, 1.0};
+  inputs[1].fp = {0.0, 7.0, -1.0};
+  inputs[2].fp = {0.0, 3.0, 2.0};
+  for (auto& args : inputs) args.ints = {0, 0, 0};
+
+  std::vector<vgpu::RunResult> out(inputs.size());
+  vgpu::ExecContext ctx;
+  exe.bytecode().run_batch(inputs, ctx, out.data());
+  EXPECT_EQ(out[0].value, 99.0);
+  EXPECT_EQ(out[1].value, 7.0);
+  EXPECT_EQ(out[2].value, 99.0);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    EXPECT_EQ(out[i].value_bits, vgpu::run_kernel_tree(exe, inputs[i]).value_bits)
+        << "input " << i;
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// gpudiff-campaign: sharded, checkpointed, resumable campaign runner.
+//
+// One binary covers the whole paper-scale workflow (ISSUE: campaign
+// orchestration).  Each shard of a campaign can run on a different machine
+// under any job launcher; checkpoints make a killed shard resumable; the
+// merge stage folds completed shards into the exact results an unsharded
+// run would produce and feeds the Table IV-X reporters.
+//
+//   # one machine, one process
+//   gpudiff-campaign --programs 354 --report results.json
+//
+//   # eight machines (or eight slots of a job array)
+//   gpudiff-campaign --shard $I/8 --checkpoint-dir ckpt --programs 3540
+//   # ... after a crash on shard 3:
+//   gpudiff-campaign --shard 3/8 --checkpoint-dir ckpt --programs 3540 --resume
+//   # when all shards are complete:
+//   gpudiff-campaign --merge --checkpoint-dir ckpt --report results.json --tables
+//
+// SIGINT/SIGTERM stop the run at the next block boundary after writing a
+// checkpoint, so Ctrl-C (or a scheduler preemption with a grace period)
+// never loses more than --checkpoint-every programs of work.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/shard.hpp"
+#include "diff/report.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace gpudiff;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void print_summary(const diff::CampaignResults& results) {
+  std::printf("programs            %d\n", results.num_programs);
+  std::printf("inputs per program  %d\n", results.inputs_per_program);
+  std::printf("comparisons         %llu\n",
+              static_cast<unsigned long long>(results.comparisons_total()));
+  std::printf("runs                %llu\n",
+              static_cast<unsigned long long>(results.runs_total()));
+  std::printf("discrepancies       %llu (%.4f%% of runs)\n",
+              static_cast<unsigned long long>(results.discrepancies_total()),
+              results.discrepancy_percent());
+  std::printf("records retained    %zu\n", results.records.size());
+}
+
+void emit_results(const diff::CampaignResults& results,
+                  const std::string& report_path, bool tables) {
+  print_summary(results);
+  if (tables) {
+    std::fputs(diff::render_per_level(results, "Discrepancies per level").c_str(),
+               stdout);
+    std::fputs(diff::render_adjacency(results, "Outcome adjacency").c_str(),
+               stdout);
+  }
+  if (!report_path.empty()) {
+    support::write_file_atomic(report_path,
+                               campaign::results_to_json(results).dump(1) + "\n");
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "gpudiff-campaign",
+      "Sharded, checkpointed, resumable differential-testing campaigns");
+  cli.add_int("programs", 'p', "number of random programs in the campaign", 354);
+  cli.add_int("inputs", 'i', "inputs per program", 7);
+  cli.add_int("seed", 'S', "campaign seed", 42);
+  cli.add_string("precision", 'P', "fp64 or fp32", "fp64");
+  cli.add_flag("hipify", "test the HIPIFY-converted binding (Tables VII/VIII)");
+  cli.add_int("threads", 't', "worker threads (0 = hardware concurrency)", 0);
+  cli.add_int("max-records", 'm', "cap on retained discrepancy records", 50000);
+  cli.add_string("shard", 's', "this process's shard as i/N (e.g. 2/8)", "0/1");
+  cli.add_string("checkpoint-dir", 'd',
+                 "directory for checkpoints and shard results", "");
+  cli.add_int("checkpoint-every", 'k', "programs per checkpoint block", 64);
+  cli.add_flag("resume", "continue from this shard's checkpoint if present");
+  cli.add_flag("merge",
+               "merge completed shards from --checkpoint-dir instead of running");
+  cli.add_flag("progress", "print progress after every checkpoint block");
+  cli.add_string("report", 'r', "write canonical results JSON to this path", "");
+  cli.add_flag("tables", "print the per-level and adjacency tables");
+  if (!cli.parse(argc, argv)) return 1;
+
+  try {
+    const std::string checkpoint_dir = cli.get_string("checkpoint-dir");
+    const std::string report_path = cli.get_string("report");
+    const bool tables = cli.get_flag("tables");
+
+    if (cli.get_flag("merge")) {
+      if (checkpoint_dir.empty()) {
+        std::fprintf(stderr, "gpudiff-campaign: --merge needs --checkpoint-dir\n");
+        return 1;
+      }
+      emit_results(campaign::merge_checkpoint_dir(checkpoint_dir), report_path,
+                   tables);
+      return 0;
+    }
+
+    campaign::ShardSpec shard;
+    if (!campaign::parse_shard(cli.get_string("shard"), &shard)) {
+      std::fprintf(stderr, "gpudiff-campaign: bad --shard '%s' (want i/N)\n",
+                   cli.get_string("shard").c_str());
+      return 1;
+    }
+    if (shard.count > 1 && checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "gpudiff-campaign: a multi-shard run needs --checkpoint-dir "
+                   "(the shard state is the merge input)\n");
+      return 1;
+    }
+
+    diff::CampaignConfig config;
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.num_programs = static_cast<int>(cli.get_int("programs"));
+    config.inputs_per_program = static_cast<int>(cli.get_int("inputs"));
+    config.hipify_converted = cli.get_flag("hipify");
+    config.threads = static_cast<unsigned>(cli.get_int("threads"));
+    config.max_records = static_cast<std::size_t>(cli.get_int("max-records"));
+    const std::string precision = cli.get_string("precision");
+    if (precision == "fp32" || precision == "FP32") {
+      config.gen.precision = ir::Precision::FP32;
+    } else if (precision != "fp64" && precision != "FP64") {
+      std::fprintf(stderr, "gpudiff-campaign: bad --precision '%s'\n",
+                   precision.c_str());
+      return 1;
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    campaign::ShardRunOptions options;
+    options.shard = shard;
+    options.checkpoint_dir = checkpoint_dir;
+    options.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every"));
+    options.resume = cli.get_flag("resume");
+    options.stop_requested = [] {
+      return g_stop.load(std::memory_order_relaxed);
+    };
+    if (cli.get_flag("progress")) {
+      options.on_progress = [](const campaign::ShardProgress& p) {
+        std::uint64_t discrepancies = 0;
+        for (const auto& stats : p.per_level)
+          discrepancies += stats.discrepancy_total();
+        std::printf("[shard %s] programs %llu/%llu, discrepancies %llu\n",
+                    campaign::to_string(p.shard).c_str(),
+                    static_cast<unsigned long long>(p.cursor - p.begin),
+                    static_cast<unsigned long long>(p.end - p.begin),
+                    static_cast<unsigned long long>(discrepancies));
+        std::fflush(stdout);
+      };
+    }
+
+    const campaign::ShardProgress progress = campaign::run_shard(config, options);
+    if (!progress.complete()) {
+      if (checkpoint_dir.empty()) {
+        std::printf("shard %s interrupted at program %llu/%llu; no "
+                    "--checkpoint-dir was given, so the completed work is "
+                    "discarded\n",
+                    campaign::to_string(shard).c_str(),
+                    static_cast<unsigned long long>(progress.cursor - progress.begin),
+                    static_cast<unsigned long long>(progress.end - progress.begin));
+      } else {
+        std::printf("shard %s interrupted; checkpointed through program "
+                    "%llu/%llu, rerun with --resume to continue\n",
+                    campaign::to_string(shard).c_str(),
+                    static_cast<unsigned long long>(progress.cursor - progress.begin),
+                    static_cast<unsigned long long>(progress.end - progress.begin));
+      }
+      return 3;
+    }
+    if (shard.count == 1) {
+      emit_results(campaign::merge_shards({progress}), report_path, tables);
+    } else {
+      std::printf("shard %s complete (%llu programs); merge all shards with "
+                  "--merge --checkpoint-dir %s\n",
+                  campaign::to_string(shard).c_str(),
+                  static_cast<unsigned long long>(progress.end - progress.begin),
+                  checkpoint_dir.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpudiff-campaign: %s\n", e.what());
+    return 2;
+  }
+}

@@ -11,9 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <thread>
 
+#include "campaign/checkpoint.hpp"
 #include "campaign/merge.hpp"
+#include "campaign/scheduler.hpp"
 #include "campaign/shard.hpp"
 #include "diff/campaign.hpp"
 #include "diff/runner.hpp"
@@ -210,6 +213,31 @@ void BM_CampaignSharded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignSharded)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Claim-path cost of the work-stealing scheduler: one
+/// claim + heartbeat + release cycle against the shared lease directory,
+/// no program execution.  This is the filesystem-protocol overhead a
+/// worker pays per lease on top of run_campaign_range, and it bounds how
+/// fine --lease-size can go before coordination dominates.
+void BM_SchedulerOverhead(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gpudiff_bm_scheduler";
+  std::filesystem::remove_all(dir);
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 64;
+  campaign::LeaseBoard board(dir.string(), "bench");
+  board.publish_or_verify_manifest(campaign::config_to_json(cfg), 1,
+                                   campaign::lease_count(64, 1));
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board.try_claim(k));
+    board.heartbeat(k);
+    board.release(k);
+    k = (k + 1) % 64;
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SchedulerOverhead)->Unit(benchmark::kMicrosecond);
 
 void BM_FullComparison(benchmark::State& state) {
   gen::GenConfig cfg;

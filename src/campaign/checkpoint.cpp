@@ -11,6 +11,7 @@ using support::JsonArray;
 namespace {
 
 constexpr const char* kShardFormat = "gpudiff-shard";
+constexpr const char* kLeaseFormat = "gpudiff-lease";
 constexpr const char* kResultsFormat = "gpudiff-campaign-results";
 
 Json levels_to_json(const std::vector<opt::OptLevel>& levels) {
@@ -37,19 +38,6 @@ Json outcome_to_json(const fp::Outcome& o) {
   return j;
 }
 
-/// Reject foreign documents with a real diagnostic (a missing "format"
-/// key must not surface as a low-level JSON type error) and refuse
-/// versions this binary does not understand.
-void check_format(const Json& j, const char* format, const char* what) {
-  if (!j.is_object() || !j.contains("format") || !j.at("format").is_string() ||
-      j.at("format").as_string() != format)
-    throw std::runtime_error(std::string("campaign: not a ") + what);
-  if (!j.contains("version") || !j.at("version").is_number() ||
-      j.at("version").as_int() != 1)
-    throw std::runtime_error(std::string("campaign: unsupported ") + what +
-                             " version");
-}
-
 fp::Outcome outcome_from_json(const Json& j) {
   const auto cls = j.at("cls").as_int();
   if (cls < 0 || cls > 3)
@@ -61,6 +49,19 @@ fp::Outcome outcome_from_json(const Json& j) {
 }
 
 }  // namespace
+
+// Reject foreign documents with a real diagnostic (a missing "format"
+// key must not surface as a low-level JSON type error) and refuse
+// versions this binary does not understand.
+void check_format(const Json& j, const char* format, const char* what) {
+  if (!j.is_object() || !j.contains("format") || !j.at("format").is_string() ||
+      j.at("format").as_string() != format)
+    throw std::runtime_error(std::string("campaign: not a ") + what);
+  if (!j.contains("version") || !j.at("version").is_number() ||
+      j.at("version").as_int() != 1)
+    throw std::runtime_error(std::string("campaign: unsupported ") + what +
+                             " version");
+}
 
 Json config_to_json(const diff::CampaignConfig& config) {
   Json j = Json::object();
@@ -219,6 +220,54 @@ ShardProgress progress_from_json(const Json& j) {
   for (const auto& rec : j.at("records").as_array())
     progress.records.push_back(record_from_json(rec));
   return progress;
+}
+
+Json block_to_json(const ResultBlock& block, int lease_index,
+                   int lease_count) {
+  Json j = Json::object();
+  j["format"] = kLeaseFormat;
+  j["version"] = 1;
+  j["config"] = block.config_echo;
+  Json lease = Json::object();
+  lease["index"] = lease_index;
+  lease["count"] = lease_count;
+  j["lease"] = std::move(lease);
+  Json range = Json::object();
+  range["begin"] = static_cast<long long>(block.begin);
+  range["end"] = static_cast<long long>(block.end);
+  j["range"] = std::move(range);
+  Json per_level = Json::array();
+  for (const auto& stats : block.per_level)
+    per_level.push_back(stats_to_json(stats));
+  j["per_level"] = std::move(per_level);
+  Json records = Json::array();
+  for (const auto& rec : block.records) records.push_back(record_to_json(rec));
+  j["records"] = std::move(records);
+  return j;
+}
+
+ResultBlock block_from_json(const Json& j, int* lease_index,
+                            int* lease_count) {
+  check_format(j, kLeaseFormat, "gpudiff lease result");
+  ResultBlock block;
+  block.config_echo = j.at("config");
+  if (lease_index != nullptr)
+    *lease_index = static_cast<int>(j.at("lease").at("index").as_int());
+  if (lease_count != nullptr)
+    *lease_count = static_cast<int>(j.at("lease").at("count").as_int());
+  block.begin = static_cast<std::uint64_t>(j.at("range").at("begin").as_int());
+  block.end = static_cast<std::uint64_t>(j.at("range").at("end").as_int());
+  if (block.begin > block.end)
+    throw std::runtime_error("campaign: lease result range inverted");
+  const auto n_levels = block.config_echo.at("levels").as_array().size();
+  const auto& per_level = j.at("per_level").as_array();
+  if (per_level.size() != n_levels)
+    throw std::runtime_error("campaign: lease result level count mismatch");
+  for (const auto& stats : per_level)
+    block.per_level.push_back(stats_from_json(stats));
+  for (const auto& rec : j.at("records").as_array())
+    block.records.push_back(record_from_json(rec));
+  return block;
 }
 
 std::string checkpoint_path(const std::string& dir, const ShardSpec& spec) {

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "campaign/merge.hpp"
 #include "campaign/shard.hpp"
 #include "diff/campaign.hpp"
 #include "support/json.hpp"
@@ -24,6 +25,13 @@ namespace gpudiff::campaign {
 /// Resume and merge compare fingerprints for equality.
 support::Json config_to_json(const diff::CampaignConfig& config);
 
+/// Validate that `j` is a version-1 document of the given `format`
+/// ("format"/"version" keys); throws std::runtime_error naming `what`
+/// otherwise.  One rule for every campaign file — checkpoints, lease
+/// results, merged reports and the scheduler manifest.
+void check_format(const support::Json& j, const char* format,
+                  const char* what);
+
 support::Json stats_to_json(const diff::LevelStats& stats);
 diff::LevelStats stats_from_json(const support::Json& j);
 
@@ -32,6 +40,16 @@ diff::DiscrepancyRecord record_from_json(const support::Json& j);
 
 support::Json progress_to_json(const ShardProgress& progress);
 ShardProgress progress_from_json(const support::Json& j);
+
+/// One completed lease result for the work-stealing scheduler
+/// (campaign/scheduler.hpp): the block plus its (index, count) position in
+/// the lease partition, so the merge can cross-check coverage.  Like every
+/// file in this header, serialization is deterministic — two workers that
+/// execute the same lease publish byte-identical documents.
+support::Json block_to_json(const ResultBlock& block, int lease_index,
+                            int lease_count);
+ResultBlock block_from_json(const support::Json& j, int* lease_index,
+                            int* lease_count);
 
 /// `<dir>/shard-<i>-of-<N>.json`
 std::string checkpoint_path(const std::string& dir, const ShardSpec& spec);

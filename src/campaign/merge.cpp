@@ -4,10 +4,77 @@
 #include <filesystem>
 #include <iterator>
 #include <stdexcept>
+#include <string_view>
 
 #include "campaign/checkpoint.hpp"
 
 namespace gpudiff::campaign {
+
+diff::CampaignResults merge_blocks(const support::Json& config_echo,
+                                   std::vector<ResultBlock> blocks) {
+  diff::CampaignResults results;
+  results.seed = static_cast<std::uint64_t>(config_echo.at("seed").as_int());
+  if (!ir::parse_precision(config_echo.at("precision").as_string(),
+                           &results.precision))
+    throw std::runtime_error("merge_blocks: bad precision in fingerprint");
+  results.hipify_converted = config_echo.at("hipify_converted").as_bool();
+  results.num_programs =
+      static_cast<int>(config_echo.at("num_programs").as_int());
+  results.inputs_per_program =
+      static_cast<int>(config_echo.at("inputs_per_program").as_int());
+  for (const auto& l : config_echo.at("levels").as_array()) {
+    opt::OptLevel level;
+    if (!opt::parse_opt_level(l.as_string(), &level))
+      throw std::runtime_error("merge_blocks: bad opt level in fingerprint");
+    results.levels.push_back(level);
+  }
+  const auto max_records =
+      static_cast<std::size_t>(config_echo.at("max_records").as_int());
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const ResultBlock& a, const ResultBlock& b) {
+              return std::tie(a.begin, a.end) < std::tie(b.begin, b.end);
+            });
+  std::uint64_t expected_begin = 0;
+  for (const ResultBlock& b : blocks) {
+    if (b.config_echo != config_echo)
+      throw std::runtime_error(
+          "merge_blocks: block [" + std::to_string(b.begin) + ", " +
+          std::to_string(b.end) +
+          ") was produced under a different campaign configuration");
+    if (b.begin > b.end)
+      throw std::runtime_error("merge_blocks: inverted block range");
+    if (b.begin != expected_begin)
+      throw std::runtime_error(
+          "merge_blocks: blocks do not tile the campaign (expected a block "
+          "starting at " + std::to_string(expected_begin) + ", got " +
+          std::to_string(b.begin) + ")");
+    if (b.per_level.size() != results.levels.size())
+      throw std::runtime_error("merge_blocks: level count mismatch");
+    expected_begin = b.end;
+  }
+  if (expected_begin != static_cast<std::uint64_t>(results.num_programs))
+    throw std::runtime_error("merge_blocks: blocks cover [0, " +
+                             std::to_string(expected_begin) + ") of " +
+                             std::to_string(results.num_programs) +
+                             " programs");
+
+  results.per_level.assign(results.levels.size(), diff::LevelStats{});
+  for (const ResultBlock& b : blocks)
+    for (std::size_t li = 0; li < results.per_level.size(); ++li)
+      results.per_level[li].merge(b.per_level[li]);
+  // Blocks are contiguous program ranges in range order, and each block's
+  // records are its canonical-order prefix, so concatenation is the global
+  // canonical order; re-applying the cap keeps the lowest
+  // (program_index, input_index, level) records — exactly what the
+  // unsharded run retains.
+  for (ResultBlock& b : blocks) {
+    if (results.records.size() >= max_records) break;
+    diff::append_capped_records(results.records, std::move(b.records),
+                                max_records);
+  }
+  return results;
+}
 
 diff::CampaignResults merge_shards(std::vector<ShardProgress> parts) {
   if (parts.empty())
@@ -21,66 +88,41 @@ diff::CampaignResults merge_shards(std::vector<ShardProgress> parts) {
     throw std::runtime_error(
         "merge_shards: have " + std::to_string(parts.size()) + " shards of " +
         std::to_string(count));
-  const support::Json& echo = parts.front().config_echo;
-  std::uint64_t expected_begin = 0;
+  const support::Json echo = parts.front().config_echo;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     const ShardProgress& p = parts[i];
     if (p.shard.count != count || p.shard.index != static_cast<int>(i))
       throw std::runtime_error("merge_shards: shard set does not cover 0.." +
                                std::to_string(count - 1) + " exactly (saw " +
                                to_string(p.shard) + ")");
-    if (p.config_echo != echo)
-      throw std::runtime_error(
-          "merge_shards: shard " + to_string(p.shard) +
-          " was run under a different campaign configuration");
     if (!p.complete())
       throw std::runtime_error(
           "merge_shards: shard " + to_string(p.shard) + " is incomplete (" +
           std::to_string(p.cursor - p.begin) + "/" +
           std::to_string(p.end - p.begin) + " programs)");
-    if (p.begin != expected_begin)
-      throw std::runtime_error("merge_shards: shard " + to_string(p.shard) +
-                               " range does not abut its predecessor");
-    expected_begin = p.end;
   }
 
-  diff::CampaignResults results;
-  results.seed = static_cast<std::uint64_t>(echo.at("seed").as_int());
-  if (!ir::parse_precision(echo.at("precision").as_string(), &results.precision))
-    throw std::runtime_error("merge_shards: bad precision in fingerprint");
-  results.hipify_converted = echo.at("hipify_converted").as_bool();
-  results.num_programs = static_cast<int>(echo.at("num_programs").as_int());
-  results.inputs_per_program =
-      static_cast<int>(echo.at("inputs_per_program").as_int());
-  for (const auto& l : echo.at("levels").as_array()) {
-    opt::OptLevel level;
-    if (!opt::parse_opt_level(l.as_string(), &level))
-      throw std::runtime_error("merge_shards: bad opt level in fingerprint");
-    results.levels.push_back(level);
-  }
-  if (expected_begin != static_cast<std::uint64_t>(results.num_programs))
-    throw std::runtime_error("merge_shards: shards do not cover the campaign");
-  const auto max_records =
-      static_cast<std::size_t>(echo.at("max_records").as_int());
-
-  results.per_level.assign(results.levels.size(), diff::LevelStats{});
-  for (const ShardProgress& p : parts) {
-    if (p.per_level.size() != results.per_level.size())
-      throw std::runtime_error("merge_shards: level count mismatch");
-    for (std::size_t li = 0; li < results.per_level.size(); ++li)
-      results.per_level[li].merge(p.per_level[li]);
-  }
-  // Shards are contiguous program ranges in index order, and each shard's
-  // records are its canonical-order prefix, so concatenation is the global
-  // canonical order; re-applying the cap keeps the lowest
-  // (program_index, input_index, level) records — exactly what the
-  // unsharded run retains.
+  std::vector<ResultBlock> blocks;
+  blocks.reserve(parts.size());
   for (ShardProgress& p : parts) {
-    if (results.records.size() >= max_records) break;
-    diff::append_capped_records(results.records, std::move(p.records),
-                                max_records);
+    ResultBlock b;
+    b.config_echo = std::move(p.config_echo);
+    b.begin = p.begin;
+    b.end = p.end;
+    b.per_level = std::move(p.per_level);
+    b.records = std::move(p.records);
+    blocks.push_back(std::move(b));
   }
-  return results;
+  try {
+    return merge_blocks(echo, std::move(blocks));
+  } catch (const std::runtime_error& e) {
+    // Re-badge block-core diagnostics so shard-mode callers see only the
+    // front end they actually used.
+    std::string what = e.what();
+    constexpr std::string_view prefix = "merge_blocks: ";
+    if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
+    throw std::runtime_error("merge_shards: " + what);
+  }
 }
 
 std::vector<ShardProgress> load_shards(const std::string& dir) {

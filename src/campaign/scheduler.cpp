@@ -1,0 +1,475 @@
+#include "campaign/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/checkpoint.hpp"
+#include "support/lockfile.hpp"
+
+namespace gpudiff::campaign {
+
+namespace {
+
+constexpr const char* kManifestFormat = "gpudiff-campaign-manifest";
+
+support::Json manifest_to_json(const support::Json& config_echo,
+                               int lease_size, int count) {
+  support::Json j = support::Json::object();
+  j["format"] = kManifestFormat;
+  j["version"] = 1;
+  j["config"] = config_echo;
+  j["lease_size"] = lease_size;
+  j["lease_count"] = count;
+  return j;
+}
+
+}  // namespace
+
+int lease_count(int num_programs, int lease_size) {
+  if (num_programs < 0)
+    throw std::invalid_argument("lease_count: negative program count");
+  if (num_programs == 0) return 0;
+  const int size = std::max(1, lease_size);
+  return (num_programs + size - 1) / size;
+}
+
+std::pair<std::uint64_t, std::uint64_t> lease_range(int num_programs,
+                                                    int count, int index) {
+  // One balanced-partition formula for the whole subsystem: the byte
+  // identity of merged results must never depend on two copies of the
+  // rounding math staying in sync.
+  return ShardSpec{index, count}.program_range(num_programs);
+}
+
+LeaseBoard::LeaseBoard(std::string dir, std::string worker_id)
+    : dir_(std::move(dir)), worker_(std::move(worker_id)) {
+  if (dir_.empty())
+    throw std::invalid_argument("LeaseBoard: empty directory");
+  if (worker_.empty())
+    throw std::invalid_argument("LeaseBoard: empty worker id");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string LeaseBoard::manifest_path(const std::string& dir) {
+  return dir + "/campaign.json";
+}
+
+void LeaseBoard::publish_or_verify_manifest(const support::Json& config_echo,
+                                            int lease_size, int count) {
+  const support::Json manifest =
+      manifest_to_json(config_echo, lease_size, count);
+  if (support::publish_file_exclusive(manifest_path(dir_), manifest.dump(1),
+                                      "." + worker_))
+    return;
+  const support::Json existing = load_manifest(dir_);
+  if (existing.at("config") != config_echo)
+    throw std::runtime_error(
+        "scheduler: lease directory " + dir_ +
+        " belongs to a different campaign configuration");
+  if (existing.at("lease_size").as_int() != lease_size ||
+      existing.at("lease_count").as_int() != count)
+    throw std::runtime_error(
+        "scheduler: lease directory " + dir_ +
+        " was carved with a different --lease-size; every worker of one "
+        "campaign must agree on the lease geometry");
+}
+
+support::Json LeaseBoard::load_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  if (!std::filesystem::exists(path))
+    throw std::runtime_error("scheduler: no campaign manifest at " + path);
+  const support::Json j = support::Json::parse(support::read_file(path));
+  check_format(j, kManifestFormat, "campaign manifest");
+  return j;
+}
+
+std::string LeaseBoard::claim_path(const std::string& dir, int lease) {
+  return dir + "/lease-" + std::to_string(lease) + ".claim";
+}
+
+std::string LeaseBoard::done_path(const std::string& dir, int lease) {
+  return dir + "/lease-" + std::to_string(lease) + ".done.json";
+}
+
+std::string LeaseBoard::claim_path(int lease) const {
+  return claim_path(dir_, lease);
+}
+
+std::string LeaseBoard::done_path(int lease) const {
+  return done_path(dir_, lease);
+}
+
+bool LeaseBoard::is_done(int lease) const {
+  return std::filesystem::exists(done_path(lease));
+}
+
+bool LeaseBoard::try_claim(int lease) {
+  support::Json claim = support::Json::object();
+  claim["lease"] = lease;
+  claim["worker"] = worker_;
+  return support::publish_file_exclusive(claim_path(lease), claim.dump(),
+                                         "." + worker_);
+}
+
+double LeaseBoard::claim_age_seconds(int lease) const {
+  return support::file_age_seconds(claim_path(lease));
+}
+
+bool LeaseBoard::reap_claim(int lease) {
+  const std::string claim = claim_path(lease);
+  const std::string tombstone = claim + ".stale." + worker_;
+  // Exactly one of N racing reapers wins the rename; the losers see the
+  // source gone.
+  if (!support::rename_file(claim, tombstone)) return false;
+  support::remove_file(tombstone);
+  return true;
+}
+
+bool LeaseBoard::try_steal(int lease) {
+  // The winner of the reap claims afresh — which can still lose to a
+  // concurrent fresh claimer, and that is fine: either way the lease has
+  // exactly one new owner.
+  if (!reap_claim(lease)) return false;
+  return try_claim(lease);
+}
+
+namespace {
+
+bool claim_owned_by(const std::string& claim_path, const std::string& worker) {
+  try {
+    const support::Json j =
+        support::Json::parse(support::read_file(claim_path));
+    return j.is_object() && j.contains("worker") &&
+           j.at("worker").is_string() && j.at("worker").as_string() == worker;
+  } catch (const std::exception&) {
+    // Missing or torn-away claim file: not ours.
+    return false;
+  }
+}
+
+}  // namespace
+
+bool LeaseBoard::heartbeat(int lease) {
+  const std::string path = claim_path(lease);
+  if (!claim_owned_by(path, worker_)) return false;
+  return support::touch_file(path);
+}
+
+void LeaseBoard::publish_done(int lease, int count, const ResultBlock& block) {
+  // Per-worker temp suffix: the at-least-once design means a paused owner
+  // and its stealer can publish the same lease concurrently, and they
+  // must not tear each other's temp file.  The final renames race, but
+  // both sides rename identical bytes, so either winner is whole and
+  // right.
+  support::write_file_atomic(done_path(lease),
+                             block_to_json(block, lease, count).dump(1),
+                             ".tmp." + worker_);
+}
+
+void LeaseBoard::release(int lease) {
+  const std::string path = claim_path(lease);
+  if (claim_owned_by(path, worker_)) support::remove_file(path);
+}
+
+std::string default_worker_id() {
+  char host[256] = "unknown";
+  ::gethostname(host, sizeof(host) - 1);
+  host[sizeof(host) - 1] = '\0';
+  return std::string(host) + "-" + std::to_string(::getpid());
+}
+
+namespace {
+
+/// Reap temp files stranded by workers killed mid-publish: claim temps
+/// and tombstones ("lease-<k>.claim.<suffix>"), done-file temps
+/// ("lease-<k>.done.json.tmp.<suffix>") and manifest temps
+/// ("campaign.json.<suffix>") older than the staleness window.  Without
+/// this, every SIGKILL between a temp write and its link/rename leaks one
+/// file into the shared directory forever.  A *live* publisher whose temp
+/// is this old is indistinguishable from a dead one; reaping its temp
+/// makes its publish return "not acquired" (see publish_file_exclusive),
+/// which the protocol already treats as losing a race.
+void sweep_stale_temps(const std::string& dir, double older_than) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool temp = name.find(".claim.") != std::string::npos ||
+                      name.find(".done.json.tmp.") != std::string::npos ||
+                      name.rfind("campaign.json.", 0) == 0;
+    if (!temp) continue;
+    const std::string path = entry.path().string();
+    const double age = support::file_age_seconds(path);
+    if (age > std::max(0.0, older_than)) support::remove_file(path);
+  }
+}
+
+/// Touches the claim every `interval` on a dedicated thread for as long
+/// as the object lives, so the claim stays demonstrably alive even while
+/// a single long-running generated program keeps the executor away from
+/// any progress callback.  Destruction wakes and joins the thread.
+class HeartbeatTimer {
+ public:
+  HeartbeatTimer(LeaseBoard& board, int lease, double interval_seconds)
+      : board_(board), lease_(lease),
+        interval_(std::max(0.01, interval_seconds)) {
+    thread_ = std::thread([this] { run(); });
+  }
+  ~HeartbeatTimer() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  /// Called from the progress hook: beat now if one is due (keeps the
+  /// claim fresh under clock-suspend conditions the timer thread might
+  /// sleep through, and keeps the diff-layer progress callback load-
+  /// bearing).
+  void beat_if_due() {
+    std::lock_guard<std::mutex> lock(mu_);
+    beat_locked(std::chrono::steady_clock::now());
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_));
+      if (stop_) break;
+      beat_locked(std::chrono::steady_clock::now());
+    }
+  }
+  void beat_locked(std::chrono::steady_clock::time_point now) {
+    if (now - last_beat_ < std::chrono::duration<double>(interval_)) return;
+    last_beat_ = now;
+    board_.heartbeat(lease_);
+  }
+
+  LeaseBoard& board_;
+  const int lease_;
+  const double interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point last_beat_ =
+      std::chrono::steady_clock::now();
+  std::thread thread_;
+};
+
+/// Execute one lease through the existing campaign range machinery.  The
+/// claim is heartbeaten two ways: a timer thread (liveness independent of
+/// program granularity) and the per-program progress hook (fires
+/// concurrently from campaign worker threads; the timer's mutex
+/// serializes both).
+ResultBlock execute_lease(const diff::CampaignConfig& config,
+                          const support::Json& echo, LeaseBoard& board,
+                          int lease, std::uint64_t begin, std::uint64_t end,
+                          double heartbeat_seconds) {
+  HeartbeatTimer timer(board, lease, heartbeat_seconds);
+  diff::RangeHooks hooks;
+  hooks.on_program = [&](std::uint64_t, std::uint64_t) {
+    timer.beat_if_due();
+  };
+  diff::RangeOutcome out = diff::run_campaign_range(config, begin, end, hooks);
+  ResultBlock block;
+  block.config_echo = echo;
+  block.begin = begin;
+  block.end = end;
+  block.per_level = std::move(out.per_level);
+  block.records = std::move(out.records);
+  return block;
+}
+
+}  // namespace
+
+WorkerOutcome run_worker(const diff::CampaignConfig& config,
+                         const WorkerOptions& options) {
+  if (options.dir.empty())
+    throw std::invalid_argument("run_worker: no lease directory");
+  const int lease_size = std::max(1, options.lease_size);
+  const int count = lease_count(config.num_programs, lease_size);
+  const support::Json echo = config_to_json(config);
+  LeaseBoard board(options.dir, options.worker_id.empty()
+                                    ? default_worker_id()
+                                    : options.worker_id);
+  board.publish_or_verify_manifest(echo, lease_size, count);
+  // A restarted fleet inherits whatever temp files its predecessors'
+  // kills stranded; reap them once up front (steals reap incrementally).
+  sweep_stale_temps(board.dir(), options.stale_after_seconds);
+
+  WorkerOutcome outcome;
+  std::vector<char> done(static_cast<std::size_t>(count), 0);
+  int n_done = 0;
+  const auto refresh = [&](int k) {
+    if (done[static_cast<std::size_t>(k)] == 0 && board.is_done(k)) {
+      done[static_cast<std::size_t>(k)] = 1;
+      ++n_done;
+    }
+  };
+  const auto stop = [&] {
+    return options.stop_requested && options.stop_requested();
+  };
+  // A worker that runs out of claimable leases waits for its peers (or for
+  // their claims to age out) and re-scans at this cadence.
+  const auto poll_interval = std::chrono::duration<double>(std::clamp(
+      options.stale_after_seconds / 10.0, 0.002, 0.5));
+
+  // Start the scan at a worker-dependent offset so a fleet launched
+  // simultaneously fans out across the lease range instead of serializing
+  // on lease 0's claim file.
+  const int offset =
+      count == 0 ? 0
+                 : static_cast<int>(std::hash<std::string>{}(
+                                        board.worker_id()) %
+                                    static_cast<std::size_t>(count));
+
+  bool stopped = false;
+  while (n_done < count && !(stopped = stop())) {
+    bool progressed = false;
+    for (int step = 0; step < count; ++step) {
+      const int k = (offset + step) % count;
+      refresh(k);
+      if (done[static_cast<std::size_t>(k)] != 0) continue;
+      if ((stopped = stop())) break;
+      bool stolen = false;
+      // Stat the claim before attempting one, so workers waiting out a
+      // peer's lease cost the shared directory one read per scan, not a
+      // temp-file publish cycle.  The stat is advisory; link(2) inside
+      // try_claim stays the arbiter when the lease looks free.
+      const double age = board.claim_age_seconds(k);
+      if (age < 0.0) {
+        if (!board.try_claim(k)) continue;  // lost the race; rescan later
+      } else {
+        if (age < options.stale_after_seconds) continue;
+        // A worker killed between publishing its done file and releasing
+        // its claim leaves a stale claim on a finished lease: completion
+        // wins — no steal — but reap the claim so it does not haunt the
+        // directory forever.
+        refresh(k);
+        if (done[static_cast<std::size_t>(k)] != 0) {
+          board.reap_claim(k);
+          continue;
+        }
+        sweep_stale_temps(board.dir(), options.stale_after_seconds);
+        if (!board.try_steal(k)) continue;
+        stolen = true;
+      }
+      // We hold the claim, but it may have been winnable only because a
+      // peer released it a moment ago — and peers always publish their
+      // done file before releasing.  Re-check under the claim so a
+      // just-finished lease is never re-executed.
+      refresh(k);
+      if (done[static_cast<std::size_t>(k)] != 0) {
+        board.release(k);
+        continue;
+      }
+      // We own lease k.  Execute and flush it even if a stop arrives
+      // mid-lease — an interrupted worker never strands claimed work; the
+      // interrupt latency is bounded by one lease.
+      const auto [begin, end] = lease_range(config.num_programs, count, k);
+      try {
+        const ResultBlock block = execute_lease(
+            config, echo, board, k, begin, end, options.heartbeat_seconds);
+        board.publish_done(k, count, block);
+      } catch (...) {
+        // A failed lease (I/O error, allocation failure) must not strand
+        // its claim behind the staleness window on top of killing this
+        // worker: release first, then let the error surface.
+        board.release(k);
+        throw;
+      }
+      board.release(k);
+      done[static_cast<std::size_t>(k)] = 1;
+      ++n_done;
+      ++outcome.leases_completed;
+      if (stolen) ++outcome.leases_stolen;
+      outcome.programs_executed += end - begin;
+      progressed = true;
+      if (options.on_lease)
+        options.on_lease({k, begin, end, stolen});
+      if ((stopped = stop())) break;
+    }
+    if (stopped || n_done >= count) break;
+    if (!progressed) {
+      // Everything left is claimed by peers that still look alive; wait
+      // for them to finish — or for their heartbeats to go stale, at which
+      // point the scan above steals and the campaign still converges.
+      std::this_thread::sleep_for(poll_interval);
+    }
+  }
+  for (int k = 0; k < count; ++k) {
+    refresh(k);
+    // A claim lingering on a done lease is garbage (done is terminal; a
+    // racing fresh claimer re-checks done and backs off) — typically a
+    // peer killed between publish and release.  Reap it so a finished
+    // directory holds no claim files.
+    if (done[static_cast<std::size_t>(k)] != 0 &&
+        board.claim_age_seconds(k) >= 0.0)
+      board.reap_claim(k);
+  }
+  outcome.campaign_complete = n_done == count;
+  return outcome;
+}
+
+bool campaign_complete(const std::string& dir) {
+  support::Json manifest;
+  try {
+    manifest = LeaseBoard::load_manifest(dir);
+  } catch (const std::exception&) {
+    return false;
+  }
+  const int count = static_cast<int>(manifest.at("lease_count").as_int());
+  for (int k = 0; k < count; ++k) {
+    if (!std::filesystem::exists(LeaseBoard::done_path(dir, k))) return false;
+  }
+  return true;
+}
+
+diff::CampaignResults merge_lease_dir(const std::string& dir) {
+  const support::Json manifest = LeaseBoard::load_manifest(dir);
+  const support::Json& echo = manifest.at("config");
+  const int count = static_cast<int>(manifest.at("lease_count").as_int());
+  const int num_programs =
+      static_cast<int>(echo.at("num_programs").as_int());
+  if (count != lease_count(num_programs,
+                           static_cast<int>(
+                               manifest.at("lease_size").as_int())))
+    throw std::runtime_error(
+        "merge_lease_dir: manifest lease geometry is inconsistent");
+  std::vector<ResultBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    const std::string path = LeaseBoard::done_path(dir, k);
+    if (!std::filesystem::exists(path))
+      throw std::runtime_error(
+          "merge_lease_dir: lease " + std::to_string(k) + " of " +
+          std::to_string(count) +
+          " is unfinished (no done file); run a worker to completion first");
+    int lease_index = -1;
+    int stored_count = -1;
+    ResultBlock block = block_from_json(
+        support::Json::parse(support::read_file(path)), &lease_index,
+        &stored_count);
+    if (lease_index != k || stored_count != count)
+      throw std::runtime_error("merge_lease_dir: " + path +
+                               " does not belong to this lease partition");
+    const auto expected = lease_range(num_programs, count, k);
+    if (block.begin != expected.first || block.end != expected.second)
+      throw std::runtime_error("merge_lease_dir: " + path +
+                               " covers an unexpected program range");
+    blocks.push_back(std::move(block));
+  }
+  return merge_blocks(echo, std::move(blocks));
+}
+
+}  // namespace gpudiff::campaign

@@ -1,0 +1,198 @@
+#pragma once
+// Work-stealing shard scheduler over a shared checkpoint directory.
+//
+// PR 3's fixed i/N carve hands every machine a same-sized slice of the
+// program range up front; one slow or dead machine strands its slice while
+// the rest idle.  This layer replaces the static carve with fine-grained
+// *leases*: the program range is split into K balanced contiguous ranges
+// (lease_count / lease_range below), and N independent worker processes —
+// started by any job launcher, even
+//   for i in 0 1 2; do gpudiff-campaign --worker dir ... & done
+// — claim leases one at a time from a shared directory, execute them
+// through diff::run_campaign_range, and publish each lease's ResultBlock.
+// Heterogeneous machines self-balance: a fast machine simply claims more
+// leases, and a dead machine's lease is reclaimed once its heartbeat goes
+// stale.
+//
+// Coordination protocol (all files live in the shared directory; see
+// support/lockfile.hpp for the primitives):
+//
+//   campaign.json       manifest: config fingerprint + lease geometry.
+//                       Published once via exclusive hard-link; every later
+//                       worker verifies it matches its own configuration.
+//   lease-<k>.claim     exclusive claim marker for lease k, content
+//                       identifying the owner.  Its mtime is the owner's
+//                       heartbeat, re-touched every heartbeat interval
+//                       while the lease executes.
+//   lease-<k>.done.json lease k's completed ResultBlock (atomic
+//                       write-then-rename).  Existence of this file is the
+//                       only thing that marks a lease finished; done files
+//                       are never removed or rewritten with different
+//                       bytes.
+//
+// A claim whose heartbeat is older than the stale-after window with no
+// done file is presumed dead and may be *stolen*: the stealer renames the
+// stale claim to a tombstone (rename is atomic, so exactly one of N racing
+// stealers wins), removes the tombstone, and claims the lease afresh.
+//
+// Invariant the whole design rests on: the protocol guarantees
+// at-least-once execution of every lease, NOT mutual exclusion.  A
+// paused-but-alive worker whose lease was stolen will eventually publish
+// the same done file the stealer publishes — safe, because a lease's
+// ResultBlock is a pure function of (config fingerprint, range), so both
+// writers produce byte-identical JSON and the atomic rename makes either
+// file a whole one.  Byte-identity of the merged CampaignResults therefore
+// never depends on exclusion, only on determinism; claims, heartbeats and
+// staleness exist purely to avoid wasted duplicate work.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "campaign/merge.hpp"
+#include "diff/campaign.hpp"
+#include "support/json.hpp"
+
+namespace gpudiff::campaign {
+
+/// Number of leases for an n-program campaign with target lease size
+/// `lease_size` (clamped to >= 1): ceil(n / lease_size), 0 when n == 0.
+int lease_count(int num_programs, int lease_size);
+
+/// Lease `index` of `count` over [0, n): the same balanced contiguous
+/// partition as ShardSpec::program_range — ranges are disjoint, cover
+/// exactly [0, n), and differ in size by at most one (so no lease exceeds
+/// the requested lease size).
+std::pair<std::uint64_t, std::uint64_t> lease_range(int num_programs,
+                                                    int count, int index);
+
+/// The shared-directory lease protocol, one instance per worker.  Exposed
+/// separately from run_worker so the equivalence/fault-injection tests and
+/// the claim-path benchmark can drive the mechanism directly; run_worker
+/// supplies the policy (scan order, staleness, waiting).
+///
+/// All operations are safe to call concurrently from different processes
+/// (that is the point); a single LeaseBoard instance is not thread-safe.
+class LeaseBoard {
+ public:
+  /// Creates `dir` if needed.  `worker_id` must be unique across the fleet
+  /// (default_worker_id() below yields host-pid).
+  LeaseBoard(std::string dir, std::string worker_id);
+
+  /// Publish the manifest if none exists, else verify the existing one was
+  /// written for the same configuration and lease geometry; throws
+  /// std::runtime_error on mismatch (two campaigns must not share a dir).
+  void publish_or_verify_manifest(const support::Json& config_echo,
+                                  int lease_size, int count);
+  /// Load and validate a manifest (for the merge stage).
+  static support::Json load_manifest(const std::string& dir);
+  static std::string manifest_path(const std::string& dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+  const std::string& worker_id() const noexcept { return worker_; }
+
+  std::string claim_path(int lease) const;
+  std::string done_path(int lease) const;
+  /// Path builders shared with the merge/completion scans, so the file
+  /// naming scheme lives in exactly one place.
+  static std::string claim_path(const std::string& dir, int lease);
+  static std::string done_path(const std::string& dir, int lease);
+
+  bool is_done(int lease) const;
+  /// Claim the lease exclusively.  False if any claim file exists (even a
+  /// stale one — staleness is the caller's policy, see try_steal).
+  bool try_claim(int lease);
+  /// Seconds since the current claim's last heartbeat; negative if no
+  /// claim file exists.
+  double claim_age_seconds(int lease) const;
+  /// Tombstone-rename the existing claim away without taking the lease
+  /// (atomic: exactly one of N racing reapers succeeds).  Used to clear a
+  /// stale claim stranded on an already-done lease.
+  bool reap_claim(int lease);
+  /// reap_claim + claim the lease afresh.  The caller decides *when*
+  /// stealing is appropriate (claim stale, lease not done).
+  bool try_steal(int lease);
+  /// Refresh this worker's heartbeat on its claim.  Returns false if the
+  /// claim no longer exists or is no longer ours (stolen) — informational;
+  /// execution continues either way, protected by determinism.
+  bool heartbeat(int lease);
+  /// Publish the lease's completed ResultBlock (atomic write-then-rename
+  /// through a per-worker temp file, so duplicate publishers of one lease
+  /// cannot tear each other).  `count` is the lease partition size
+  /// recorded for merge validation.
+  void publish_done(int lease, int count, const ResultBlock& block);
+  /// Remove this worker's claim on the lease (after publish_done, or when
+  /// abandoning on interrupt).  Ownership is checked first so a claim
+  /// owned by another worker — e.g. a stealer's fresh claim after ours
+  /// was tombstoned — is normally left alone.  The check-then-remove pair
+  /// is not atomic (POSIX has no conditional unlink), so a steal landing
+  /// in that window can still lose its fresh claim; like every exclusion
+  /// breakdown in this protocol, the worst case is duplicate execution of
+  /// a lease, never a wrong result.
+  void release(int lease);
+
+ private:
+  std::string dir_;
+  std::string worker_;
+};
+
+/// "host-pid", unique across a fleet of worker processes.
+std::string default_worker_id();
+
+struct WorkerOptions {
+  /// The shared lease directory (required).
+  std::string dir;
+  /// Target programs per lease: the granularity of stealing, of progress
+  /// reporting, and of the work lost when a worker dies mid-lease.
+  int lease_size = 16;
+  /// Seconds between heartbeat touches on the claim while executing.
+  double heartbeat_seconds = 5.0;
+  /// A claim with no heartbeat for this long (and no done file) is
+  /// presumed dead and stolen.  Must comfortably exceed heartbeat_seconds
+  /// plus worst-case fleet clock skew.
+  double stale_after_seconds = 60.0;
+  /// Unique worker name; empty uses default_worker_id().
+  std::string worker_id;
+  /// Polled between leases (and while waiting for peers).  Returning true
+  /// stops the worker gracefully: the in-flight lease is still finished,
+  /// published and released, so an interrupted worker never strands
+  /// claimed work.
+  std::function<bool()> stop_requested;
+  /// Called after each lease this worker completes.
+  struct LeaseEvent {
+    int lease = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool stolen = false;  ///< reclaimed from a stale claim
+  };
+  std::function<void(const LeaseEvent&)> on_lease;
+};
+
+struct WorkerOutcome {
+  int leases_completed = 0;   ///< leases this worker executed and published
+  int leases_stolen = 0;      ///< of those, how many were stale reclaims
+  std::uint64_t programs_executed = 0;
+  /// True when every lease in the campaign has a done file — the signal
+  /// that --merge will succeed.  False only after stop_requested.
+  bool campaign_complete = false;
+};
+
+/// Run one worker against the shared directory until the campaign is
+/// complete or stop_requested fires.  A worker that runs out of claimable
+/// leases waits (claimed leases may belong to live peers) and re-scans,
+/// stealing stale claims as they age out — so a fleet converges even when
+/// members die, and `for ...; do gpudiff-campaign --worker ... & done`
+/// self-balances across heterogeneous machines.
+WorkerOutcome run_worker(const diff::CampaignConfig& config,
+                         const WorkerOptions& options);
+
+/// True when a manifest exists and every lease has a done file.
+bool campaign_complete(const std::string& dir);
+
+/// Merge a completed lease directory into CampaignResults byte-identical
+/// to the unsharded diff::run_campaign output.  Throws if the manifest is
+/// missing, any lease is unfinished, or any block fails validation.
+diff::CampaignResults merge_lease_dir(const std::string& dir);
+
+}  // namespace gpudiff::campaign

@@ -1,6 +1,7 @@
 #include "diff/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <iterator>
 #include <stdexcept>
 
@@ -62,6 +63,12 @@ void append_capped_records(std::vector<DiscrepancyRecord>& dst,
 
 RangeOutcome run_campaign_range(const CampaignConfig& config,
                                 std::uint64_t begin, std::uint64_t end) {
+  return run_campaign_range(config, begin, end, RangeHooks{});
+}
+
+RangeOutcome run_campaign_range(const CampaignConfig& config,
+                                std::uint64_t begin, std::uint64_t end,
+                                const RangeHooks& hooks) {
   if (begin > end)
     throw std::invalid_argument("run_campaign_range: begin > end");
   const gen::Generator generator(config.gen, config.seed);
@@ -69,6 +76,7 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
 
   const std::size_t n_programs = static_cast<std::size_t>(end - begin);
   std::vector<ProgramOutcome> outcomes(n_programs);
+  std::atomic<std::uint64_t> completed{0};
 
   support::parallel_for(
       n_programs,
@@ -132,6 +140,10 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
                          });
         out.records.reserve(found.size());
         for (auto& [li, rec] : found) out.records.push_back(std::move(rec));
+        if (hooks.on_program) {
+          const auto done = completed.fetch_add(1, std::memory_order_relaxed);
+          hooks.on_program(done + 1, n_programs);
+        }
       },
       config.threads, /*chunk=*/4);
 

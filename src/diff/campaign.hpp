@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -109,10 +110,24 @@ void append_capped_records(std::vector<DiscrepancyRecord>& dst,
                            std::vector<DiscrepancyRecord>&& src,
                            std::size_t cap);
 
+/// Optional instrumentation for run_campaign_range.  Hooks observe
+/// execution; they never affect results.
+struct RangeHooks {
+  /// Called after each program in the range finishes, with the number of
+  /// programs completed so far and the range size.  May be invoked
+  /// concurrently from worker threads, and completion order is not program
+  /// order — treat `completed` as a progress counter, not a cursor.  The
+  /// campaign scheduler uses this to heartbeat its lease claim mid-lease.
+  std::function<void(std::uint64_t completed, std::uint64_t total)> on_program;
+};
+
 /// Run program indices [begin, end) of the campaign `config` describes.
 /// Deterministic for fixed (config, begin, end) regardless of thread count.
 RangeOutcome run_campaign_range(const CampaignConfig& config,
                                 std::uint64_t begin, std::uint64_t end);
+RangeOutcome run_campaign_range(const CampaignConfig& config,
+                                std::uint64_t begin, std::uint64_t end,
+                                const RangeHooks& hooks);
 
 CampaignResults run_campaign(const CampaignConfig& config);
 

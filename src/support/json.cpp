@@ -362,8 +362,9 @@ void write_file(const std::string& path, std::string_view contents) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
-void write_file_atomic(const std::string& path, std::string_view contents) {
-  const std::string tmp = path + ".tmp";
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       const std::string& temp_suffix) {
+  const std::string tmp = path + temp_suffix;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("cannot open file for writing: " + tmp);

@@ -116,10 +116,14 @@ class Json {
 std::string read_file(const std::string& path);
 /// Write a string to a file atomically enough for our purposes.
 void write_file(const std::string& path, std::string_view contents);
-/// Crash-safe write: the contents land in `path + ".tmp"` first and are
-/// renamed over `path` only after the write completes, so readers never
-/// observe a torn file (the campaign checkpoint requirement — a kill mid
-/// write leaves the previous checkpoint intact).
-void write_file_atomic(const std::string& path, std::string_view contents);
+/// Crash-safe write: the contents land in `path + temp_suffix` first and
+/// are renamed over `path` only after the write completes, so readers
+/// never observe a torn file (the campaign checkpoint requirement — a
+/// kill mid write leaves the previous checkpoint intact).  When several
+/// processes may write the same path concurrently (the scheduler's
+/// at-least-once duplicate publishes), each must pass its own unique
+/// temp_suffix or the racing writers can tear each other's temp file.
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       const std::string& temp_suffix = ".tmp");
 
 }  // namespace gpudiff::support

@@ -6,16 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/merge.hpp"
+#include "campaign/scheduler.hpp"
 #include "campaign/shard.hpp"
 #include "diff/campaign.hpp"
 #include "ir/builder.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 
@@ -79,6 +82,60 @@ TEST(ShardSpec, PartitionCoversRangeDisjointly) {
       EXPECT_EQ(expected_begin, static_cast<std::uint64_t>(n));
     }
   }
+}
+
+// Property test over randomized geometries: both partitioners — the fixed
+// i/N shard carve and the scheduler's lease partitioner — must produce
+// ranges that are pairwise disjoint, cover exactly [0, n), and differ in
+// size by at most one.
+TEST(ShardSpec, RandomizedPartitionsAreDisjointCoveringAndBalanced) {
+  support::Rng rng(20260726);
+  const auto check_partition = [](int n, int count,
+                                  const auto& range_of) {
+    std::uint64_t expected_begin = 0;
+    std::uint64_t min_size = ~0ull, max_size = 0;
+    for (int i = 0; i < count; ++i) {
+      const auto [begin, end] = range_of(i);
+      // begin == previous end: disjoint and gap-free in one check.
+      ASSERT_EQ(begin, expected_begin) << "n=" << n << " count=" << count
+                                       << " part=" << i;
+      ASSERT_LE(begin, end);
+      min_size = std::min(min_size, end - begin);
+      max_size = std::max(max_size, end - begin);
+      expected_begin = end;
+    }
+    ASSERT_EQ(expected_begin, static_cast<std::uint64_t>(n)) << "coverage";
+    if (count > 0)
+      ASSERT_LE(max_size - min_size, 1u)
+          << "n=" << n << " count=" << count << " is unbalanced";
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.below(4000));
+    // Fixed carve: shard i of N.
+    const int N = 1 + static_cast<int>(rng.below(48));
+    check_partition(n, N, [&](int i) {
+      return ShardSpec{i, N}.program_range(n);
+    });
+    // Lease partitioner: K = ceil(n / L) balanced ranges, none above L.
+    const int L = 1 + static_cast<int>(rng.below(130));
+    const int K = campaign::lease_count(n, L);
+    ASSERT_EQ(K, n == 0 ? 0 : (n + L - 1) / L) << "n=" << n << " L=" << L;
+    check_partition(n, K, [&](int k) {
+      const auto range = campaign::lease_range(n, K, k);
+      EXPECT_LE(range.second - range.first, static_cast<std::uint64_t>(L))
+          << "lease " << k << " exceeds the requested lease size";
+      return range;
+    });
+  }
+
+  EXPECT_THROW(campaign::lease_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(campaign::lease_range(10, 3, 3), std::invalid_argument);
+  EXPECT_THROW(campaign::lease_range(-1, 3, 0), std::invalid_argument);
+  EXPECT_THROW(campaign::lease_count(-1, 4), std::invalid_argument);
+  EXPECT_EQ(campaign::lease_count(0, 4), 0);
+  EXPECT_EQ(campaign::lease_count(45, 1000), 1);
+  EXPECT_EQ(campaign::lease_count(45, 0), 45) << "lease size clamps to >= 1";
 }
 
 TEST(ShardSpec, ValidatesAndParses) {

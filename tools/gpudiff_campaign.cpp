@@ -9,25 +9,39 @@
 //   # one machine, one process
 //   gpudiff-campaign --programs 354 --report results.json
 //
-//   # eight machines (or eight slots of a job array)
+//   # eight machines (or eight slots of a job array), fixed carve
 //   gpudiff-campaign --shard $I/8 --checkpoint-dir ckpt --programs 3540
 //   # ... after a crash on shard 3:
 //   gpudiff-campaign --shard 3/8 --checkpoint-dir ckpt --programs 3540 --resume
 //   # when all shards are complete:
 //   gpudiff-campaign --merge --checkpoint-dir ckpt --report results.json --tables
 //
-// SIGINT/SIGTERM stop the run at the next block boundary after writing a
-// checkpoint, so Ctrl-C (or a scheduler preemption with a grace period)
-// never loses more than --checkpoint-every programs of work.
+//   # self-balancing fleet: any number of workers, heterogeneous machines,
+//   # no carve — each claims fine-grained leases from the shared dir, and a
+//   # dead worker's lease is stolen once its heartbeat goes stale
+//   for i in 0 1 2; do
+//     gpudiff-campaign --worker lease-dir --programs 3540 &
+//   done; wait
+//   gpudiff-campaign --merge --checkpoint-dir lease-dir --report results.json
+//
+// SIGINT/SIGTERM stop the run gracefully: shard mode checkpoints at the
+// next block boundary, worker mode finishes and publishes the in-flight
+// lease and releases every claim it holds — interrupted processes never
+// strand claimed work, and never lose more than one block/lease of it.
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <string>
+
+#include <unistd.h>
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/merge.hpp"
+#include "campaign/scheduler.hpp"
 #include "campaign/shard.hpp"
 #include "diff/report.hpp"
 #include "support/cli.hpp"
@@ -38,6 +52,12 @@ namespace {
 using namespace gpudiff;
 
 std::atomic<bool> g_stop{false};
+
+/// Shared by the option definition and the worker-mode conflict check (a
+/// value equal to the default is indistinguishable from "not passed", so
+/// an explicit --checkpoint-every 64 slips through — the harmless edge of
+/// a presence-blind parser).
+constexpr std::int64_t kDefaultCheckpointEvery = 64;
 
 void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
@@ -54,8 +74,13 @@ void print_summary(const diff::CampaignResults& results) {
   std::printf("records retained    %zu\n", results.records.size());
 }
 
+// `temp_suffix` must be process-unique when several workers may finish a
+// campaign simultaneously and write the same report path: their contents
+// are byte-identical (deterministic results), but a shared temp file
+// could be torn mid-race.
 void emit_results(const diff::CampaignResults& results,
-                  const std::string& report_path, bool tables) {
+                  const std::string& report_path, bool tables,
+                  const std::string& temp_suffix = ".tmp") {
   print_summary(results);
   if (tables) {
     std::fputs(diff::render_per_level(results, "Discrepancies per level").c_str(),
@@ -65,7 +90,8 @@ void emit_results(const diff::CampaignResults& results,
   }
   if (!report_path.empty()) {
     support::write_file_atomic(report_path,
-                               campaign::results_to_json(results).dump(1) + "\n");
+                               campaign::results_to_json(results).dump(1) + "\n",
+                               temp_suffix);
     std::printf("report written to %s\n", report_path.c_str());
   }
 }
@@ -86,10 +112,23 @@ int main(int argc, char** argv) {
   cli.add_string("shard", 's', "this process's shard as i/N (e.g. 2/8)", "0/1");
   cli.add_string("checkpoint-dir", 'd',
                  "directory for checkpoints and shard results", "");
-  cli.add_int("checkpoint-every", 'k', "programs per checkpoint block", 64);
+  cli.add_int("checkpoint-every", 'k', "programs per checkpoint block",
+              kDefaultCheckpointEvery);
   cli.add_flag("resume", "continue from this shard's checkpoint if present");
   cli.add_flag("merge",
                "merge completed shards from --checkpoint-dir instead of running");
+  cli.add_string("worker", 'w',
+                 "run as a self-balancing work-stealing worker against this "
+                 "shared lease directory",
+                 "");
+  cli.add_int("lease-size", 'L', "programs per lease in --worker mode", 16);
+  cli.add_double("heartbeat", 'H', "seconds between lease heartbeats", 5.0);
+  cli.add_double("stale-after", 'A',
+                 "steal a lease whose heartbeat is older than this many "
+                 "seconds",
+                 60.0);
+  cli.add_string("worker-id", 'W', "unique worker name (default: host-pid)",
+                 "");
   cli.add_flag("progress", "print progress after every checkpoint block");
   cli.add_string("report", 'r', "write canonical results JSON to this path", "");
   cli.add_flag("tables", "print the per-level and adjacency tables");
@@ -105,8 +144,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "gpudiff-campaign: --merge needs --checkpoint-dir\n");
         return 1;
       }
-      emit_results(campaign::merge_checkpoint_dir(checkpoint_dir), report_path,
-                   tables);
+      // A lease directory (worker mode) carries a manifest; a fixed-carve
+      // shard directory holds bare shard-i-of-N checkpoints.
+      const bool lease_dir = std::filesystem::exists(
+          campaign::LeaseBoard::manifest_path(checkpoint_dir));
+      emit_results(lease_dir ? campaign::merge_lease_dir(checkpoint_dir)
+                             : campaign::merge_checkpoint_dir(checkpoint_dir),
+                   report_path, tables);
       return 0;
     }
 
@@ -116,7 +160,8 @@ int main(int argc, char** argv) {
                    cli.get_string("shard").c_str());
       return 1;
     }
-    if (shard.count > 1 && checkpoint_dir.empty()) {
+    const std::string worker_dir = cli.get_string("worker");
+    if (shard.count > 1 && checkpoint_dir.empty() && worker_dir.empty()) {
       std::fprintf(stderr,
                    "gpudiff-campaign: a multi-shard run needs --checkpoint-dir "
                    "(the shard state is the merge input)\n");
@@ -141,6 +186,75 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+
+    if (!worker_dir.empty()) {
+      if (cli.get_string("shard") != "0/1") {
+        std::fprintf(stderr,
+                     "gpudiff-campaign: --worker replaces the fixed --shard "
+                     "carve; pass one or the other\n");
+        return 1;
+      }
+      if (!checkpoint_dir.empty() || cli.get_flag("resume") ||
+          cli.get_int("checkpoint-every") != kDefaultCheckpointEvery) {
+        // Refuse rather than silently drop: worker mode has no mid-lease
+        // checkpoint/resume (the lease directory itself is the durable
+        // state, an interrupted lease simply re-executes, and durability
+        // granularity is --lease-size).
+        std::fprintf(stderr,
+                     "gpudiff-campaign: --checkpoint-dir/--checkpoint-every/"
+                     "--resume are shard-mode flags; --worker keeps all its "
+                     "state in the lease directory (granularity: "
+                     "--lease-size)\n");
+        return 1;
+      }
+      campaign::WorkerOptions wopts;
+      wopts.dir = worker_dir;
+      wopts.lease_size = static_cast<int>(cli.get_int("lease-size"));
+      wopts.heartbeat_seconds = cli.get_double("heartbeat");
+      wopts.stale_after_seconds = cli.get_double("stale-after");
+      wopts.worker_id = cli.get_string("worker-id");
+      wopts.stop_requested = [] {
+        return g_stop.load(std::memory_order_relaxed);
+      };
+      if (cli.get_flag("progress")) {
+        wopts.on_lease = [](const campaign::WorkerOptions::LeaseEvent& ev) {
+          std::printf("[worker] lease %d done (programs [%llu, %llu))%s\n",
+                      ev.lease, static_cast<unsigned long long>(ev.begin),
+                      static_cast<unsigned long long>(ev.end),
+                      ev.stolen ? " [reclaimed from stale claim]" : "");
+          std::fflush(stdout);
+        };
+      }
+      const campaign::WorkerOutcome outcome =
+          campaign::run_worker(config, wopts);
+      std::printf("worker finished: %d leases (%llu programs), %d reclaimed "
+                  "from stale claims\n",
+                  outcome.leases_completed,
+                  static_cast<unsigned long long>(outcome.programs_executed),
+                  outcome.leases_stolen);
+      if (!outcome.campaign_complete) {
+        // Interrupted: the in-flight lease was still published and every
+        // claim released, so any worker (re)started against the directory
+        // picks up exactly where the fleet left off.
+        std::printf("campaign incomplete; rerun workers against %s to "
+                    "continue\n",
+                    worker_dir.c_str());
+        return 3;
+      }
+      if (!report_path.empty() || tables) {
+        // Deterministic outputs make this safe in a fleet: every worker
+        // that gets here writes byte-identical results (each through its
+        // own temp file).
+        emit_results(campaign::merge_lease_dir(worker_dir), report_path,
+                     tables,
+                     ".tmp." + std::to_string(::getpid()));
+      } else {
+        std::printf("campaign complete; merge with --merge --checkpoint-dir "
+                    "%s\n",
+                    worker_dir.c_str());
+      }
+      return 0;
+    }
 
     campaign::ShardRunOptions options;
     options.shard = shard;

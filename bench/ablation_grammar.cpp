@@ -53,8 +53,11 @@ int main(int argc, char** argv) {
     const auto& r = row.results;
     std::uint64_t nan_classes = 0, num_num = 0;
     for (const auto& s : r.per_level) {
-      nan_classes += s.class_counts[0] + s.class_counts[1] + s.class_counts[2];
-      num_num += s.class_counts[6];
+      for (const auto& pair : s.pairs) {
+        nan_classes +=
+            pair.class_counts[0] + pair.class_counts[1] + pair.class_counts[2];
+        num_num += pair.class_counts[6];
+      }
     }
     t.add_row({row.label,
                std::to_string(r.stats_for(opt::OptLevel::O0).discrepancy_total()),

@@ -26,8 +26,8 @@ void show(const char* title, const Program& p, const vgpu::KernelArgs& args,
   for (auto level : levels) {
     const auto cmp = diff::run_differential(p, args, level);
     std::printf("  nvcc  -%-6s: %s\n  hipcc -%-6s: %s%s\n",
-                opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
-                opt::to_string(level).c_str(), cmp.hipcc.printed().c_str(),
+                opt::to_string(level).c_str(), cmp.platforms[0].printed().c_str(),
+                opt::to_string(level).c_str(), cmp.platforms[1].printed().c_str(),
                 cmp.discrepant()
                     ? ("   <-- " + to_string(cmp.cls) + " discrepancy").c_str()
                     : "");

@@ -158,6 +158,30 @@ void BM_BatchedSweepStoredArray(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSweepStoredArray)->Unit(benchmark::kMicrosecond);
 
+/// Marginal cost of widening the platform set: the same 32-input sweep
+/// against the first N registry platforms (N = 2 is the paper pair).  Per
+/// comparison the runner executes one VM loop per platform, so wall time
+/// should scale linearly in N — the per-platform marginal cost the
+/// registry refactor promises to keep flat.
+void BM_CompareNWay(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& registry = opt::platform_registry();
+  const std::vector<opt::PlatformSpec> specs(registry.begin(),
+                                             registry.begin() + n);
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  const ir::Program p = g.generate(11);
+  const auto set = diff::compile_set(p, specs, opt::OptLevel::O2);
+  std::vector<vgpu::KernelArgs> inputs;
+  for (int ii = 0; ii < 32; ++ii) inputs.push_back(ig.generate(p, 11, ii));
+  diff::SweepContext sweep;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::compare_batch(set, inputs, sweep));
+  }
+}
+BENCHMARK(BM_CompareNWay)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMicrosecond);
+
 void BM_UnbatchedSweep(benchmark::State& state) {
   gen::GenConfig cfg;
   gen::Generator g(cfg, 42);

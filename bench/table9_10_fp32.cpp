@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(o0.discrepancy_total())
           : 0.0,
       [&] {
-        for (auto c : fm.class_counts)
+        for (auto c : fm.pairs[0].class_counts)
           if (c == 0) return "NO";
         return "yes";
       }());

@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "diff/metadata.hpp"
+#include "opt/platform.hpp"
 #include "diff/report.hpp"
 #include "support/cli.hpp"
 
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
               cfg.num_programs, cfg.inputs_per_program);
   diff::Metadata md = diff::Metadata::create(cfg);
   std::printf("[system 1] running all tests on nvcc-sim (5 opt levels)...\n");
-  md.record_platform(opt::Toolchain::Nvcc);
+  md.record_platform(*opt::find_platform("nvcc"));
   md.save(stage1);
   std::printf("[system 1] wrote %s (%ju bytes) — transfer to system 2\n\n",
               stage1.c_str(),
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   diff::Metadata loaded = diff::Metadata::load(stage1);
   std::printf("[system 2] %zu tests found; re-running on hipcc-sim...\n",
               loaded.test_count());
-  loaded.record_platform(opt::Toolchain::Hipcc);
+  loaded.record_platform(*opt::find_platform("hipcc"));
   loaded.save(stage2);
   std::printf("[system 2] wrote merged results to %s\n\n", stage2.c_str());
 

@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = diff::run_differential(p, args, level);
     std::printf("  -%-6s nvcc: %-16s hipcc: %-22s [%s]\n",
-                opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
-                cmp.hipcc.printed().c_str(), to_string(cmp.cls).c_str());
+                opt::to_string(level).c_str(), cmp.platforms[0].printed().c_str(),
+                cmp.platforms[1].printed().c_str(), to_string(cmp.cls).c_str());
   }
   std::printf("\nIsolated: ceil(+1.5955E-125) = %g (nvcc-sim) vs %g (hipcc-sim)\n",
               vmath::nv_libdevice().call64(MathFn::Ceil, 1.5955e-125),

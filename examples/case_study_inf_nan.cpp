@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = diff::run_differential(p, args, level);
     std::printf("  -%-6s nvcc: %-8s hipcc: %-8s %s\n",
-                opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
-                cmp.hipcc.printed().c_str(),
+                opt::to_string(level).c_str(), cmp.platforms[0].printed().c_str(),
+                cmp.platforms[1].printed().c_str(),
                 cmp.discrepant() ? "<-- diverged" : "(consistent)");
   }
   std::printf(

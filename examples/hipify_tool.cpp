@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
       const auto cmp =
           diff::run_differential(program, args, level, /*hipify=*/true);
       std::printf("  -%-6s nvcc: %-24s hipcc(conv): %-24s %s\n",
-                  opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
-                  cmp.hipcc.printed().c_str(),
+                  opt::to_string(level).c_str(), cmp.platforms[0].printed().c_str(),
+                  cmp.platforms[1].printed().c_str(),
                   cmp.discrepant() ? to_string(cmp.cls).c_str() : "");
     }
   }

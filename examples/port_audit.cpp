@@ -72,10 +72,10 @@ int main(int argc, char** argv) {
       const auto cmp = diff::compare_run(pair, args);
       if (!cmp.discrepant()) continue;
       ++diverged;
-      const double a = cmp.nvcc.outcome.cls == fp::OutcomeClass::Number
-                           ? std::abs((fp::from_bits<double>(cmp.nvcc.bits) -
-                                       fp::from_bits<double>(cmp.hipcc.bits)) /
-                                      fp::from_bits<double>(cmp.nvcc.bits))
+      const double a = cmp.platforms[0].outcome.cls == fp::OutcomeClass::Number
+                           ? std::abs((fp::from_bits<double>(cmp.platforms[0].bits) -
+                                       fp::from_bits<double>(cmp.platforms[1].bits)) /
+                                      fp::from_bits<double>(cmp.platforms[0].bits))
                            : 1.0;
       if (a > worst) worst = a;
     }

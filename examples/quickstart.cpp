@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = diff::run_differential(program, args, level);
     std::printf("%-6s nvcc-sim: %-24s hipcc-sim: %-24s %s\n",
-                opt::to_string(level).c_str(), cmp.nvcc.printed().c_str(),
-                cmp.hipcc.printed().c_str(),
+                opt::to_string(level).c_str(), cmp.platforms[0].printed().c_str(),
+                cmp.platforms[1].printed().c_str(),
                 cmp.discrepant() ? ("DISCREPANCY [" + to_string(cmp.cls) + "]").c_str()
                                  : "consistent");
   }
@@ -59,6 +59,6 @@ int main(int argc, char** argv) {
   // (paper Table II / §II-B).
   const auto o0 = diff::run_differential(program, args, opt::OptLevel::O0);
   std::printf("\nFP exceptions (nvcc-sim -O0): %s\n",
-              o0.nvcc.flags.to_string().c_str());
+              o0.platforms[0].flags.to_string().c_str());
   return 0;
 }

@@ -63,6 +63,20 @@ void check_format(const Json& j, const char* format, const char* what) {
                              " version");
 }
 
+bool legacy_platform_pair(const std::vector<std::string>& names) {
+  return names.size() == 2 && names[0] == "nvcc" && names[1] == "hipcc";
+}
+
+std::vector<std::string> platform_names_from_echo(const Json& config_echo) {
+  if (!config_echo.contains("platforms")) return {"nvcc", "hipcc"};
+  std::vector<std::string> names;
+  for (const auto& p : config_echo.at("platforms").as_array())
+    names.push_back(p.at("name").as_string());
+  if (names.size() < 2)
+    throw std::runtime_error("campaign: fingerprint platform list too short");
+  return names;
+}
+
 Json config_to_json(const diff::CampaignConfig& config) {
   Json j = Json::object();
   j["seed"] = static_cast<long long>(config.seed);
@@ -72,6 +86,24 @@ Json config_to_json(const diff::CampaignConfig& config) {
   j["inputs_per_program"] = config.inputs_per_program;
   j["levels"] = levels_to_json(config.levels);
   j["max_records"] = static_cast<long long>(config.max_records);
+
+  // The full spec of every selected platform, not just its name: a lease
+  // block must be a pure function of (fingerprint, range), and a spec's
+  // knobs are what decide the numbers.
+  Json platforms = Json::array();
+  for (const opt::PlatformSpec& spec : config.platforms) {
+    Json p = Json::object();
+    p["name"] = spec.name;
+    p["toolchain"] = opt::to_string(spec.toolchain);
+    p["fast_math"] = spec.fast_math;
+    p["ftz32"] = spec.force_ftz32;
+    p["daz32"] = spec.force_daz32;
+    p["fma"] = opt::to_string(spec.fma);
+    p["div32"] = opt::to_string(spec.div32);
+    p["mathlib"] = spec.mathlib;
+    platforms.push_back(std::move(p));
+  }
+  j["platforms"] = std::move(platforms);
 
   // The full generator grammar: any change to it changes every generated
   // program, so it is part of the fingerprint resume/merge validate.
@@ -105,31 +137,29 @@ Json config_to_json(const diff::CampaignConfig& config) {
   return j;
 }
 
-Json stats_to_json(const diff::LevelStats& stats) {
-  Json j = Json::object();
-  j["comparisons"] = static_cast<long long>(stats.comparisons);
+namespace {
+
+void pair_stats_to_object(const diff::PairStats& pair, Json& j) {
   Json classes = Json::array();
-  for (const auto c : stats.class_counts)
+  for (const auto c : pair.class_counts)
     classes.push_back(static_cast<long long>(c));
   j["class_counts"] = std::move(classes);
   Json adjacency = Json::array();
-  for (const auto& row : stats.adjacency) {
+  for (const auto& row : pair.adjacency) {
     Json r = Json::array();
     for (const auto c : row) r.push_back(static_cast<long long>(c));
     adjacency.push_back(std::move(r));
   }
   j["adjacency"] = std::move(adjacency);
-  return j;
 }
 
-diff::LevelStats stats_from_json(const Json& j) {
-  diff::LevelStats stats;
-  stats.comparisons = static_cast<std::uint64_t>(j.at("comparisons").as_int());
+diff::PairStats pair_stats_from_object(const Json& j) {
+  diff::PairStats pair;
   const auto& classes = j.at("class_counts").as_array();
-  if (classes.size() != stats.class_counts.size())
+  if (classes.size() != pair.class_counts.size())
     throw std::runtime_error("campaign: bad class_counts size");
   for (std::size_t i = 0; i < classes.size(); ++i)
-    stats.class_counts[i] = static_cast<std::uint64_t>(classes[i].as_int());
+    pair.class_counts[i] = static_cast<std::uint64_t>(classes[i].as_int());
   const auto& adjacency = j.at("adjacency").as_array();
   if (adjacency.size() != 4)
     throw std::runtime_error("campaign: bad adjacency size");
@@ -137,44 +167,122 @@ diff::LevelStats stats_from_json(const Json& j) {
     const auto& row = adjacency[static_cast<std::size_t>(r)].as_array();
     if (row.size() != 4) throw std::runtime_error("campaign: bad adjacency row");
     for (int c = 0; c < 4; ++c)
-      stats.adjacency[r][c] =
+      pair.adjacency[r][c] =
           static_cast<std::uint64_t>(row[static_cast<std::size_t>(c)].as_int());
   }
+  return pair;
+}
+
+}  // namespace
+
+Json stats_to_json(const diff::LevelStats& stats, bool legacy_pair) {
+  Json j = Json::object();
+  j["comparisons"] = static_cast<long long>(stats.comparisons);
+  if (legacy_pair) {
+    // Pre-registry layout: the single pair's counters flat in the stats
+    // object, exactly the bytes the two-slot era wrote.
+    if (stats.pairs.size() != 1)
+      throw std::runtime_error("campaign: legacy stats need exactly one pair");
+    pair_stats_to_object(stats.pairs[0], j);
+    return j;
+  }
+  Json pairs = Json::array();
+  for (const diff::PairStats& pair : stats.pairs) {
+    Json p = Json::object();
+    pair_stats_to_object(pair, p);
+    pairs.push_back(std::move(p));
+  }
+  j["pairs"] = std::move(pairs);
+  return j;
+}
+
+diff::LevelStats stats_from_json(const Json& j, std::size_t n_pairs) {
+  diff::LevelStats stats;
+  stats.comparisons = static_cast<std::uint64_t>(j.at("comparisons").as_int());
+  if (j.contains("pairs")) {
+    for (const auto& p : j.at("pairs").as_array())
+      stats.pairs.push_back(pair_stats_from_object(p));
+  } else {
+    stats.pairs.push_back(pair_stats_from_object(j));
+  }
+  if (stats.pairs.size() != n_pairs)
+    throw std::runtime_error("campaign: stats platform-pair count mismatch");
   return stats;
 }
 
-Json record_to_json(const diff::DiscrepancyRecord& rec) {
+Json record_to_json(const diff::DiscrepancyRecord& rec, bool legacy_pair) {
   Json j = Json::object();
   j["program"] = static_cast<long long>(rec.program_index);
   j["input"] = rec.input_index;
   j["level"] = opt::to_string(rec.level);
   j["class"] = diff::class_index(rec.cls);
-  Json nv = Json::object();
-  nv["outcome"] = outcome_to_json(rec.nvcc_outcome);
-  nv["printed"] = rec.nvcc_printed;
-  j["nvcc"] = std::move(nv);
-  Json amd = Json::object();
-  amd["outcome"] = outcome_to_json(rec.hipcc_outcome);
-  amd["printed"] = rec.hipcc_printed;
-  j["hipcc"] = std::move(amd);
+  if (legacy_pair) {
+    if (rec.outcomes.size() != 2 || rec.printed.size() != 2)
+      throw std::runtime_error("campaign: legacy record needs two platforms");
+    Json nv = Json::object();
+    nv["outcome"] = outcome_to_json(rec.outcomes[0]);
+    nv["printed"] = rec.printed[0];
+    j["nvcc"] = std::move(nv);
+    Json amd = Json::object();
+    amd["outcome"] = outcome_to_json(rec.outcomes[1]);
+    amd["printed"] = rec.printed[1];
+    j["hipcc"] = std::move(amd);
+    return j;
+  }
+  // Per-platform pair classes, aligned with the platform list; the
+  // baseline entry (and any agreeing platform) is None, encoded as -1.
+  Json classes = Json::array();
+  for (const diff::DiscrepancyClass cls : rec.pair_cls)
+    classes.push_back(cls == diff::DiscrepancyClass::None
+                          ? -1
+                          : diff::class_index(cls));
+  j["classes"] = std::move(classes);
+  Json platforms = Json::array();
+  for (std::size_t p = 0; p < rec.outcomes.size(); ++p) {
+    Json entry = Json::object();
+    entry["outcome"] = outcome_to_json(rec.outcomes[p]);
+    entry["printed"] = rec.printed[p];
+    platforms.push_back(std::move(entry));
+  }
+  j["platforms"] = std::move(platforms);
   return j;
 }
 
-diff::DiscrepancyRecord record_from_json(const Json& j) {
+diff::DiscrepancyRecord record_from_json(const Json& j,
+                                         std::size_t n_platforms) {
   diff::DiscrepancyRecord rec;
   rec.program_index = static_cast<std::uint64_t>(j.at("program").as_int());
   rec.input_index = static_cast<int>(j.at("input").as_int());
   if (!opt::parse_opt_level(j.at("level").as_string(), &rec.level))
     throw std::runtime_error("campaign: bad record level");
   rec.cls = diff::class_from_index(static_cast<int>(j.at("class").as_int()));
-  rec.nvcc_outcome = outcome_from_json(j.at("nvcc").at("outcome"));
-  rec.nvcc_printed = j.at("nvcc").at("printed").as_string();
-  rec.hipcc_outcome = outcome_from_json(j.at("hipcc").at("outcome"));
-  rec.hipcc_printed = j.at("hipcc").at("printed").as_string();
+  if (j.contains("nvcc")) {
+    rec.outcomes.push_back(outcome_from_json(j.at("nvcc").at("outcome")));
+    rec.printed.push_back(j.at("nvcc").at("printed").as_string());
+    rec.outcomes.push_back(outcome_from_json(j.at("hipcc").at("outcome")));
+    rec.printed.push_back(j.at("hipcc").at("printed").as_string());
+    rec.pair_cls = {diff::DiscrepancyClass::None, rec.cls};
+  } else {
+    for (const auto& entry : j.at("platforms").as_array()) {
+      rec.outcomes.push_back(outcome_from_json(entry.at("outcome")));
+      rec.printed.push_back(entry.at("printed").as_string());
+    }
+    for (const auto& cls : j.at("classes").as_array()) {
+      const auto index = static_cast<int>(cls.as_int());
+      rec.pair_cls.push_back(index < 0 ? diff::DiscrepancyClass::None
+                                       : diff::class_from_index(index));
+    }
+    if (rec.pair_cls.size() != rec.outcomes.size())
+      throw std::runtime_error("campaign: record classes/platforms mismatch");
+  }
+  if (rec.outcomes.size() != n_platforms)
+    throw std::runtime_error("campaign: record platform count mismatch");
   return rec;
 }
 
 Json progress_to_json(const ShardProgress& progress) {
+  const bool legacy =
+      legacy_platform_pair(platform_names_from_echo(progress.config_echo));
   Json j = Json::object();
   j["format"] = kShardFormat;
   j["version"] = 1;
@@ -190,10 +298,11 @@ Json progress_to_json(const ShardProgress& progress) {
   j["cursor"] = static_cast<long long>(progress.cursor);
   Json per_level = Json::array();
   for (const auto& stats : progress.per_level)
-    per_level.push_back(stats_to_json(stats));
+    per_level.push_back(stats_to_json(stats, legacy));
   j["per_level"] = std::move(per_level);
   Json records = Json::array();
-  for (const auto& rec : progress.records) records.push_back(record_to_json(rec));
+  for (const auto& rec : progress.records)
+    records.push_back(record_to_json(rec, legacy));
   j["records"] = std::move(records);
   return j;
 }
@@ -202,6 +311,8 @@ ShardProgress progress_from_json(const Json& j) {
   check_format(j, kShardFormat, "gpudiff shard checkpoint");
   ShardProgress progress;
   progress.config_echo = j.at("config");
+  const auto n_platforms =
+      platform_names_from_echo(progress.config_echo).size();
   progress.shard.index = static_cast<int>(j.at("shard").at("index").as_int());
   progress.shard.count = static_cast<int>(j.at("shard").at("count").as_int());
   progress.shard.validate();
@@ -216,14 +327,16 @@ ShardProgress progress_from_json(const Json& j) {
   if (per_level.size() != n_levels)
     throw std::runtime_error("campaign: checkpoint level count mismatch");
   for (const auto& stats : per_level)
-    progress.per_level.push_back(stats_from_json(stats));
+    progress.per_level.push_back(stats_from_json(stats, n_platforms - 1));
   for (const auto& rec : j.at("records").as_array())
-    progress.records.push_back(record_from_json(rec));
+    progress.records.push_back(record_from_json(rec, n_platforms));
   return progress;
 }
 
 Json block_to_json(const ResultBlock& block, int lease_index,
                    int lease_count) {
+  const bool legacy =
+      legacy_platform_pair(platform_names_from_echo(block.config_echo));
   Json j = Json::object();
   j["format"] = kLeaseFormat;
   j["version"] = 1;
@@ -238,10 +351,11 @@ Json block_to_json(const ResultBlock& block, int lease_index,
   j["range"] = std::move(range);
   Json per_level = Json::array();
   for (const auto& stats : block.per_level)
-    per_level.push_back(stats_to_json(stats));
+    per_level.push_back(stats_to_json(stats, legacy));
   j["per_level"] = std::move(per_level);
   Json records = Json::array();
-  for (const auto& rec : block.records) records.push_back(record_to_json(rec));
+  for (const auto& rec : block.records)
+    records.push_back(record_to_json(rec, legacy));
   j["records"] = std::move(records);
   return j;
 }
@@ -251,6 +365,7 @@ ResultBlock block_from_json(const Json& j, int* lease_index,
   check_format(j, kLeaseFormat, "gpudiff lease result");
   ResultBlock block;
   block.config_echo = j.at("config");
+  const auto n_platforms = platform_names_from_echo(block.config_echo).size();
   if (lease_index != nullptr)
     *lease_index = static_cast<int>(j.at("lease").at("index").as_int());
   if (lease_count != nullptr)
@@ -264,9 +379,9 @@ ResultBlock block_from_json(const Json& j, int* lease_index,
   if (per_level.size() != n_levels)
     throw std::runtime_error("campaign: lease result level count mismatch");
   for (const auto& stats : per_level)
-    block.per_level.push_back(stats_from_json(stats));
+    block.per_level.push_back(stats_from_json(stats, n_platforms - 1));
   for (const auto& rec : j.at("records").as_array())
-    block.records.push_back(record_from_json(rec));
+    block.records.push_back(record_from_json(rec, n_platforms));
   return block;
 }
 
@@ -287,6 +402,11 @@ ShardProgress load_checkpoint(const std::string& path) {
 }
 
 Json results_to_json(const diff::CampaignResults& results) {
+  // The default nvcc/hipcc selection keeps the pre-registry document
+  // layout (no "platforms" member, flat stats, nvcc/hipcc record keys) so
+  // paper-default campaign reports stay byte-identical across the
+  // registry refactor — locked by tests/golden and the CI cmp jobs.
+  const bool legacy = legacy_platform_pair(results.platforms);
   Json j = Json::object();
   j["format"] = kResultsFormat;
   j["version"] = 1;
@@ -296,12 +416,18 @@ Json results_to_json(const diff::CampaignResults& results) {
   j["num_programs"] = results.num_programs;
   j["inputs_per_program"] = results.inputs_per_program;
   j["levels"] = levels_to_json(results.levels);
+  if (!legacy) {
+    Json platforms = Json::array();
+    for (const auto& name : results.platforms) platforms.push_back(name);
+    j["platforms"] = std::move(platforms);
+  }
   Json per_level = Json::array();
   for (const auto& stats : results.per_level)
-    per_level.push_back(stats_to_json(stats));
+    per_level.push_back(stats_to_json(stats, legacy));
   j["per_level"] = std::move(per_level);
   Json records = Json::array();
-  for (const auto& rec : results.records) records.push_back(record_to_json(rec));
+  for (const auto& rec : results.records)
+    records.push_back(record_to_json(rec, legacy));
   j["records"] = std::move(records);
   Json totals = Json::object();
   totals["comparisons"] = static_cast<long long>(results.comparisons_total());
@@ -323,12 +449,22 @@ diff::CampaignResults results_from_json(const Json& j) {
   results.inputs_per_program =
       static_cast<int>(j.at("inputs_per_program").as_int());
   results.levels = levels_from_json(j.at("levels"));
+  results.platforms.clear();
+  if (j.contains("platforms")) {
+    for (const auto& name : j.at("platforms").as_array())
+      results.platforms.push_back(name.as_string());
+    if (results.platforms.size() < 2)
+      throw std::runtime_error("campaign: results platform list too short");
+  } else {
+    results.platforms = {"nvcc", "hipcc"};
+  }
   for (const auto& stats : j.at("per_level").as_array())
-    results.per_level.push_back(stats_from_json(stats));
+    results.per_level.push_back(
+        stats_from_json(stats, results.platforms.size() - 1));
   if (results.per_level.size() != results.levels.size())
     throw std::runtime_error("campaign: results level count mismatch");
   for (const auto& rec : j.at("records").as_array())
-    results.records.push_back(record_from_json(rec));
+    results.records.push_back(record_from_json(rec, results.platforms.size()));
   return results;
 }
 

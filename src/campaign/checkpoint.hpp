@@ -21,9 +21,25 @@ namespace gpudiff::campaign {
 
 /// Full configuration fingerprint: every field of CampaignConfig that
 /// affects results (seed, precision, counts, levels, record cap, the whole
-/// generator grammar) — but not `threads`, which never changes output.
-/// Resume and merge compare fingerprints for equality.
+/// generator grammar, and the full spec of every selected platform) — but
+/// not `threads`, which never changes output.  Resume and merge compare
+/// fingerprints for equality; the platform set being part of the
+/// fingerprint is what keeps a lease done-file a pure function of
+/// (fingerprint, range) when campaigns over different platform selections
+/// share nothing but a directory layout.
 support::Json config_to_json(const diff::CampaignConfig& config);
+
+/// True when `names` is exactly the paper's legacy pair {"nvcc", "hipcc"}
+/// — the platform set whose documents keep the pre-registry byte layout
+/// (flat nvcc/hipcc record keys, single flat stats block, no "platforms"
+/// member), so default-selection output stays byte-identical to the
+/// two-slot era.  Any other selection uses the general N-way layout.
+bool legacy_platform_pair(const std::vector<std::string>& names);
+
+/// Platform names recorded in a configuration fingerprint (the legacy
+/// default pair when the document predates the "platforms" member).
+std::vector<std::string> platform_names_from_echo(
+    const support::Json& config_echo);
 
 /// Validate that `j` is a version-1 document of the given `format`
 /// ("format"/"version" keys); throws std::runtime_error naming `what`
@@ -32,11 +48,18 @@ support::Json config_to_json(const diff::CampaignConfig& config);
 void check_format(const support::Json& j, const char* format,
                   const char* what);
 
-support::Json stats_to_json(const diff::LevelStats& stats);
-diff::LevelStats stats_from_json(const support::Json& j);
+/// `legacy_pair` selects the flat pre-registry layout (see
+/// legacy_platform_pair); the general layout carries one stats/payload
+/// block per platform pair.
+support::Json stats_to_json(const diff::LevelStats& stats, bool legacy_pair);
+/// `n_pairs` = platform count minus one; the document's own shape (legacy
+/// or general) is detected from its keys and validated against it.
+diff::LevelStats stats_from_json(const support::Json& j, std::size_t n_pairs);
 
-support::Json record_to_json(const diff::DiscrepancyRecord& rec);
-diff::DiscrepancyRecord record_from_json(const support::Json& j);
+support::Json record_to_json(const diff::DiscrepancyRecord& rec,
+                             bool legacy_pair);
+diff::DiscrepancyRecord record_from_json(const support::Json& j,
+                                         std::size_t n_platforms);
 
 support::Json progress_to_json(const ShardProgress& progress);
 ShardProgress progress_from_json(const support::Json& j);

@@ -28,6 +28,7 @@ diff::CampaignResults merge_blocks(const support::Json& config_echo,
       throw std::runtime_error("merge_blocks: bad opt level in fingerprint");
     results.levels.push_back(level);
   }
+  results.platforms = platform_names_from_echo(config_echo);
   const auto max_records =
       static_cast<std::size_t>(config_echo.at("max_records").as_int());
 
@@ -59,7 +60,9 @@ diff::CampaignResults merge_blocks(const support::Json& config_echo,
                              std::to_string(results.num_programs) +
                              " programs");
 
-  results.per_level.assign(results.levels.size(), diff::LevelStats{});
+  results.per_level.assign(
+      results.levels.size(),
+      diff::LevelStats::zero(results.platforms.size()));
   for (const ResultBlock& b : blocks)
     for (std::size_t li = 0; li < results.per_level.size(); ++li)
       results.per_level[li].merge(b.per_level[li]);

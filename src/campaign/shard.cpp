@@ -63,7 +63,8 @@ ShardProgress run_shard(const diff::CampaignConfig& config,
   progress.begin = begin;
   progress.end = end;
   progress.cursor = begin;
-  progress.per_level.assign(config.levels.size(), diff::LevelStats{});
+  progress.per_level.assign(config.levels.size(),
+                            diff::LevelStats::zero(config.platforms.size()));
 
   const std::string path =
       options.checkpoint_dir.empty()

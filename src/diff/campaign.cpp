@@ -9,12 +9,25 @@
 
 namespace gpudiff::diff {
 
-void LevelStats::merge(const LevelStats& other) {
-  comparisons += other.comparisons;
+void PairStats::merge(const PairStats& other) {
   for (std::size_t i = 0; i < class_counts.size(); ++i)
     class_counts[i] += other.class_counts[i];
   for (int r = 0; r < 4; ++r)
     for (int c = 0; c < 4; ++c) adjacency[r][c] += other.adjacency[r][c];
+}
+
+LevelStats LevelStats::zero(std::size_t n_platforms) {
+  LevelStats stats;
+  stats.pairs.resize(n_platforms > 0 ? n_platforms - 1 : 0);
+  return stats;
+}
+
+void LevelStats::merge(const LevelStats& other) {
+  comparisons += other.comparisons;
+  if (pairs.empty()) pairs.resize(other.pairs.size());
+  if (pairs.size() != other.pairs.size())
+    throw std::invalid_argument("LevelStats::merge: platform count mismatch");
+  for (std::size_t i = 0; i < pairs.size(); ++i) pairs[i].merge(other.pairs[i]);
 }
 
 std::uint64_t CampaignResults::comparisons_total() const {
@@ -71,6 +84,10 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
                                 const RangeHooks& hooks) {
   if (begin > end)
     throw std::invalid_argument("run_campaign_range: begin > end");
+  const std::size_t n_platforms = config.platforms.size();
+  if (n_platforms < 2)
+    throw std::invalid_argument(
+        "run_campaign_range: need a baseline plus at least one platform");
   const gen::Generator generator(config.gen, config.seed);
   const gen::InputGenerator input_gen(config.seed);
 
@@ -83,7 +100,8 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
       [&](std::size_t oi) {
         const std::uint64_t pi = begin + oi;
         ProgramOutcome& out = outcomes[oi];
-        out.per_level.assign(config.levels.size(), LevelStats{});
+        out.per_level.assign(config.levels.size(),
+                             LevelStats::zero(n_platforms));
         const ir::Program program = generator.generate(pi);
 
         // Materialize this program's inputs once.
@@ -103,35 +121,45 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
         std::vector<std::pair<std::size_t, DiscrepancyRecord>> found;
 
         for (std::size_t li = 0; li < config.levels.size(); ++li) {
-          const CompiledPair pair =
-              compile_pair(program, config.levels[li], config.hipify_converted);
+          const CompiledSet set =
+              compile_set(program, config.platforms, config.levels[li],
+                          config.hipify_converted);
           LevelStats& stats = out.per_level[li];
           // Batched sweep: all of this program's inputs through one VM
           // invocation loop per platform (arg checks amortized).
           const std::vector<ComparisonResult>& cmps =
-              compare_batch(pair, inputs, sweep);
+              compare_batch(set, inputs, sweep);
           for (int ii = 0; ii < config.inputs_per_program; ++ii) {
             const ComparisonResult& cmp = cmps[static_cast<std::size_t>(ii)];
             ++stats.comparisons;
             if (!cmp.discrepant()) continue;
-            ++stats.class_counts[class_index(cmp.cls)];
-            ++stats.adjacency[static_cast<int>(cmp.nvcc.outcome.cls)]
-                             [static_cast<int>(cmp.hipcc.outcome.cls)];
+            for (std::size_t p = 1; p < n_platforms; ++p) {
+              const DiscrepancyClass cls = cmp.pair_cls[p];
+              if (cls == DiscrepancyClass::None) continue;
+              PairStats& pair = stats.pairs[p - 1];
+              ++pair.class_counts[class_index(cls)];
+              ++pair.adjacency[static_cast<int>(cmp.platforms[0].outcome.cls)]
+                              [static_cast<int>(cmp.platforms[p].outcome.cls)];
+            }
             DiscrepancyRecord rec;
             rec.program_index = pi;
             rec.input_index = ii;
             rec.level = config.levels[li];
             rec.cls = cmp.cls;
-            rec.nvcc_outcome = cmp.nvcc.outcome;
-            rec.hipcc_outcome = cmp.hipcc.outcome;
-            rec.nvcc_printed = cmp.nvcc.printed();
-            rec.hipcc_printed = cmp.hipcc.printed();
+            rec.outcomes.reserve(n_platforms);
+            rec.printed.reserve(n_platforms);
+            rec.pair_cls.reserve(n_platforms);
+            for (std::size_t p = 0; p < n_platforms; ++p) {
+              rec.outcomes.push_back(cmp.platforms[p].outcome);
+              rec.printed.push_back(cmp.platforms[p].printed());
+              rec.pair_cls.push_back(cmp.pair_cls[p]);
+            }
             found.emplace_back(li, std::move(rec));
           }
         }
         // Canonical per-program record order: input-major, then level
         // position.  The emission loop above is level-major (one compiled
-        // pair per level), so reorder before handing the records over.
+        // set per level), so reorder before handing the records over.
         std::stable_sort(found.begin(), found.end(),
                          [](const auto& a, const auto& b) {
                            if (a.second.input_index != b.second.input_index)
@@ -151,7 +179,7 @@ RangeOutcome run_campaign_range(const CampaignConfig& config,
   // record retention stops outright once max_records is reached instead of
   // re-entering the record loop for every remaining program.
   RangeOutcome range;
-  range.per_level.assign(config.levels.size(), LevelStats{});
+  range.per_level.assign(config.levels.size(), LevelStats::zero(n_platforms));
   for (auto& out : outcomes)
     for (std::size_t li = 0; li < config.levels.size(); ++li)
       range.per_level[li].merge(out.per_level[li]);
@@ -170,6 +198,7 @@ CampaignResults run_campaign(const CampaignConfig& config) {
   results.hipify_converted = config.hipify_converted;
   results.num_programs = config.num_programs;
   results.inputs_per_program = config.inputs_per_program;
+  results.platforms = opt::platform_names(config.platforms);
   results.levels = config.levels;
 
   RangeOutcome range = run_campaign_range(

@@ -1,11 +1,12 @@
 #pragma once
 // Campaign driver: the large-scale testing loop of paper §IV.
 //
-// A campaign generates N programs x M inputs, compiles each program for both
-// platforms at every optimization level, runs every (input, level) pair and
-// accumulates discrepancy statistics.  Execution parallelizes over programs
-// (deterministic regardless of thread count: per-program results are
-// accumulated in index order).
+// A campaign generates N programs x M inputs, compiles each program for
+// every selected platform (opt/platform.hpp; the default is the paper's
+// nvcc/hipcc pair) at every optimization level, runs every (input, level)
+// pair and accumulates per-(platform, baseline) discrepancy statistics.
+// Execution parallelizes over programs (deterministic regardless of thread
+// count: per-program results are accumulated in index order).
 //
 // The loop is exposed at two granularities:
 //   * run_campaign      — the whole [0, num_programs) range in one call;
@@ -34,6 +35,11 @@ struct CampaignConfig {
   int num_programs = 354;       ///< paper scale: 3,540 (FP64), 2,840 (FP32)
   int inputs_per_program = 7;   ///< paper: 24,750 runs / 3,540 programs
   bool hipify_converted = false;  ///< Tables VII/VIII mode
+  /// The platform selection, element 0 the comparison baseline.  Part of
+  /// the configuration fingerprint: a lease/shard result is a pure
+  /// function of (fingerprint, range), and the fingerprint covers the full
+  /// spec of every selected platform.
+  std::vector<opt::PlatformSpec> platforms = opt::default_platforms();
   std::vector<opt::OptLevel> levels{opt::kAllOptLevels,
                                     opt::kAllOptLevels + 5};
   unsigned threads = 0;         ///< 0 = hardware concurrency
@@ -44,21 +50,26 @@ struct CampaignConfig {
   std::size_t max_records = 50000;
 };
 
-/// One retained discrepancy (enough to regenerate and re-analyze the test).
+/// One retained discrepancy (enough to regenerate and re-analyze the
+/// test).  Per-platform payloads are aligned with the campaign's platform
+/// list; pair_cls[p] classifies platform p against the baseline (entry 0
+/// is always None).
 struct DiscrepancyRecord {
   std::uint64_t program_index = 0;
   int input_index = 0;
   opt::OptLevel level{};
-  DiscrepancyClass cls{};
-  fp::Outcome nvcc_outcome, hipcc_outcome;
-  std::string nvcc_printed, hipcc_printed;
+  DiscrepancyClass cls{};  ///< representative: first differing platform
+  std::vector<fp::Outcome> outcomes;       ///< per platform
+  std::vector<std::string> printed;        ///< per platform, %.17g
+  std::vector<DiscrepancyClass> pair_cls;  ///< per platform vs baseline
 };
 
-/// Per-optimization-level statistics.
-struct LevelStats {
-  std::uint64_t comparisons = 0;
+/// Discrepancy statistics of one non-baseline platform against the
+/// baseline at one optimization level.
+struct PairStats {
   std::array<std::uint64_t, kDiscrepancyClassCount> class_counts{};
-  /// Directed adjacency: [nvcc outcome][hipcc outcome] over discrepant runs.
+  /// Directed adjacency: [baseline outcome][platform outcome] over
+  /// discrepant runs.
   std::array<std::array<std::uint64_t, 4>, 4> adjacency{};
 
   std::uint64_t discrepancy_total() const {
@@ -66,6 +77,28 @@ struct LevelStats {
     for (auto c : class_counts) n += c;
     return n;
   }
+  void merge(const PairStats& other);
+
+  friend bool operator==(const PairStats&, const PairStats&) = default;
+};
+
+/// Per-optimization-level statistics: the shared comparison count plus one
+/// PairStats per non-baseline platform (pairs[p] is platforms[p + 1] vs
+/// the baseline).
+struct LevelStats {
+  std::uint64_t comparisons = 0;  ///< (program, input) sweeps at this level
+  std::vector<PairStats> pairs;
+
+  /// Zeroed stats shaped for an `n_platforms`-way campaign.
+  static LevelStats zero(std::size_t n_platforms);
+
+  std::uint64_t discrepancy_total() const {
+    std::uint64_t n = 0;
+    for (const auto& p : pairs) n += p.discrepancy_total();
+    return n;
+  }
+  /// Merging into a default-constructed LevelStats adopts the other
+  /// side's pair count; otherwise the counts must match.
   void merge(const LevelStats& other);
 
   friend bool operator==(const LevelStats&, const LevelStats&) = default;
@@ -77,6 +110,8 @@ struct CampaignResults {
   bool hipify_converted = false;
   int num_programs = 0;
   int inputs_per_program = 0;
+  /// Platform names in campaign order, [0] the baseline.
+  std::vector<std::string> platforms{"nvcc", "hipcc"};
   std::vector<opt::OptLevel> levels;
   std::vector<LevelStats> per_level;  ///< aligned with `levels`
   std::vector<DiscrepancyRecord> records;  ///< canonical order, capped
@@ -84,8 +119,10 @@ struct CampaignResults {
   std::uint64_t comparisons_total() const;
   std::uint64_t discrepancies_total() const;
   /// Paper Table IV accounting: one "run" per (program, input, level,
-  /// compiler) — two runs per comparison.
-  std::uint64_t runs_total() const { return comparisons_total() * 2; }
+  /// platform) — platforms.size() runs per comparison.
+  std::uint64_t runs_total() const {
+    return comparisons_total() * platforms.size();
+  }
   double discrepancy_percent() const;
   const LevelStats& stats_for(opt::OptLevel level) const;
 };

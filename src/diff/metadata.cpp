@@ -13,9 +13,10 @@ using support::JsonArray;
 
 namespace {
 
-const char* platform_key(opt::Toolchain t) {
-  return t == opt::Toolchain::Nvcc ? "nvcc-sim" : "hipcc-sim";
-}
+/// Result key of a platform in the metadata document: the registry name
+/// plus the simulator suffix ("nvcc" -> "nvcc-sim", matching the paper's
+/// toolchain spellings for the default pair).
+std::string platform_key(const std::string& name) { return name + "-sim"; }
 
 std::vector<opt::OptLevel> levels_from_json(const Json& arr) {
   std::vector<opt::OptLevel> levels;
@@ -46,6 +47,9 @@ Metadata Metadata::create(const CampaignConfig& config) {
   Json levels = Json::array();
   for (auto level : config.levels) levels.push_back(opt::to_string(level));
   cfg["levels"] = std::move(levels);
+  Json platforms = Json::array();
+  for (const auto& spec : config.platforms) platforms.push_back(spec.name);
+  cfg["platforms"] = std::move(platforms);
   root["config"] = std::move(cfg);
 
   Json tests = Json::array();
@@ -74,6 +78,21 @@ std::size_t Metadata::test_count() const {
   return root_.at("tests").as_array().size();
 }
 
+std::vector<std::string> Metadata::platform_names() const {
+  const Json& cfg = root_.at("config");
+  std::vector<std::string> names;
+  if (cfg.contains("platforms")) {
+    for (const auto& name : cfg.at("platforms").as_array())
+      names.push_back(name.as_string());
+  } else {
+    // Pre-registry metadata files carried the paper pair implicitly.
+    names = {"nvcc", "hipcc"};
+  }
+  if (names.size() < 2)
+    throw std::runtime_error("metadata: platform list too short");
+  return names;
+}
+
 ir::Program Metadata::test_program(std::size_t index) const {
   return ir::program_from_json(root_.at("tests").as_array().at(index).at("program"));
 }
@@ -87,7 +106,8 @@ std::vector<vgpu::KernelArgs> Metadata::test_inputs(std::size_t index) const {
   return out;
 }
 
-void Metadata::record_platform(opt::Toolchain toolchain, unsigned threads) {
+void Metadata::record_platform(const opt::PlatformSpec& platform,
+                               unsigned threads) {
   const Json& cfg = root_.at("config");
   const bool hipify = cfg.at("hipify_converted").as_bool();
   const auto levels = levels_from_json(cfg.at("levels"));
@@ -105,11 +125,8 @@ void Metadata::record_platform(opt::Toolchain toolchain, unsigned threads) {
 
         Json by_level = Json::object();
         for (const auto level : levels) {
-          opt::CompileOptions co;
-          co.toolchain = toolchain;
-          co.level = level;
-          co.hipify_converted = hipify && toolchain == opt::Toolchain::Hipcc;
-          const opt::Executable exe = opt::compile(program, co);
+          const opt::Executable exe =
+              opt::compile(program, platform, level, hipify);
           Json runs = Json::array();
           for (const auto& args : inputs) {
             const vgpu::RunResult run = vgpu::run_kernel(exe, args);
@@ -130,18 +147,25 @@ void Metadata::record_platform(opt::Toolchain toolchain, unsigned threads) {
       threads, /*chunk=*/2);
 
   for (std::size_t ti = 0; ti < tests.size(); ++ti)
-    tests[ti]["results"][platform_key(toolchain)] = std::move(per_test[ti]);
+    tests[ti]["results"][platform_key(platform.name)] = std::move(per_test[ti]);
 }
 
-bool Metadata::has_platform(opt::Toolchain toolchain) const {
+bool Metadata::has_platform(const opt::PlatformSpec& platform) const {
+  return has_platform(platform.name);
+}
+
+bool Metadata::has_platform(const std::string& name) const {
   const auto& tests = root_.at("tests").as_array();
   if (tests.empty()) return false;
-  return tests.front().at("results").contains(platform_key(toolchain));
+  return tests.front().at("results").contains(platform_key(name));
 }
 
 CampaignResults Metadata::analyze() const {
-  if (!has_platform(opt::Toolchain::Nvcc) || !has_platform(opt::Toolchain::Hipcc))
-    throw std::runtime_error("metadata: both platforms must be recorded first");
+  const auto names = platform_names();
+  for (const auto& name : names)
+    if (!has_platform(name))
+      throw std::runtime_error("metadata: platform '" + name +
+                               "' has not been recorded yet");
 
   const Json& cfg = root_.at("config");
   ir::Precision precision;
@@ -149,6 +173,7 @@ CampaignResults Metadata::analyze() const {
     throw std::runtime_error("metadata: bad precision " +
                              cfg.at("precision").as_string());
   const auto levels = levels_from_json(cfg.at("levels"));
+  const std::size_t n_platforms = names.size();
 
   CampaignResults results;
   results.seed = static_cast<std::uint64_t>(cfg.at("seed").as_int());
@@ -157,67 +182,75 @@ CampaignResults Metadata::analyze() const {
   results.num_programs = static_cast<int>(cfg.at("num_programs").as_int());
   results.inputs_per_program =
       static_cast<int>(cfg.at("inputs_per_program").as_int());
+  results.platforms = names;
   results.levels = levels;
-  results.per_level.assign(levels.size(), LevelStats{});
+  results.per_level.assign(levels.size(), LevelStats::zero(n_platforms));
 
   const auto& tests = root_.at("tests").as_array();
+  // Per-platform scratch for one (level, input) cell, hoisted so the
+  // non-discrepant majority of cells allocates nothing.
+  std::vector<std::uint64_t> bits(n_platforms);
+  std::vector<fp::Outcome> outcomes(n_platforms);
+  std::vector<DiscrepancyClass> pair_cls(n_platforms);
   for (std::size_t ti = 0; ti < tests.size(); ++ti) {
     const Json& res = tests[ti].at("results");
-    const Json& nv = res.at("nvcc-sim");
-    const Json& amd = res.at("hipcc-sim");
     // Iterate input-major so records come out in the campaign driver's
     // canonical (program, input, level) order.
-    std::vector<const JsonArray*> nv_by_level(levels.size());
-    std::vector<const JsonArray*> amd_by_level(levels.size());
+    std::vector<std::vector<const JsonArray*>> by_level(n_platforms);
     std::size_t n_runs = 0;
-    for (std::size_t li = 0; li < levels.size(); ++li) {
-      const std::string key = opt::to_string(levels[li]);
-      nv_by_level[li] = &nv.at(key).as_array();
-      amd_by_level[li] = &amd.at(key).as_array();
-      if (nv_by_level[li]->size() != amd_by_level[li]->size() ||
-          (li > 0 && nv_by_level[li]->size() != n_runs))
-        throw std::runtime_error("metadata: run count mismatch");
-      n_runs = nv_by_level[li]->size();
+    for (std::size_t p = 0; p < n_platforms; ++p) {
+      const Json& platform_res = res.at(platform_key(names[p]));
+      by_level[p].resize(levels.size());
+      for (std::size_t li = 0; li < levels.size(); ++li) {
+        by_level[p][li] = &platform_res.at(opt::to_string(levels[li])).as_array();
+        if ((p > 0 || li > 0) && by_level[p][li]->size() != n_runs)
+          throw std::runtime_error("metadata: run count mismatch");
+        n_runs = by_level[p][li]->size();
+      }
     }
     for (std::size_t ii = 0; ii < n_runs; ++ii) {
       for (std::size_t li = 0; li < levels.size(); ++li) {
-        const auto& nv_runs = *nv_by_level[li];
-        const auto& amd_runs = *amd_by_level[li];
         LevelStats& stats = results.per_level[li];
         ++stats.comparisons;
-        std::uint64_t nb, ab;
-        fp::Outcome no, ao;
-        if (precision == ir::Precision::FP32) {
-          const auto nvf = fp::decode_bits32(nv_runs[ii].at("bits").as_string());
-          const auto amdf = fp::decode_bits32(amd_runs[ii].at("bits").as_string());
-          if (!nvf || !amdf) throw std::runtime_error("metadata: bad bits");
-          nb = fp::to_bits(*nvf);
-          ab = fp::to_bits(*amdf);
-          no = fp::outcome_of(*nvf);
-          ao = fp::outcome_of(*amdf);
-        } else {
-          const auto nvd = fp::decode_bits64(nv_runs[ii].at("bits").as_string());
-          const auto amdd = fp::decode_bits64(amd_runs[ii].at("bits").as_string());
-          if (!nvd || !amdd) throw std::runtime_error("metadata: bad bits");
-          nb = fp::to_bits(*nvd);
-          ab = fp::to_bits(*amdd);
-          no = fp::outcome_of(*nvd);
-          ao = fp::outcome_of(*amdd);
+        for (std::size_t p = 0; p < n_platforms; ++p) {
+          const Json& entry = (*by_level[p][li])[ii];
+          if (precision == ir::Precision::FP32) {
+            const auto v = fp::decode_bits32(entry.at("bits").as_string());
+            if (!v) throw std::runtime_error("metadata: bad bits");
+            bits[p] = fp::to_bits(*v);
+            outcomes[p] = fp::outcome_of(*v);
+          } else {
+            const auto v = fp::decode_bits64(entry.at("bits").as_string());
+            if (!v) throw std::runtime_error("metadata: bad bits");
+            bits[p] = fp::to_bits(*v);
+            outcomes[p] = fp::outcome_of(*v);
+          }
         }
-        const DiscrepancyClass cls = classify_pair(no, nb, ao, ab);
-        if (cls == DiscrepancyClass::None) continue;
-        ++stats.class_counts[class_index(cls)];
-        ++stats.adjacency[static_cast<int>(no.cls)][static_cast<int>(ao.cls)];
+        DiscrepancyClass first = DiscrepancyClass::None;
+        pair_cls.assign(n_platforms, DiscrepancyClass::None);
+        for (std::size_t p = 1; p < n_platforms; ++p) {
+          const DiscrepancyClass cls =
+              classify_pair(outcomes[0], bits[0], outcomes[p], bits[p]);
+          pair_cls[p] = cls;
+          if (cls == DiscrepancyClass::None) continue;
+          if (first == DiscrepancyClass::None) first = cls;
+          PairStats& pair = results.per_level[li].pairs[p - 1];
+          ++pair.class_counts[class_index(cls)];
+          ++pair.adjacency[static_cast<int>(outcomes[0].cls)]
+                          [static_cast<int>(outcomes[p].cls)];
+        }
+        if (first == DiscrepancyClass::None) continue;
         if (results.records.size() < 50000) {
           DiscrepancyRecord rec;
           rec.program_index = ti;
           rec.input_index = static_cast<int>(ii);
           rec.level = levels[li];
-          rec.cls = cls;
-          rec.nvcc_outcome = no;
-          rec.hipcc_outcome = ao;
-          rec.nvcc_printed = nv_runs[ii].at("printed").as_string();
-          rec.hipcc_printed = amd_runs[ii].at("printed").as_string();
+          rec.cls = first;
+          rec.outcomes = outcomes;
+          rec.pair_cls = std::move(pair_cls);
+          for (std::size_t p = 0; p < n_platforms; ++p)
+            rec.printed.push_back(
+                (*by_level[p][li])[ii].at("printed").as_string());
           results.records.push_back(std::move(rec));
         }
       }

@@ -24,17 +24,25 @@ namespace gpudiff::diff {
 
 class Metadata {
  public:
-  /// System-1 step A: generate the campaign's tests (no results yet).
+  /// System-1 step A: generate the campaign's tests (no results yet).  The
+  /// config's platform selection is recorded so every system runs — and
+  /// the analysis step demands — the same named platforms.
   static Metadata create(const CampaignConfig& config);
 
-  /// Run every test on one platform and store its results.  Re-recording a
-  /// platform overwrites its previous results.
-  void record_platform(opt::Toolchain toolchain, unsigned threads = 0);
+  /// Run every test on one platform and store its results under the
+  /// platform's registry name.  Re-recording a platform overwrites its
+  /// previous results.
+  void record_platform(const opt::PlatformSpec& platform, unsigned threads = 0);
 
-  bool has_platform(opt::Toolchain toolchain) const;
+  bool has_platform(const opt::PlatformSpec& platform) const;
+  bool has_platform(const std::string& name) const;
 
-  /// Combine both platforms' stored results into campaign statistics.
-  /// Throws if either platform has not been recorded.
+  /// Platform names this campaign compares (element 0 the baseline).
+  std::vector<std::string> platform_names() const;
+
+  /// Combine every platform's stored results into campaign statistics
+  /// (each non-baseline platform classified against the baseline).
+  /// Throws if any selected platform has not been recorded.
   CampaignResults analyze() const;
 
   /// Number of tests (programs) carried by this metadata.

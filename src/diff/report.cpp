@@ -1,5 +1,7 @@
 #include "diff/report.hpp"
 
+#include <cctype>
+
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -17,6 +19,15 @@ std::string campaign_label(const CampaignResults& r) {
   std::string label = r.precision == ir::Precision::FP32 ? "FP32" : "FP64";
   if (r.hipify_converted) label += " with HIPIFY";
   return label;
+}
+
+/// Report spelling of a platform name: "nvcc" -> "NVCC", "hipcc-ftz" ->
+/// "HIPCC-FTZ".  For the default pair this reproduces the pre-registry
+/// table text byte for byte.
+std::string platform_label(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
 }
 
 }  // namespace
@@ -43,17 +54,19 @@ std::string render_summary(const CampaignResults& fp64,
                        c.inputs_per_program);
   });
   row("Total Runs per Option", [](const CampaignResults& c) {
-    return with_commas(2LL * c.num_programs * c.inputs_per_program);
+    return with_commas(static_cast<long long>(c.platforms.size()) *
+                       c.num_programs * c.inputs_per_program);
   });
   row("Total Runs", [](const CampaignResults& c) {
     return with_commas(static_cast<long long>(c.runs_total()));
   });
-  row("Runs on NVCC", [](const CampaignResults& c) {
-    return with_commas(static_cast<long long>(c.comparisons_total()));
-  });
-  row("Runs on HIPCC", [](const CampaignResults& c) {
-    return with_commas(static_cast<long long>(c.comparisons_total()));
-  });
+  // One row per platform, labeled by registry name (the first campaign's
+  // platform list names the rows; every column ran the same selection).
+  for (const auto& name : fp64.platforms) {
+    row("Runs on " + platform_label(name), [](const CampaignResults& c) {
+      return with_commas(static_cast<long long>(c.comparisons_total()));
+    });
+  }
   row("Total Discrepancies", [](const CampaignResults& c) {
     return with_commas(static_cast<long long>(c.discrepancies_total()));
   });
@@ -65,78 +78,105 @@ std::string render_summary(const CampaignResults& fp64,
 
 std::string render_per_level(const CampaignResults& results,
                              const std::string& title) {
-  Table t(title);
-  t.set_header({"Opt Flags", "Disc. Count", "NaN, Inf", "NaN, Zero", "NaN, Num",
-                "Inf, Zero", "Inf, Num", "Num, Zero", "Num, Num"},
-               {Align::Left});
-  std::array<std::uint64_t, kDiscrepancyClassCount> totals{};
-  std::uint64_t grand = 0;
-  for (std::size_t li = 0; li < results.levels.size(); ++li) {
-    const LevelStats& s = results.per_level[li];
-    std::vector<std::string> cells;
-    cells.push_back(opt::to_string(results.levels[li]));
-    cells.push_back(with_commas(static_cast<long long>(s.discrepancy_total())));
-    for (int ci = 0; ci < kDiscrepancyClassCount; ++ci) {
-      cells.push_back(with_commas(static_cast<long long>(s.class_counts[ci])));
-      totals[ci] += s.class_counts[ci];
+  // One table per (baseline, platform) pair; a two-platform campaign has
+  // exactly one pair and renders under the caller's bare title (the
+  // pre-registry layout).  Fewer than two platforms means no pairs and no
+  // tables.
+  const std::size_t n_pairs =
+      results.platforms.size() < 2 ? 0 : results.platforms.size() - 1;
+  std::string out;
+  for (std::size_t pi = 0; pi < n_pairs; ++pi) {
+    std::string pair_title = title;
+    if (n_pairs > 1)
+      pair_title += " — " + platform_label(results.platforms[0]) + " vs " +
+                    platform_label(results.platforms[pi + 1]);
+    Table t(pair_title);
+    t.set_header({"Opt Flags", "Disc. Count", "NaN, Inf", "NaN, Zero", "NaN, Num",
+                  "Inf, Zero", "Inf, Num", "Num, Zero", "Num, Num"},
+                 {Align::Left});
+    std::array<std::uint64_t, kDiscrepancyClassCount> totals{};
+    std::uint64_t grand = 0;
+    for (std::size_t li = 0; li < results.levels.size(); ++li) {
+      const PairStats& s = results.per_level[li].pairs[pi];
+      std::vector<std::string> cells;
+      cells.push_back(opt::to_string(results.levels[li]));
+      cells.push_back(with_commas(static_cast<long long>(s.discrepancy_total())));
+      for (int ci = 0; ci < kDiscrepancyClassCount; ++ci) {
+        cells.push_back(with_commas(static_cast<long long>(s.class_counts[ci])));
+        totals[ci] += s.class_counts[ci];
+      }
+      grand += s.discrepancy_total();
+      t.add_row(std::move(cells));
     }
-    grand += s.discrepancy_total();
-    t.add_row(std::move(cells));
+    t.add_rule();
+    std::vector<std::string> total_row{"Total",
+                                       with_commas(static_cast<long long>(grand))};
+    for (int ci = 0; ci < kDiscrepancyClassCount; ++ci)
+      total_row.push_back(with_commas(static_cast<long long>(totals[ci])));
+    t.add_row(std::move(total_row));
+    out += t.render();
   }
-  t.add_rule();
-  std::vector<std::string> total_row{"Total",
-                                     with_commas(static_cast<long long>(grand))};
-  for (int ci = 0; ci < kDiscrepancyClassCount; ++ci)
-    total_row.push_back(with_commas(static_cast<long long>(totals[ci])));
-  t.add_row(std::move(total_row));
-  return t.render();
+  return out;
 }
 
 std::string render_adjacency(const CampaignResults& results,
                              const std::string& title) {
   static const char* kClassNames[4] = {"(±) NaN", "(±) Inf", "(±) Zero", "Num"};
   std::string out = title + "\n";
+  if (results.platforms.size() < 2) return out;
+  const std::string base = platform_label(results.platforms[0]);
+  const std::size_t n_pairs = results.platforms.size() - 1;
   for (std::size_t li = 0; li < results.levels.size(); ++li) {
-    const LevelStats& s = results.per_level[li];
-    Table t("Opt: " + opt::to_string(results.levels[li]) +
-            "   (cell \"a, b\": a = NVCC=row & HIPCC=col, b = NVCC=col & HIPCC=row)");
-    t.set_header({"NVCC \\ HIPCC", "(±) NaN", "(±) Inf", "(±) Zero", "Num"},
-                 {Align::Left});
-    for (int r = 0; r < 4; ++r) {
-      std::vector<std::string> cells{kClassNames[r]};
-      for (int c = 0; c < 4; ++c) {
-        if (c < r) {
-          cells.push_back("—");
-        } else if (c == r) {
-          // Same-class cell: only Num/Num holds discrepancies.
-          const auto n = s.adjacency[r][c];
-          cells.push_back(support::format("%llu, %llu",
-                                          static_cast<unsigned long long>(n),
-                                          static_cast<unsigned long long>(n)));
-        } else {
-          cells.push_back(support::format(
-              "%llu, %llu", static_cast<unsigned long long>(s.adjacency[r][c]),
-              static_cast<unsigned long long>(s.adjacency[c][r])));
+    for (std::size_t pi = 0; pi < n_pairs; ++pi) {
+      const PairStats& s = results.per_level[li].pairs[pi];
+      const std::string other = platform_label(results.platforms[pi + 1]);
+      Table t("Opt: " + opt::to_string(results.levels[li]) + "   (cell \"a, b\": a = " +
+              base + "=row & " + other + "=col, b = " + base + "=col & " +
+              other + "=row)");
+      t.set_header({base + " \\ " + other, "(±) NaN", "(±) Inf", "(±) Zero", "Num"},
+                   {Align::Left});
+      for (int r = 0; r < 4; ++r) {
+        std::vector<std::string> cells{kClassNames[r]};
+        for (int c = 0; c < 4; ++c) {
+          if (c < r) {
+            cells.push_back("—");
+          } else if (c == r) {
+            // Same-class cell: only Num/Num holds discrepancies.
+            const auto n = s.adjacency[r][c];
+            cells.push_back(support::format("%llu, %llu",
+                                            static_cast<unsigned long long>(n),
+                                            static_cast<unsigned long long>(n)));
+          } else {
+            cells.push_back(support::format(
+                "%llu, %llu", static_cast<unsigned long long>(s.adjacency[r][c]),
+                static_cast<unsigned long long>(s.adjacency[c][r])));
+          }
         }
+        t.add_row(std::move(cells));
       }
-      t.add_row(std::move(cells));
+      out += t.render();
     }
-    out += t.render();
   }
   return out;
 }
 
 std::string render_records(const CampaignResults& results, std::size_t limit) {
   Table t("Discrepancy drill-down (first " + std::to_string(limit) + ")");
-  t.set_header({"Program", "Input", "Opt", "Class", "NVCC output", "HIPCC output"},
-               {Align::Right, Align::Right, Align::Left, Align::Left, Align::Right,
-                Align::Right});
+  std::vector<std::string> header{"Program", "Input", "Opt", "Class"};
+  std::vector<Align> aligns{Align::Right, Align::Right, Align::Left, Align::Left};
+  for (const auto& name : results.platforms) {
+    header.push_back(platform_label(name) + " output");
+    aligns.push_back(Align::Right);
+  }
+  t.set_header(std::move(header), std::move(aligns));
   std::size_t shown = 0;
   for (const auto& rec : results.records) {
     if (shown++ >= limit) break;
-    t.add_row({std::to_string(rec.program_index), std::to_string(rec.input_index),
-               opt::to_string(rec.level), to_string(rec.cls), rec.nvcc_printed,
-               rec.hipcc_printed});
+    std::vector<std::string> cells{std::to_string(rec.program_index),
+                                   std::to_string(rec.input_index),
+                                   opt::to_string(rec.level), to_string(rec.cls)};
+    for (const auto& printed : rec.printed) cells.push_back(printed);
+    t.add_row(std::move(cells));
   }
   return t.render();
 }

@@ -1,5 +1,7 @@
 #include "diff/runner.hpp"
 
+#include <stdexcept>
+
 namespace gpudiff::diff {
 
 namespace {
@@ -20,53 +22,78 @@ PlatformResult to_platform_result(const vgpu::RunResult& run,
   return out;
 }
 
-}  // namespace
-
-CompiledPair compile_pair(const ir::Program& program, opt::OptLevel level,
-                          bool hipify_converted) {
-  opt::CompileOptions nv;
-  nv.toolchain = opt::Toolchain::Nvcc;
-  nv.level = level;
-  opt::CompileOptions amd;
-  amd.toolchain = opt::Toolchain::Hipcc;
-  amd.level = level;
-  amd.hipify_converted = hipify_converted;
-  return {opt::compile(program, nv), opt::compile(program, amd)};
+/// Classify every lane of `cmp` against lane 0 and set the representative
+/// class.  One definition shared by the single-run and batched paths so
+/// they cannot drift.
+void classify_lanes(ComparisonResult& cmp) {
+  cmp.cls = DiscrepancyClass::None;
+  cmp.pair_cls[0] = DiscrepancyClass::None;
+  const PlatformResult& base = cmp.platforms[0];
+  for (std::uint32_t p = 1; p < cmp.count; ++p) {
+    const DiscrepancyClass cls =
+        classify_pair(base.outcome, base.bits, cmp.platforms[p].outcome,
+                      cmp.platforms[p].bits);
+    cmp.pair_cls[p] = cls;
+    if (cmp.cls == DiscrepancyClass::None) cmp.cls = cls;
+  }
 }
 
-ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args) {
-  const ir::Precision prec = pair.nvcc.program.precision();
+}  // namespace
+
+CompiledSet compile_set(const ir::Program& program,
+                        std::span<const opt::PlatformSpec> platforms,
+                        opt::OptLevel level, bool hipify_converted) {
+  if (platforms.empty())
+    throw std::invalid_argument("compile_set: empty platform list");
+  if (platforms.size() > opt::kMaxPlatforms)
+    throw std::invalid_argument("compile_set: more than kMaxPlatforms");
+  CompiledSet set;
+  set.exes.reserve(platforms.size());
+  for (const opt::PlatformSpec& spec : platforms)
+    set.exes.push_back(opt::compile(program, spec, level, hipify_converted));
+  return set;
+}
+
+CompiledSet compile_pair(const ir::Program& program, opt::OptLevel level,
+                         bool hipify_converted) {
+  const auto platforms = opt::default_platforms();
+  return compile_set(program, platforms, level, hipify_converted);
+}
+
+ComparisonResult compare_run(const CompiledSet& set, const vgpu::KernelArgs& args) {
+  const ir::Precision prec = set.precision();
   ComparisonResult out;
-  out.nvcc = to_platform_result(vgpu::run_kernel(pair.nvcc, args), prec);
-  out.hipcc = to_platform_result(vgpu::run_kernel(pair.hipcc, args), prec);
-  out.cls = classify_pair(out.nvcc.outcome, out.nvcc.bits, out.hipcc.outcome,
-                          out.hipcc.bits);
+  out.count = static_cast<std::uint32_t>(set.size());
+  for (std::size_t p = 0; p < set.size(); ++p)
+    out.platforms[p] = to_platform_result(vgpu::run_kernel(set.exes[p], args), prec);
+  classify_lanes(out);
   return out;
 }
 
 const std::vector<ComparisonResult>& compare_batch(
-    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs,
+    const CompiledSet& set, std::span<const vgpu::KernelArgs> inputs,
     SweepContext& ctx) {
-  const ir::Precision prec = pair.nvcc.program.precision();
-  ctx.nvcc_runs.resize(inputs.size());
-  ctx.hipcc_runs.resize(inputs.size());
-  vgpu::run_kernel_batch(pair.nvcc, inputs, ctx.nvcc_runs.data(), ctx.exec);
-  vgpu::run_kernel_batch(pair.hipcc, inputs, ctx.hipcc_runs.data(), ctx.exec);
+  const ir::Precision prec = set.precision();
+  if (ctx.runs.size() < set.size()) ctx.runs.resize(set.size());
+  for (std::size_t p = 0; p < set.size(); ++p) {
+    ctx.runs[p].resize(inputs.size());
+    vgpu::run_kernel_batch(set.exes[p], inputs, ctx.runs[p].data(), ctx.exec);
+  }
   ctx.cmps.resize(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     ComparisonResult& cmp = ctx.cmps[i];
-    cmp.nvcc = to_platform_result(ctx.nvcc_runs[i], prec);
-    cmp.hipcc = to_platform_result(ctx.hipcc_runs[i], prec);
-    cmp.cls = classify_pair(cmp.nvcc.outcome, cmp.nvcc.bits,
-                            cmp.hipcc.outcome, cmp.hipcc.bits);
+    cmp.count = static_cast<std::uint32_t>(set.size());
+    for (std::size_t p = 0; p < set.size(); ++p)
+      cmp.platforms[p] = to_platform_result(ctx.runs[p][i], prec);
+    classify_lanes(cmp);
   }
   return ctx.cmps;
 }
 
 std::vector<ComparisonResult> compare_batch(
-    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs) {
+    const CompiledSet& set, std::span<const vgpu::KernelArgs> inputs) {
   SweepContext ctx;
-  return compare_batch(pair, inputs, ctx);
+  return compare_batch(set, inputs, ctx);
 }
 
 ComparisonResult run_differential(const ir::Program& program,

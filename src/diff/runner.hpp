@@ -1,7 +1,10 @@
 #pragma once
-// Single-test differential runner: compile once per (toolchain, level),
-// run per input, classify the pair (paper Fig. 1 pipeline).
+// N-way differential runner: compile once per (platform, level), run per
+// input, classify every platform against the baseline (paper Fig. 1
+// pipeline, generalized from the paper's fixed nvcc/hipcc pair to any
+// registry platform selection — opt/platform.hpp).
 
+#include <array>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,6 +13,7 @@
 #include "fp/exceptions.hpp"
 #include "fp/hexfloat.hpp"
 #include "opt/pipeline.hpp"
+#include "opt/platform.hpp"
 #include "vgpu/args.hpp"
 #include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
@@ -30,52 +34,74 @@ struct PlatformResult {
   std::string printed() const { return fp::print_g17(value); }
 };
 
-/// A compiled (nvcc-sim, hipcc-sim) pair at one optimization level.
-struct CompiledPair {
-  opt::Executable nvcc;
-  opt::Executable hipcc;
+/// The compiled executables of one differential test at one optimization
+/// level: one Executable per selected platform, element 0 the baseline.
+struct CompiledSet {
+  std::vector<opt::Executable> exes;
+
+  std::size_t size() const noexcept { return exes.size(); }
+  ir::Precision precision() const noexcept {
+    return exes.front().program.precision();
+  }
 };
 
-/// Compile `program` for both platforms at `level`.  `hipify_converted`
-/// selects the CUDA-compat binding on the hipcc side (Tables VII/VIII).
-CompiledPair compile_pair(const ir::Program& program, opt::OptLevel level,
-                          bool hipify_converted = false);
+/// Compile `program` for every platform in `platforms` at `level`.
+/// `hipify_converted` selects the CUDA-compat binding on hipcc-based
+/// platforms (Tables VII/VIII).  Throws when `platforms` is empty or
+/// exceeds opt::kMaxPlatforms.
+CompiledSet compile_set(const ir::Program& program,
+                        std::span<const opt::PlatformSpec> platforms,
+                        opt::OptLevel level, bool hipify_converted = false);
 
-/// One differential comparison.
+/// The paper's default pair (opt::default_platforms()): exes[0] = nvcc-sim,
+/// exes[1] = hipcc-sim.
+CompiledSet compile_pair(const ir::Program& program, opt::OptLevel level,
+                         bool hipify_converted = false);
+
+/// One differential comparison: every platform's result plus its
+/// discrepancy class against the baseline (platform 0).  Fixed-capacity
+/// lanes keep this allocation-free on the per-input hot path.
 struct ComparisonResult {
-  PlatformResult nvcc;
-  PlatformResult hipcc;
+  std::uint32_t count = 0;  ///< number of platforms compared
+  std::array<PlatformResult, opt::kMaxPlatforms> platforms{};
+  /// Pairwise class of platforms[i] vs the baseline; [0] is always None.
+  std::array<DiscrepancyClass, opt::kMaxPlatforms> pair_cls{};
+  /// Representative class: the first differing platform's class against
+  /// the baseline (the only one for a two-platform set); None when every
+  /// platform agrees.
   DiscrepancyClass cls = DiscrepancyClass::None;
+
   bool discrepant() const noexcept { return cls != DiscrepancyClass::None; }
+  const PlatformResult& baseline() const noexcept { return platforms[0]; }
 };
 
-ComparisonResult compare_run(const CompiledPair& pair, const vgpu::KernelArgs& args);
+ComparisonResult compare_run(const CompiledSet& set, const vgpu::KernelArgs& args);
 
 /// Reusable scratch for batched sweeps: one VM execution context plus the
-/// per-platform run buffers and the comparison output.  A campaign worker
-/// keeps one of these per thread and hands it to every compare_batch call,
-/// so the steady state performs no allocation at all (buffer capacity is
-/// retained across programs and levels).
+/// per-platform run-buffer lanes and the comparison output.  A campaign
+/// worker keeps one of these per thread and hands it to every
+/// compare_batch call, so the steady state performs no allocation at all
+/// (buffer capacity is retained across programs, levels and platforms).
 struct SweepContext {
   vgpu::ExecContext exec;
-  std::vector<vgpu::RunResult> nvcc_runs, hipcc_runs;
+  std::vector<std::vector<vgpu::RunResult>> runs;  ///< one lane per platform
   std::vector<ComparisonResult> cmps;
 };
 
 /// Batched sweep: run every input through one VM invocation loop per
 /// platform, amortizing argument validation and execution-context setup
 /// across the program's whole input set.  Result i is bit-identical to
-/// compare_run(pair, inputs[i]).  The returned reference aliases ctx.cmps
+/// compare_run(set, inputs[i]).  The returned reference aliases ctx.cmps
 /// and is valid until the next call with the same context.
 const std::vector<ComparisonResult>& compare_batch(
-    const CompiledPair& pair, std::span<const vgpu::KernelArgs> inputs,
+    const CompiledSet& set, std::span<const vgpu::KernelArgs> inputs,
     SweepContext& ctx);
 
 /// Convenience overload with throwaway scratch.
-std::vector<ComparisonResult> compare_batch(const CompiledPair& pair,
+std::vector<ComparisonResult> compare_batch(const CompiledSet& set,
                                             std::span<const vgpu::KernelArgs> inputs);
 
-/// Convenience: compile + run one input at one level.
+/// Convenience: compile the default pair + run one input at one level.
 ComparisonResult run_differential(const ir::Program& program,
                                   const vgpu::KernelArgs& args,
                                   opt::OptLevel level,

@@ -19,6 +19,90 @@ int Program::max_temp_id() const noexcept {
 
 namespace {
 
+constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+
+/// Copy the expression subtree rooted at `root` from `src` into `dst`,
+/// memoizing through `expr_map` (old id -> new id) so a shared subtree is
+/// copied once.  Iterative post-order: hand-assembled IR may be
+/// arbitrarily deep (the same reason node_count() is iterative).
+ExprId compact_expr(const Arena& src, Arena& dst,
+                    std::vector<std::uint32_t>& expr_map, ExprId root) {
+  if (!root.valid()) return root;
+  if (expr_map[root.v] != kUnmapped) return ExprId{expr_map[root.v]};
+  struct Frame {
+    ExprId id;
+    int next_kid = 0;
+  };
+  std::vector<Frame> stack{{root}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Expr& e = src[f.id];
+    if (f.next_kid < e.n_kids) {
+      const ExprId kid = e.kid[f.next_kid++];
+      if (kid.valid() && expr_map[kid.v] == kUnmapped)
+        stack.push_back({kid});
+      continue;
+    }
+    Expr copy = e;
+    for (int k = 0; k < e.n_kids; ++k)
+      if (copy.kid[k].valid()) copy.kid[k] = ExprId{expr_map[copy.kid[k].v]};
+    copy.text_off = 0;
+    copy.text_len = 0;
+    if (e.text_len != 0) dst.set_text(copy, src.text(e));
+    expr_map[f.id.v] = dst.add(copy).v;
+    stack.pop_back();
+  }
+  return ExprId{expr_map[root.v]};
+}
+
+StmtId compact_stmt(const Arena& src, Arena& dst,
+                    std::vector<std::uint32_t>& expr_map,
+                    std::vector<std::uint32_t>& stmt_map, StmtId root) {
+  if (stmt_map[root.v] != kUnmapped) return StmtId{stmt_map[root.v]};
+  struct Frame {
+    StmtId id;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{root}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Stmt& s = src[f.id];
+    const std::span<const StmtId> body = src.body(s);
+    if (f.next_child < body.size()) {
+      const StmtId child = body[f.next_child++];
+      if (stmt_map[child.v] == kUnmapped) stack.push_back({child});
+      continue;
+    }
+    Stmt copy = s;
+    if (copy.a.valid()) copy.a = compact_expr(src, dst, expr_map, copy.a);
+    if (copy.b.valid()) copy.b = compact_expr(src, dst, expr_map, copy.b);
+    copy.body_off = 0;
+    copy.body_len = 0;
+    if (!body.empty()) {
+      std::vector<StmtId> new_body;
+      new_body.reserve(body.size());
+      for (StmtId child : body) new_body.push_back(StmtId{stmt_map[child.v]});
+      dst.set_body(copy, new_body);
+    }
+    stmt_map[f.id.v] = dst.add(copy).v;
+    stack.pop_back();
+  }
+  return StmtId{stmt_map[root.v]};
+}
+
+}  // namespace
+
+void Program::compact() {
+  Arena dst;
+  std::vector<std::uint32_t> expr_map(arena_.expr_count(), kUnmapped);
+  std::vector<std::uint32_t> stmt_map(arena_.stmt_count(), kUnmapped);
+  for (StmtId& id : body_)
+    id = compact_stmt(arena_, dst, expr_map, stmt_map, id);
+  arena_ = std::move(dst);
+}
+
+namespace {
+
 /// Loop variable name at nesting depth d: i, j, k, i3, i4, ...
 std::string loop_var_name(int depth) {
   static const char* names[] = {"i", "j", "k"};

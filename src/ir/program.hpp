@@ -83,6 +83,16 @@ class Program {
   /// Highest temporary id declared (or -1 if none).
   int max_temp_id() const noexcept;
 
+  /// Rebuild the arena with only the nodes reachable from the body,
+  /// dropping everything passes orphaned (rewrites never free pool slots —
+  /// see arena.hpp).  Ids are remapped; any ExprId/StmtId held outside the
+  /// Program is invalidated.  Nodes land in deterministic depth-first body
+  /// order and shared subtrees are kept single, so after compacting a
+  /// tree-shaped program, pool size == node_count().  Worth calling only
+  /// on long-lived Programs after heavy pass rewriting; campaign compiles
+  /// are transient and never bother.
+  void compact();
+
   /// Scalar C type for the program's precision ("float"/"double").
   const char* scalar_type() const noexcept {
     return precision_ == Precision::FP32 ? "float" : "double";

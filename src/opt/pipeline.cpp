@@ -9,6 +9,25 @@ std::string to_string(Toolchain t) {
   return t == Toolchain::Nvcc ? "nvcc-sim" : "hipcc-sim";
 }
 
+std::string to_string(FmaMode m) {
+  switch (m) {
+    case FmaMode::Auto: return "auto";
+    case FmaMode::LeftProduct: return "left";
+    case FmaMode::RightProduct: return "right";
+  }
+  return "?";
+}
+
+std::string to_string(Div32Override d) {
+  switch (d) {
+    case Div32Override::Auto: return "auto";
+    case Div32Override::IEEE: return "ieee";
+    case Div32Override::NvApprox: return "nv-approx";
+    case Div32Override::AmdApprox: return "amd-approx";
+  }
+  return "?";
+}
+
 std::string to_string(OptLevel level) {
   switch (level) {
     case OptLevel::O0: return "O0";
@@ -64,19 +83,22 @@ Executable compile(const ir::Program& program, const CompileOptions& options) {
   exe.program = program;  // deep copy
   exe.toolchain = options.toolchain;
   exe.level = options.level;
-  exe.mathlib = select_mathlib(options);
+  exe.mathlib =
+      options.mathlib != nullptr ? options.mathlib : select_mathlib(options);
 
   const bool optimized = options.level != OptLevel::O0;
   const bool fast = options.level == OptLevel::O3_FastMath;
+  const FmaPreference fma_pref =
+      options.fma == FmaMode::Auto
+          ? (options.toolchain == Toolchain::Nvcc ? FmaPreference::LeftProduct
+                                                  : FmaPreference::RightProduct)
+          : (options.fma == FmaMode::LeftProduct ? FmaPreference::LeftProduct
+                                                 : FmaPreference::RightProduct);
 
   if (optimized) {
     fold_constants(exe.program);
-    if (options.toolchain == Toolchain::Nvcc) {
-      contract_fma(exe.program, FmaPreference::LeftProduct);
-    } else {
-      contract_fma(exe.program, FmaPreference::RightProduct);
-      if_convert(exe.program);
-    }
+    contract_fma(exe.program, fma_pref);
+    if (options.toolchain == Toolchain::Hipcc) if_convert(exe.program);
   }
 
   if (fast) {
@@ -100,6 +122,23 @@ Executable compile(const ir::Program& program, const CompileOptions& options) {
       if (exe.program.precision() == ir::Precision::FP32)
         exe.env.naive_minmax = true;
     }
+  }
+
+  // Platform-registry overrides land after the level pipeline so a
+  // registry entry can pin the FP environment independently of the level
+  // ("hipcc with FTZ on at every level").  They must precede the bytecode
+  // lowering below: the lowered program bakes the environment in.
+  if (options.force_ftz32) exe.env.ftz32 = true;
+  if (options.force_daz32) exe.env.daz32 = true;
+  switch (options.div32) {
+    case Div32Override::Auto: break;
+    case Div32Override::IEEE: exe.env.div32 = fp::Div32Mode::IEEE; break;
+    case Div32Override::NvApprox:
+      exe.env.div32 = fp::Div32Mode::NvApprox;
+      break;
+    case Div32Override::AmdApprox:
+      exe.env.div32 = fp::Div32Mode::AmdApprox;
+      break;
   }
 
   // Lower to bytecode once, here, so every copy of the Executable (and

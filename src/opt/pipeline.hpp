@@ -36,6 +36,18 @@ namespace gpudiff::opt {
 enum class Toolchain : std::uint8_t { Nvcc, Hipcc };
 std::string to_string(Toolchain t);
 
+/// FMA contraction shape override.  Auto keeps the toolchain's own
+/// preference (nvcc contracts the left product, hipcc the right); the
+/// other values pin it, which is what lets a registry platform model "the
+/// same compiler, different codegen" scenarios.
+enum class FmaMode : std::uint8_t { Auto, LeftProduct, RightProduct };
+std::string to_string(FmaMode m);
+
+/// FP32 division override.  Auto keeps whatever the pipeline configures
+/// for the level (IEEE below fast-math, the vendor approximation at it).
+enum class Div32Override : std::uint8_t { Auto, IEEE, NvApprox, AmdApprox };
+std::string to_string(Div32Override d);
+
 enum class OptLevel : std::uint8_t { O0, O1, O2, O3, O3_FastMath };
 std::string to_string(OptLevel level);
 /// Parse "O0".."O3"/"O3_FM" (returns false on unknown spelling).
@@ -51,6 +63,16 @@ struct CompileOptions {
   OptLevel level = OptLevel::O0;
   /// hipcc only: source was produced by HIPIFY rather than generated as HIP.
   bool hipify_converted = false;
+
+  // Platform-registry overrides (opt/platform.hpp).  All default to the
+  // plain toolchain behaviour, so the paper's two platforms compile
+  // exactly as before.
+  FmaMode fma = FmaMode::Auto;
+  bool force_ftz32 = false;  ///< flush FP32 subnormal results at every level
+  bool force_daz32 = false;  ///< treat FP32 subnormal inputs as zero
+  Div32Override div32 = Div32Override::Auto;
+  /// Math-library binding override (null = select by toolchain/level).
+  const vmath::MathLib* mathlib = nullptr;
 };
 
 /// A compiled test: what the virtual GPU executes.

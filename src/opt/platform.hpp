@@ -1,0 +1,85 @@
+#pragma once
+// Platform registry: named virtual-platform configurations.
+//
+// The paper's pipeline compares exactly two platforms, and that pair used
+// to be baked into every layer as an {nvcc, hipcc} field pair.  The
+// numerically interesting space, however, is per *configuration* — FTZ and
+// denormal policy, FP32 division mode, FMA contraction shape, fast-math
+// flags, math-library variant (Khattak & Mikaitis 2025) — which a two-slot
+// struct cannot express ("hipcc with FTZ on vs off", "nvcc -O3 vs
+// nvcc -O3 -use_fast_math over the same program").
+//
+// A PlatformSpec bundles a Toolchain (pass schedule + math-library family)
+// with the FP-environment knobs, and the differential core
+// (diff/runner.hpp) runs any list of specs against the first entry — the
+// baseline.  The built-in registry ships the two paper platforms plus
+// scenario configurations; campaigns select a subset with
+// `gpudiff-campaign --platforms nvcc,hipcc,hipcc-ftz`.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opt/pipeline.hpp"
+
+namespace gpudiff::opt {
+
+/// Upper bound on platforms per comparison.  Keeps the per-run comparison
+/// record (diff::ComparisonResult) allocation-free: it embeds one result
+/// lane per platform.
+inline constexpr std::size_t kMaxPlatforms = 8;
+
+/// One named platform configuration.  Equality is field-wise, which is
+/// what the campaign configuration fingerprint serializes — two specs that
+/// share a name but differ in any knob fingerprint differently.
+struct PlatformSpec {
+  std::string name;  ///< registry key, CLI spelling and report label
+  Toolchain toolchain = Toolchain::Nvcc;
+  /// Compile every optimized level with the toolchain's fast-math pipeline
+  /// (reassociation, approximate division, fast/native math binding), the
+  /// way a build that always passes -use_fast_math / -ffast-math behaves.
+  /// O0 stays O0.
+  bool fast_math = false;
+  bool force_ftz32 = false;  ///< flush FP32 subnormal results at every level
+  bool force_daz32 = false;  ///< treat FP32 subnormal inputs as zero
+  FmaMode fma = FmaMode::Auto;
+  Div32Override div32 = Div32Override::Auto;
+  /// Math-library binding by vmath registry name ("" = toolchain default).
+  std::string mathlib;
+  /// One-line description for `gpudiff-campaign --list-platforms`.
+  std::string blurb;
+
+  friend bool operator==(const PlatformSpec&, const PlatformSpec&) = default;
+};
+
+/// The built-in registry, in deterministic order: the two paper platforms
+/// first, then the scenario configurations.  Names stay clear of the fixed
+/// JSON keys of the campaign record format ("program", "input", "level",
+/// "class", "classes", "platforms") — record documents key platform
+/// payloads by name.
+const std::vector<PlatformSpec>& platform_registry();
+
+/// Registry lookup (null when `name` is unknown).
+const PlatformSpec* find_platform(std::string_view name);
+
+/// Parse a comma-separated platform selection ("nvcc,hipcc,hipcc-ftz").
+/// Strict: throws std::runtime_error naming the offending entry on an
+/// unknown name, a duplicate, fewer than two platforms, or more than
+/// kMaxPlatforms.  The first entry is the comparison baseline.
+std::vector<PlatformSpec> parse_platform_list(const std::string& csv);
+
+/// The paper's default pair: {nvcc, hipcc}, nvcc the baseline.
+std::vector<PlatformSpec> default_platforms();
+
+/// Names of `specs`, in order (campaign results carry these labels).
+std::vector<std::string> platform_names(std::span<const PlatformSpec> specs);
+
+/// Compile `program` for `spec` at `level`.  `hipify_converted` applies
+/// only to hipcc-based platforms (Tables VII/VIII).  For the built-in
+/// "nvcc"/"hipcc" specs this is bit-for-bit the pre-registry compile
+/// pipeline, which is what keeps default campaign output byte-identical.
+Executable compile(const ir::Program& program, const PlatformSpec& spec,
+                   OptLevel level, bool hipify_converted = false);
+
+}  // namespace gpudiff::opt

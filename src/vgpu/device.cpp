@@ -20,4 +20,8 @@ const DeviceDescriptor& device_for(opt::Toolchain t) {
   return t == opt::Toolchain::Nvcc ? nvidia_v100_sim() : amd_mi250x_sim();
 }
 
+const DeviceDescriptor& device_for(const opt::PlatformSpec& platform) {
+  return device_for(platform.toolchain);
+}
+
 }  // namespace gpudiff::vgpu

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "opt/pipeline.hpp"
+#include "opt/platform.hpp"
 
 namespace gpudiff::vgpu {
 
@@ -26,5 +27,11 @@ const DeviceDescriptor& amd_mi250x_sim();
 
 /// Device for a toolchain (the pairing used throughout the campaigns).
 const DeviceDescriptor& device_for(opt::Toolchain t);
+
+/// Device a registry platform executes on.  Every configuration of one
+/// toolchain shares its toolchain's device — "hipcc-ftz" is still the
+/// MI250X-sim with a different build configuration, which is exactly the
+/// per-configuration (not per-vendor) feature space the registry models.
+const DeviceDescriptor& device_for(const opt::PlatformSpec& platform);
 
 }  // namespace gpudiff::vgpu

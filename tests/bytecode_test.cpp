@@ -98,8 +98,7 @@ TEST(BytecodeCampaign, FixedSeedCampaignIdenticalAcrossBackends) {
   ASSERT_EQ(vm.per_level.size(), tree.per_level.size());
   for (std::size_t li = 0; li < vm.per_level.size(); ++li) {
     EXPECT_EQ(vm.per_level[li].comparisons, tree.per_level[li].comparisons);
-    EXPECT_EQ(vm.per_level[li].class_counts, tree.per_level[li].class_counts);
-    EXPECT_EQ(vm.per_level[li].adjacency, tree.per_level[li].adjacency);
+    EXPECT_EQ(vm.per_level[li].pairs, tree.per_level[li].pairs);
   }
   ASSERT_EQ(vm.records.size(), tree.records.size());
   for (std::size_t i = 0; i < vm.records.size(); ++i) {
@@ -107,8 +106,7 @@ TEST(BytecodeCampaign, FixedSeedCampaignIdenticalAcrossBackends) {
     EXPECT_EQ(vm.records[i].input_index, tree.records[i].input_index);
     EXPECT_EQ(vm.records[i].level, tree.records[i].level);
     EXPECT_EQ(vm.records[i].cls, tree.records[i].cls);
-    EXPECT_EQ(vm.records[i].nvcc_printed, tree.records[i].nvcc_printed);
-    EXPECT_EQ(vm.records[i].hipcc_printed, tree.records[i].hipcc_printed);
+    EXPECT_EQ(vm.records[i].printed, tree.records[i].printed);
   }
 }
 
@@ -291,18 +289,20 @@ TEST(Bytecode, BatchedSweepBitIdenticalToPerRunLoop) {
     std::vector<vgpu::KernelArgs> inputs;
     for (int ii = 0; ii < 6; ++ii) inputs.push_back(input_gen.generate(program, pi, ii));
     for (const opt::OptLevel level : opt::kAllOptLevels) {
-      const diff::CompiledPair pair = diff::compile_pair(program, level);
+      const diff::CompiledSet set = diff::compile_pair(program, level);
       for (const auto backend :
            {vgpu::ExecBackend::Bytecode, vgpu::ExecBackend::TreeWalk}) {
         vgpu::set_exec_backend(backend);
-        const auto batch = diff::compare_batch(pair, inputs);
+        const auto batch = diff::compare_batch(set, inputs);
         ASSERT_EQ(batch.size(), inputs.size());
         for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
-          const auto single = diff::compare_run(pair, inputs[ii]);
-          EXPECT_EQ(batch[ii].nvcc.bits, single.nvcc.bits);
-          EXPECT_EQ(batch[ii].hipcc.bits, single.hipcc.bits);
-          EXPECT_EQ(batch[ii].nvcc.flags.raw(), single.nvcc.flags.raw());
-          EXPECT_EQ(batch[ii].hipcc.op_count, single.hipcc.op_count);
+          const auto single = diff::compare_run(set, inputs[ii]);
+          EXPECT_EQ(batch[ii].platforms[0].bits, single.platforms[0].bits);
+          EXPECT_EQ(batch[ii].platforms[1].bits, single.platforms[1].bits);
+          EXPECT_EQ(batch[ii].platforms[0].flags.raw(),
+                    single.platforms[0].flags.raw());
+          EXPECT_EQ(batch[ii].platforms[1].op_count,
+                    single.platforms[1].op_count);
           EXPECT_EQ(batch[ii].cls, single.cls);
         }
       }

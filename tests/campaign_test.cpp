@@ -413,6 +413,131 @@ TEST(Merge, LoadsShardsFromCheckpointDirectory) {
 }
 
 // ---------------------------------------------------------------------------
+// platform registry: golden byte-identity + N-way campaigns
+// ---------------------------------------------------------------------------
+
+// The platform-registry acceptance criterion: the default nvcc,hipcc
+// selection must produce a canonical report byte-identical to the
+// pre-refactor output.  tests/golden/*.json were generated by the
+// two-slot-era binary (commit f1b9a23) from the exact configs below.
+TEST(PlatformGolden, DefaultCampaignMatchesPreRegistryReport) {
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 60;
+  cfg.inputs_per_program = 5;
+  cfg.seed = 1234;
+  const std::string got =
+      campaign::results_to_json(diff::run_campaign(cfg)).dump(1) + "\n";
+  EXPECT_EQ(got, support::read_file(std::string(GPUDIFF_SOURCE_DIR) +
+                                    "/tests/golden/campaign_p60_i5_s1234_fp64.json"));
+
+  diff::CampaignConfig cfg32;
+  cfg32.gen.precision = ir::Precision::FP32;
+  cfg32.num_programs = 40;
+  cfg32.inputs_per_program = 4;
+  cfg32.seed = 77;
+  const std::string got32 =
+      campaign::results_to_json(diff::run_campaign(cfg32)).dump(1) + "\n";
+  EXPECT_EQ(got32, support::read_file(std::string(GPUDIFF_SOURCE_DIR) +
+                                      "/tests/golden/campaign_p40_i4_s77_fp32.json"));
+}
+
+diff::CampaignConfig three_platform_config(int programs = 30) {
+  diff::CampaignConfig cfg = small_config(programs);
+  cfg.platforms = opt::parse_platform_list("nvcc,hipcc,hipcc-ftz");
+  return cfg;
+}
+
+TEST(PlatformCampaign, ThreeWayCheckpointResumeMergeIsByteIdentical) {
+  // An N=3 campaign through the full orchestration stack: sharded
+  // execution, a kill after three blocks, resume, then merge — byte
+  // identical to the direct three-platform run.
+  const auto cfg = three_platform_config();
+  const diff::CampaignResults direct = diff::run_campaign(cfg);
+  EXPECT_EQ(direct.platforms,
+            (std::vector<std::string>{"nvcc", "hipcc", "hipcc-ftz"}));
+  EXPECT_EQ(direct.runs_total(), direct.comparisons_total() * 3);
+  const std::string want = canonical(direct);
+
+  TempDir dir("gpudiff_n3_resume");
+  int blocks = 0;
+  ShardRunOptions options;
+  options.shard = {0, 2};
+  options.checkpoint_dir = dir.str();
+  options.checkpoint_every = 4;
+  options.on_progress = [&](const ShardProgress&) { ++blocks; };
+  options.stop_requested = [&] { return blocks >= 3; };
+  const ShardProgress killed = campaign::run_shard(cfg, options);
+  EXPECT_FALSE(killed.complete());
+
+  ShardRunOptions resume = options;
+  resume.resume = true;
+  resume.on_progress = nullptr;
+  resume.stop_requested = nullptr;
+  const ShardProgress shard0 = campaign::run_shard(cfg, resume);
+  EXPECT_TRUE(shard0.complete());
+  ShardRunOptions s1;
+  s1.shard = {1, 2};
+  s1.checkpoint_dir = dir.str();
+  campaign::run_shard(cfg, s1);
+  EXPECT_EQ(canonical(campaign::merge_checkpoint_dir(dir.str())), want);
+}
+
+TEST(PlatformCampaign, ThreeWayWorkerFleetIsByteIdentical) {
+  // The same N=3 campaign through the work-stealing scheduler.
+  const auto cfg = three_platform_config();
+  const std::string want = canonical(diff::run_campaign(cfg));
+  TempDir dir("gpudiff_n3_fleet");
+  for (const char* id : {"w0", "w1"}) {
+    campaign::WorkerOptions wopts;
+    wopts.dir = dir.str();
+    wopts.lease_size = 4;
+    wopts.worker_id = id;
+    const auto outcome = campaign::run_worker(cfg, wopts);
+    EXPECT_TRUE(outcome.campaign_complete);
+  }
+  EXPECT_EQ(canonical(campaign::merge_lease_dir(dir.str())), want);
+}
+
+TEST(PlatformCampaign, FingerprintCoversThePlatformSet) {
+  // Same seed/counts, different platform selection: resume and merge must
+  // both refuse to mix the two, because a block is only a pure function of
+  // (fingerprint, range) when the fingerprint pins the platform set.
+  const auto cfg2 = small_config(10);
+  const auto cfg3 = [&] {
+    auto c = three_platform_config(10);
+    c.num_programs = 10;
+    return c;
+  }();
+  EXPECT_NE(campaign::config_to_json(cfg2), campaign::config_to_json(cfg3));
+
+  TempDir dir("gpudiff_platform_fingerprint");
+  ShardRunOptions options;
+  options.shard = {0, 1};
+  options.checkpoint_dir = dir.str();
+  campaign::run_shard(cfg2, options);
+  options.resume = true;
+  EXPECT_THROW(campaign::run_shard(cfg3, options), std::runtime_error);
+}
+
+TEST(PlatformCampaign, ThreeWayResultsJsonRoundTrips) {
+  auto cfg = three_platform_config(15);
+  const auto results = diff::run_campaign(cfg);
+  const support::Json j = campaign::results_to_json(results);
+  // The general layout names its platforms; every record carries one
+  // payload per platform and a per-platform class array.
+  ASSERT_TRUE(j.contains("platforms"));
+  const auto reloaded =
+      campaign::results_from_json(support::Json::parse(j.dump(1)));
+  EXPECT_EQ(campaign::results_to_json(reloaded).dump(1), j.dump(1));
+  EXPECT_EQ(reloaded.platforms, results.platforms);
+  for (const auto& rec : reloaded.records) {
+    EXPECT_EQ(rec.printed.size(), 3u);
+    EXPECT_EQ(rec.pair_cls.size(), 3u);
+    EXPECT_EQ(rec.pair_cls[0], diff::DiscrepancyClass::None);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // VM regression: lazy array materialization must not leak state across a
 // batch (a store in run i, then a store-free run i+1 over the same slot).
 // ---------------------------------------------------------------------------

@@ -105,8 +105,8 @@ TEST(Runner, CeilCaseStudyDivergesAtO0) {
   args.ints = {0};
   const auto cmp = run_differential(p, args, opt::OptLevel::O0);
   EXPECT_EQ(cmp.cls, DiscrepancyClass::Inf_Num);
-  EXPECT_EQ(cmp.nvcc.printed(), "inf");
-  EXPECT_EQ(cmp.hipcc.outcome.cls, OutcomeClass::Number);
+  EXPECT_EQ(cmp.platforms[0].printed(), "inf");
+  EXPECT_EQ(cmp.platforms[1].outcome.cls, OutcomeClass::Number);
 }
 
 TEST(Runner, IdenticalProgramsAgreeOnBenignInputs) {
@@ -122,22 +122,22 @@ TEST(Runner, IdenticalProgramsAgreeOnBenignInputs) {
   for (auto level : opt::kAllOptLevels) {
     const auto cmp = run_differential(p, args, level);
     EXPECT_FALSE(cmp.discrepant()) << opt::to_string(level);
-    EXPECT_EQ(cmp.nvcc.printed(), "10");
+    EXPECT_EQ(cmp.platforms[0].printed(), "10");
   }
 }
 
-TEST(Runner, CompiledPairReusableAcrossInputs) {
+TEST(Runner, CompiledSetReusableAcrossInputs) {
   ir::ProgramBuilder b(ir::Precision::FP64);
   ir::Arena& A = b.arena();
   const int x = b.add_scalar_param();
   b.assign_comp(ir::AssignOp::Add, ir::make_param(A, x));
   const ir::Program p = b.build();
-  const CompiledPair pair = compile_pair(p, opt::OptLevel::O2);
+  const CompiledSet set = compile_pair(p, opt::OptLevel::O2);
   for (double v : {1.0, -2.5, 1e300}) {
     vgpu::KernelArgs args;
     args.fp = {0.0, v};
     args.ints = {0, 0};
-    const auto cmp = compare_run(pair, args);
+    const auto cmp = compare_run(set, args);
     EXPECT_FALSE(cmp.discrepant());
   }
 }
@@ -176,10 +176,10 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
   ASSERT_EQ(r1.records.size(), r2.records.size());
   for (std::size_t i = 0; i < r1.records.size(); ++i) {
     EXPECT_EQ(r1.records[i].program_index, r2.records[i].program_index);
-    EXPECT_EQ(r1.records[i].nvcc_printed, r2.records[i].nvcc_printed);
+    EXPECT_EQ(r1.records[i].printed, r2.records[i].printed);
   }
   for (std::size_t li = 0; li < r1.per_level.size(); ++li)
-    EXPECT_EQ(r1.per_level[li].class_counts, r2.per_level[li].class_counts);
+    EXPECT_EQ(r1.per_level[li].pairs, r2.per_level[li].pairs);
 }
 
 TEST(Campaign, O1ThroughO3CountsIdentical) {
@@ -187,18 +187,20 @@ TEST(Campaign, O1ThroughO3CountsIdentical) {
   const auto& o1 = r.stats_for(opt::OptLevel::O1);
   const auto& o2 = r.stats_for(opt::OptLevel::O2);
   const auto& o3 = r.stats_for(opt::OptLevel::O3);
-  EXPECT_EQ(o1.class_counts, o2.class_counts);
-  EXPECT_EQ(o2.class_counts, o3.class_counts);
-  EXPECT_EQ(o1.adjacency, o3.adjacency);
+  EXPECT_EQ(o1.pairs[0].class_counts, o2.pairs[0].class_counts);
+  EXPECT_EQ(o2.pairs[0].class_counts, o3.pairs[0].class_counts);
+  EXPECT_EQ(o1.pairs[0].adjacency, o3.pairs[0].adjacency);
 }
 
 TEST(Campaign, AdjacencySumsMatchClassCounts) {
   const auto r = run_campaign(small_config(120));
   for (const auto& s : r.per_level) {
-    std::uint64_t adj_total = 0;
-    for (int i = 0; i < 4; ++i)
-      for (int j = 0; j < 4; ++j) adj_total += s.adjacency[i][j];
-    EXPECT_EQ(adj_total, s.discrepancy_total());
+    for (const auto& pair : s.pairs) {
+      std::uint64_t adj_total = 0;
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) adj_total += pair.adjacency[i][j];
+      EXPECT_EQ(adj_total, pair.discrepancy_total());
+    }
   }
 }
 
@@ -227,10 +229,10 @@ TEST(Campaign, PaperShapeHolds) {
   EXPECT_GE(fm.discrepancy_total(), o3.discrepancy_total());
   // Num-Num is the most frequent class at O0 (paper §IV-C.1: "The Number
   // vs. Number discrepancies were the most frequent").
-  const auto nn = o0.class_counts[class_index(DiscrepancyClass::Num_Num)];
+  const auto nn = o0.pairs[0].class_counts[class_index(DiscrepancyClass::Num_Num)];
   for (int ci = 0; ci < kDiscrepancyClassCount; ++ci) {
     if (class_from_index(ci) == DiscrepancyClass::Num_Num) continue;
-    EXPECT_GE(nn, o0.class_counts[ci]) << to_string(class_from_index(ci));
+    EXPECT_GE(nn, o0.pairs[0].class_counts[ci]) << to_string(class_from_index(ci));
   }
 
   auto cfg32 = cfg;
@@ -256,40 +258,40 @@ TEST(Metadata, TwoSystemFlowMatchesDirectCampaign) {
   const auto cfg = small_config(40);
   // System 1: create + run nvcc side.  System 2: run hipcc side.
   Metadata md = Metadata::create(cfg);
-  EXPECT_FALSE(md.has_platform(opt::Toolchain::Nvcc));
-  md.record_platform(opt::Toolchain::Nvcc);
-  EXPECT_TRUE(md.has_platform(opt::Toolchain::Nvcc));
-  EXPECT_FALSE(md.has_platform(opt::Toolchain::Hipcc));
-  md.record_platform(opt::Toolchain::Hipcc);
+  const auto& nvcc = *opt::find_platform("nvcc");
+  const auto& hipcc = *opt::find_platform("hipcc");
+  EXPECT_FALSE(md.has_platform(nvcc));
+  md.record_platform(nvcc);
+  EXPECT_TRUE(md.has_platform(nvcc));
+  EXPECT_FALSE(md.has_platform(hipcc));
+  md.record_platform(hipcc);
   const CampaignResults via_metadata = md.analyze();
   const CampaignResults direct = run_campaign(cfg);
   ASSERT_EQ(via_metadata.per_level.size(), direct.per_level.size());
   for (std::size_t li = 0; li < direct.per_level.size(); ++li) {
-    EXPECT_EQ(via_metadata.per_level[li].class_counts,
-              direct.per_level[li].class_counts)
+    EXPECT_EQ(via_metadata.per_level[li].pairs, direct.per_level[li].pairs)
         << "level " << li;
-    EXPECT_EQ(via_metadata.per_level[li].adjacency, direct.per_level[li].adjacency);
   }
 }
 
 TEST(Metadata, SaveLoadRoundTrip) {
   const auto cfg = small_config(10);
   Metadata md = Metadata::create(cfg);
-  md.record_platform(opt::Toolchain::Nvcc);
+  md.record_platform(*opt::find_platform("nvcc"));
   const auto path = std::filesystem::temp_directory_path() / "gpudiff_md_test.json";
   md.save(path.string());
   Metadata loaded = Metadata::load(path.string());
   EXPECT_EQ(loaded.json(), md.json());
   // Second system continues from the file.
-  loaded.record_platform(opt::Toolchain::Hipcc);
+  loaded.record_platform(*opt::find_platform("hipcc"));
   EXPECT_NO_THROW(loaded.analyze());
   std::filesystem::remove(path);
 }
 
-TEST(Metadata, AnalyzeRequiresBothPlatforms) {
+TEST(Metadata, AnalyzeRequiresAllPlatforms) {
   Metadata md = Metadata::create(small_config(5));
   EXPECT_THROW(md.analyze(), std::runtime_error);
-  md.record_platform(opt::Toolchain::Nvcc);
+  md.record_platform(*opt::find_platform("nvcc"));
   EXPECT_THROW(md.analyze(), std::runtime_error);
 }
 

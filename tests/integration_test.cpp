@@ -82,7 +82,7 @@ TEST(CaseStudy1, MostInputsForTheSameProgramAgree) {
   b.assign_comp(AssignOp::Add,
                 make_call(A, MathFn::Fmod, make_param(A, x), make_param(A, y)));
   const Program p = b.build();
-  const diff::CompiledPair pair = diff::compile_pair(p, opt::OptLevel::O0);
+  const diff::CompiledSet set = diff::compile_pair(p, opt::OptLevel::O0);
   int diffs = 0;
   // All pairs keep the exponent gap below the 1024-bit unrolled range.
   for (double xv : {1.5, 1e10, -3.7e100, 2.5e305}) {
@@ -90,7 +90,7 @@ TEST(CaseStudy1, MostInputsForTheSameProgramAgree) {
       vgpu::KernelArgs args;
       args.fp = {0.0, xv, yv};
       args.ints = {0, 0, 0};
-      if (diff::compare_run(pair, args).discrepant()) ++diffs;
+      if (diff::compare_run(set, args).discrepant()) ++diffs;
     }
   }
   EXPECT_EQ(diffs, 0);
@@ -120,10 +120,10 @@ TEST(CaseStudy2, CeilTinyValueInfVsNumber) {
     const auto cmp = diff::run_differential(p, args, level);
     ASSERT_TRUE(cmp.discrepant()) << opt::to_string(level);
     EXPECT_EQ(cmp.cls, DiscrepancyClass::Inf_Num);
-    EXPECT_EQ(cmp.nvcc.printed(), "inf");  // nvcc: ceil -> 0 -> div by zero
+    EXPECT_EQ(cmp.platforms[0].printed(), "inf");  // nvcc: ceil -> 0 -> div by zero
     // hipcc: 1.34887e-306 in the paper (printed there at lower precision).
-    EXPECT_EQ(cmp.hipcc.printed().substr(0, 7), "1.34887");
-    EXPECT_EQ(cmp.hipcc.outcome.cls, fp::OutcomeClass::Number);
+    EXPECT_EQ(cmp.platforms[1].printed().substr(0, 7), "1.34887");
+    EXPECT_EQ(cmp.platforms[1].outcome.cls, fp::OutcomeClass::Number);
   }
 }
 
@@ -176,8 +176,8 @@ TEST(CaseStudy3, ConsistentAtO0DivergesAtO1Plus) {
   // O0: both produce -inf (paper: nvcc -O0 -inf, hipcc -O0 -inf).
   const auto o0 = diff::run_differential(p, args, opt::OptLevel::O0);
   EXPECT_FALSE(o0.discrepant());
-  EXPECT_EQ(o0.nvcc.printed(), "-inf");
-  EXPECT_EQ(o0.hipcc.printed(), "-inf");
+  EXPECT_EQ(o0.platforms[0].printed(), "-inf");
+  EXPECT_EQ(o0.platforms[1].printed(), "-inf");
 
   // O1..O3: nvcc keeps -inf, hipcc's predicate-multiply if-conversion turns
   // the untaken branch's 0 * (+inf) into NaN (paper: -inf vs -nan).
@@ -185,8 +185,8 @@ TEST(CaseStudy3, ConsistentAtO0DivergesAtO1Plus) {
     const auto cmp = diff::run_differential(p, args, level);
     ASSERT_TRUE(cmp.discrepant()) << opt::to_string(level);
     EXPECT_EQ(cmp.cls, DiscrepancyClass::NaN_Inf);
-    EXPECT_EQ(cmp.nvcc.printed(), "-inf");
-    EXPECT_EQ(cmp.hipcc.printed(), "-nan");
+    EXPECT_EQ(cmp.platforms[0].printed(), "-inf");
+    EXPECT_EQ(cmp.platforms[1].printed(), "-nan");
   }
 }
 
@@ -215,8 +215,8 @@ TEST(Pipeline, HipifyModeChangesOnlyTheHipccSide) {
     for (auto level : {opt::OptLevel::O0, opt::OptLevel::O3_FastMath}) {
       const auto native = diff::compile_pair(p, level, false);
       const auto converted = diff::compile_pair(p, level, true);
-      EXPECT_EQ(vgpu::run_kernel(native.nvcc, args).value_bits,
-                vgpu::run_kernel(converted.nvcc, args).value_bits);
+      EXPECT_EQ(vgpu::run_kernel(native.exes[0], args).value_bits,
+                vgpu::run_kernel(converted.exes[0], args).value_bits);
     }
   }
 }
@@ -230,8 +230,8 @@ TEST(Pipeline, HipifiedSourceTextMatchesHipifyCompileMode) {
   const Program p = g.generate(3);
   const auto converted = hipify::hipify_source(emit::emit_cuda(p));
   EXPECT_EQ(converted.source.find("cuda"), std::string::npos);
-  const auto pair = diff::compile_pair(p, opt::OptLevel::O0, true);
-  EXPECT_EQ(pair.hipcc.mathlib->name(), "hip-cuda-compat-sim");
+  const auto set = diff::compile_pair(p, opt::OptLevel::O0, true);
+  EXPECT_EQ(set.exes[1].mathlib->name(), "hip-cuda-compat-sim");
 }
 
 TEST(Pipeline, MetadataDrivenHipifyCampaignReproduces) {
@@ -241,12 +241,12 @@ TEST(Pipeline, MetadataDrivenHipifyCampaignReproduces) {
   cfg.hipify_converted = true;
   cfg.seed = 9;
   diff::Metadata md = diff::Metadata::create(cfg);
-  md.record_platform(opt::Toolchain::Nvcc);
-  md.record_platform(opt::Toolchain::Hipcc);
+  md.record_platform(*opt::find_platform("nvcc"));
+  md.record_platform(*opt::find_platform("hipcc"));
   const auto via_md = md.analyze();
   const auto direct = diff::run_campaign(cfg);
   for (std::size_t li = 0; li < direct.per_level.size(); ++li)
-    EXPECT_EQ(via_md.per_level[li].class_counts, direct.per_level[li].class_counts);
+    EXPECT_EQ(via_md.per_level[li].pairs, direct.per_level[li].pairs);
 }
 
 TEST(Pipeline, ExceptionFlagsTrackSeriousEventsAcrossCampaign) {

@@ -9,6 +9,7 @@
 #include "ir/program.hpp"
 #include "ir/serialize.hpp"
 #include "opt/pipeline.hpp"
+#include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 
 namespace {
@@ -226,6 +227,76 @@ TEST(Serialize, SignedZeroLiteralSurvives) {
   Arena B;
   const ExprId back = expr_from_json(B, expr_to_json(A, e));
   EXPECT_TRUE(equal(A, e, B, back));
+}
+
+// ---------------------------------------------------------------------------
+// compact(): drop orphaned pool nodes after pass rewriting
+// ---------------------------------------------------------------------------
+
+TEST(Compact, PoolShrinksToReachableNodeCount) {
+  // Optimizing passes orphan rewritten nodes in the pool (arena.hpp:
+  // "rewrites orphan old nodes").  After compact() the pools hold exactly
+  // the live tree: expr_count + stmt_count == node_count() for the
+  // tree-shaped programs the generator produces.
+  gpudiff::gen::GenConfig cfg;
+  gpudiff::gen::Generator g(cfg, 42);
+  gpudiff::gen::InputGenerator ig(42);
+  int shrunk = 0;
+  for (std::uint64_t pi = 0; pi < 20; ++pi) {
+    // The fast-math pipeline (fold + contraction + reassociation) is the
+    // heaviest rewriter, so its executables carry the most garbage.
+    auto exe = gpudiff::opt::compile(
+        g.generate(pi), {gpudiff::opt::Toolchain::Nvcc,
+                         gpudiff::opt::OptLevel::O3_FastMath, false});
+    const auto args = ig.generate(exe.program, pi, 0);
+    const auto before_bits = gpudiff::vgpu::run_kernel_tree(exe, args).value_bits;
+    const std::string before_json = program_to_json(exe.program).dump();
+    const std::size_t live = exe.program.node_count();
+    const std::size_t pool_before =
+        exe.program.arena().expr_count() + exe.program.arena().stmt_count();
+    ASSERT_GE(pool_before, live);
+    if (pool_before > live) ++shrunk;
+
+    exe.program.compact();
+    // The node-count assertion: nothing live dropped, nothing dead kept.
+    EXPECT_EQ(exe.program.node_count(), live);
+    EXPECT_EQ(exe.program.arena().expr_count() +
+                  exe.program.arena().stmt_count(),
+              live);
+    // Semantics preserved: serialization and execution are unchanged.
+    EXPECT_EQ(program_to_json(exe.program).dump(), before_json);
+    exe.bytecode_cache.reset();  // program was rewritten in place
+    EXPECT_EQ(gpudiff::vgpu::run_kernel_tree(exe, args).value_bits, before_bits);
+    gpudiff::vgpu::ExecContext ctx;
+    EXPECT_EQ(exe.bytecode().run(args, ctx).value_bits, before_bits);
+  }
+  EXPECT_GT(shrunk, 0) << "no optimized program carried orphaned nodes; the "
+                          "test is vacuous";
+}
+
+TEST(Compact, PreservesLiteralSpellingsAndBodies) {
+  ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
+  const int n = b.add_int_param();
+  const int x = b.add_scalar_param();
+  // Orphan some nodes by hand: allocated but never referenced.
+  make_literal(A, 99.0, "+9.9E1");
+  make_bin(A, BinOp::Mul, make_literal(A, 2.0), make_literal(A, 3.0));
+  b.begin_for(n);
+  b.assign_comp(AssignOp::Add,
+                make_bin(A, BinOp::Add, make_param(A, x),
+                         make_literal(A, 1.5955e-125, "+1.5955E-125")));
+  b.end_block();
+  Program p = b.build();
+
+  const std::string before = p.dump();
+  const std::size_t live = p.node_count();
+  ASSERT_LT(live, p.arena().expr_count() + p.arena().stmt_count());
+  p.compact();
+  EXPECT_EQ(p.arena().expr_count() + p.arena().stmt_count(), live);
+  // dump() renders the preserved literal spelling and the loop body.
+  EXPECT_EQ(p.dump(), before);
+  EXPECT_NE(p.dump().find("+1.5955E-125"), std::string::npos);
 }
 
 TEST(Serialize, RejectsGarbage) {

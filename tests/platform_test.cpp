@@ -1,0 +1,205 @@
+// Tests for the platform registry (opt/platform.hpp) and the N-way
+// differential core it feeds: registry lookup and strict selection
+// parsing, the scenario configurations' FP-environment effects, and the
+// consistency of an N-way comparison with the pairwise runs it bundles.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "diff/runner.hpp"
+#include "fp/bits.hpp"
+#include "gen/generator.hpp"
+#include "gen/inputs.hpp"
+#include "ir/builder.hpp"
+#include "opt/platform.hpp"
+
+namespace {
+
+using namespace gpudiff;
+
+// ---------------------------------------------------------------------------
+// registry + parsing
+// ---------------------------------------------------------------------------
+
+TEST(PlatformRegistry, ShipsThePaperPairFirst) {
+  const auto& registry = opt::platform_registry();
+  ASSERT_GE(registry.size(), 4u);
+  EXPECT_LE(registry.size(), opt::kMaxPlatforms);
+  EXPECT_EQ(registry[0].name, "nvcc");
+  EXPECT_EQ(registry[0].toolchain, opt::Toolchain::Nvcc);
+  EXPECT_EQ(registry[1].name, "hipcc");
+  EXPECT_EQ(registry[1].toolchain, opt::Toolchain::Hipcc);
+
+  const auto defaults = opt::default_platforms();
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[0], registry[0]);
+  EXPECT_EQ(defaults[1], registry[1]);
+}
+
+TEST(PlatformRegistry, FindAndNames) {
+  ASSERT_NE(opt::find_platform("hipcc-ftz"), nullptr);
+  EXPECT_TRUE(opt::find_platform("hipcc-ftz")->force_ftz32);
+  ASSERT_NE(opt::find_platform("nvcc-fastmath"), nullptr);
+  EXPECT_TRUE(opt::find_platform("nvcc-fastmath")->fast_math);
+  EXPECT_EQ(opt::find_platform("gcc"), nullptr);
+
+  const auto names = opt::platform_names(opt::platform_registry());
+  EXPECT_EQ(names[0], "nvcc");
+  EXPECT_EQ(names[1], "hipcc");
+  // Registry names must never collide with the fixed record-JSON keys.
+  for (const auto& name : names)
+    for (const char* reserved :
+         {"program", "input", "level", "class", "classes", "platforms"})
+      EXPECT_NE(name, reserved);
+}
+
+TEST(PlatformRegistry, ParseListIsStrict) {
+  const auto specs = opt::parse_platform_list("hipcc,nvcc,hipcc-ftz");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "hipcc") << "first entry is the baseline";
+  EXPECT_EQ(specs[2].name, "hipcc-ftz");
+
+  // Unknown, duplicate, empty-entry, too-few selections all throw with a
+  // message naming the problem.
+  EXPECT_THROW(opt::parse_platform_list("nvcc,rustc"), std::runtime_error);
+  EXPECT_THROW(opt::parse_platform_list("nvcc,nvcc"), std::runtime_error);
+  EXPECT_THROW(opt::parse_platform_list("nvcc,,hipcc"), std::runtime_error);
+  EXPECT_THROW(opt::parse_platform_list("nvcc"), std::runtime_error);
+  EXPECT_THROW(opt::parse_platform_list(""), std::runtime_error);
+  try {
+    opt::parse_platform_list("nvcc,bogus");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos)
+        << "error must name the unknown entry: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// scenario configurations
+// ---------------------------------------------------------------------------
+
+TEST(PlatformCompile, DefaultSpecsMatchLegacyCompile) {
+  // The registry path for "nvcc"/"hipcc" must be bit-for-bit the plain
+  // CompileOptions pipeline — the root of default-campaign byte identity.
+  gen::GenConfig cfg;
+  gen::Generator g(cfg, 42);
+  gen::InputGenerator ig(42);
+  for (std::uint64_t pi = 0; pi < 8; ++pi) {
+    const ir::Program p = g.generate(pi);
+    const auto args = ig.generate(p, pi, 0);
+    for (const auto level : opt::kAllOptLevels) {
+      const auto via_registry =
+          opt::compile(p, *opt::find_platform("hipcc"), level);
+      const auto legacy =
+          opt::compile(p, {opt::Toolchain::Hipcc, level, false});
+      EXPECT_EQ(vgpu::run_kernel(via_registry, args).value_bits,
+                vgpu::run_kernel(legacy, args).value_bits)
+          << opt::to_string(level);
+      EXPECT_EQ(via_registry.env, legacy.env);
+      EXPECT_EQ(via_registry.mathlib, legacy.mathlib);
+    }
+  }
+}
+
+TEST(PlatformCompile, HipccFtzFlushesSubnormalResults) {
+  // comp = x * y with a subnormal product: plain hipcc keeps the FP32
+  // denormal, hipcc-ftz flushes it to zero at every level including O0.
+  ir::ProgramBuilder b(ir::Precision::FP32);
+  ir::Arena& A = b.arena();
+  const int x = b.add_scalar_param();
+  const int y = b.add_scalar_param();
+  b.assign_comp(ir::AssignOp::Add,
+                ir::make_bin(A, ir::BinOp::Mul, ir::make_param(A, x),
+                             ir::make_param(A, y)));
+  const ir::Program p = b.build();
+  vgpu::KernelArgs args;
+  args.fp = {0.0, 1e-30, 1e-15};  // product 1e-45: subnormal in binary32
+  args.ints = {0, 0, 0};
+
+  for (const auto level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+    const auto plain =
+        vgpu::run_kernel(opt::compile(p, *opt::find_platform("hipcc"), level), args);
+    const auto ftz = vgpu::run_kernel(
+        opt::compile(p, *opt::find_platform("hipcc-ftz"), level), args);
+    EXPECT_NE(plain.value, 0.0) << opt::to_string(level);
+    EXPECT_EQ(ftz.value, 0.0) << opt::to_string(level);
+  }
+}
+
+TEST(PlatformCompile, NvccFastmathTakesTheFastPipelineWhenOptimized) {
+  // nvcc-fastmath at O2 behaves like plain nvcc at O3_FastMath (FTZ32 on,
+  // approximate FP32 division), while plain nvcc at O2 stays IEEE.
+  ir::ProgramBuilder b(ir::Precision::FP32);
+  ir::Arena& A = b.arena();
+  const int x = b.add_scalar_param();
+  b.assign_comp(ir::AssignOp::Add, ir::make_param(A, x));
+  const ir::Program p = b.build();
+
+  const auto fast_o2 =
+      opt::compile(p, *opt::find_platform("nvcc-fastmath"), opt::OptLevel::O2);
+  EXPECT_TRUE(fast_o2.env.ftz32);
+  EXPECT_EQ(fast_o2.env.div32, fp::Div32Mode::NvApprox);
+  const auto plain_o2 =
+      opt::compile(p, *opt::find_platform("nvcc"), opt::OptLevel::O2);
+  EXPECT_FALSE(plain_o2.env.ftz32);
+  EXPECT_EQ(plain_o2.env.div32, fp::Div32Mode::IEEE);
+  // O0 is exempt: fast_math only redirects optimized levels.
+  const auto fast_o0 =
+      opt::compile(p, *opt::find_platform("nvcc-fastmath"), opt::OptLevel::O0);
+  EXPECT_FALSE(fast_o0.env.ftz32);
+}
+
+// ---------------------------------------------------------------------------
+// N-way comparison consistency
+// ---------------------------------------------------------------------------
+
+TEST(NWayCompare, LanesMatchIndependentPairRuns) {
+  // An N-way ComparisonResult must agree lane-for-lane with separate
+  // {baseline, platform} pair runs: same bits, same pair class.
+  const auto specs = opt::parse_platform_list("nvcc,hipcc,hipcc-ftz,nvcc-fastmath");
+  gen::GenConfig cfg;
+  cfg.precision = ir::Precision::FP32;
+  gen::Generator g(cfg, 9);
+  gen::InputGenerator ig(9);
+  for (std::uint64_t pi = 0; pi < 10; ++pi) {
+    const ir::Program p = g.generate(pi);
+    std::vector<vgpu::KernelArgs> inputs;
+    for (int ii = 0; ii < 4; ++ii) inputs.push_back(ig.generate(p, pi, ii));
+    for (const auto level : opt::kAllOptLevels) {
+      const diff::CompiledSet set = diff::compile_set(p, specs, level);
+      const auto& cmps = diff::compare_batch(set, inputs);
+      for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
+        const diff::ComparisonResult& nway = cmps[ii];
+        ASSERT_EQ(nway.count, specs.size());
+        EXPECT_EQ(nway.pair_cls[0], diff::DiscrepancyClass::None);
+        diff::DiscrepancyClass first = diff::DiscrepancyClass::None;
+        for (std::size_t pl = 1; pl < specs.size(); ++pl) {
+          const std::vector<opt::PlatformSpec> pair_specs{specs[0], specs[pl]};
+          const auto pair_cmp = diff::compare_run(
+              diff::compile_set(p, pair_specs, level), inputs[ii]);
+          EXPECT_EQ(nway.platforms[0].bits, pair_cmp.platforms[0].bits);
+          EXPECT_EQ(nway.platforms[pl].bits, pair_cmp.platforms[1].bits);
+          EXPECT_EQ(nway.pair_cls[pl], pair_cmp.cls);
+          if (first == diff::DiscrepancyClass::None) first = pair_cmp.cls;
+        }
+        EXPECT_EQ(nway.cls, first) << "representative class";
+      }
+    }
+  }
+}
+
+TEST(NWayCompare, CompileSetValidatesPlatformCount) {
+  ir::ProgramBuilder b(ir::Precision::FP64);
+  b.assign_comp(ir::AssignOp::Add, ir::make_literal(b.arena(), 1.0));
+  const ir::Program p = b.build();
+  EXPECT_THROW(diff::compile_set(p, {}, opt::OptLevel::O0),
+               std::invalid_argument);
+  std::vector<opt::PlatformSpec> too_many(
+      opt::kMaxPlatforms + 1, opt::platform_registry()[0]);
+  EXPECT_THROW(diff::compile_set(p, too_many, opt::OptLevel::O0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -44,8 +44,10 @@
 #include "campaign/scheduler.hpp"
 #include "campaign/shard.hpp"
 #include "diff/report.hpp"
+#include "opt/platform.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -60,6 +62,22 @@ std::atomic<bool> g_stop{false};
 constexpr std::int64_t kDefaultCheckpointEvery = 64;
 
 void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void list_platforms() {
+  support::Table t("Platform registry (--platforms a,b,c; first = baseline)");
+  t.set_header({"Name", "Toolchain", "Fast math", "FTZ32", "DAZ32", "FMA",
+                "Div32", "Mathlib", "Description"},
+               {support::Align::Left});
+  for (const opt::PlatformSpec& spec : opt::platform_registry()) {
+    t.add_row({spec.name, opt::to_string(spec.toolchain),
+               spec.fast_math ? "yes" : "no", spec.force_ftz32 ? "on" : "-",
+               spec.force_daz32 ? "on" : "-", opt::to_string(spec.fma),
+               opt::to_string(spec.div32),
+               spec.mathlib.empty() ? "(toolchain default)" : spec.mathlib,
+               spec.blurb});
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
 
 void print_summary(const diff::CampaignResults& results) {
   std::printf("programs            %d\n", results.num_programs);
@@ -106,6 +124,12 @@ int main(int argc, char** argv) {
   cli.add_int("inputs", 'i', "inputs per program", 7);
   cli.add_int("seed", 'S', "campaign seed", 42);
   cli.add_string("precision", 'P', "fp64 or fp32", "fp64");
+  cli.add_string("platforms", 'F',
+                 "comma-separated platform selection; the first entry is the "
+                 "comparison baseline (see --list-platforms)",
+                 "nvcc,hipcc");
+  cli.add_flag("list-platforms",
+               "print the platform registry (name, toolchain, FP-env) and exit");
   cli.add_flag("hipify", "test the HIPIFY-converted binding (Tables VII/VIII)");
   cli.add_int("threads", 't', "worker threads (0 = hardware concurrency)", 0);
   cli.add_int("max-records", 'm', "cap on retained discrepancy records", 50000);
@@ -135,6 +159,10 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   try {
+    if (cli.get_flag("list-platforms")) {
+      list_platforms();
+      return 0;
+    }
     const std::string checkpoint_dir = cli.get_string("checkpoint-dir");
     const std::string report_path = cli.get_string("report");
     const bool tables = cli.get_flag("tables");
@@ -175,6 +203,16 @@ int main(int argc, char** argv) {
     config.hipify_converted = cli.get_flag("hipify");
     config.threads = static_cast<unsigned>(cli.get_int("threads"));
     config.max_records = static_cast<std::size_t>(cli.get_int("max-records"));
+    // Strict platform parsing: an unknown or duplicate name aborts with a
+    // message naming the entry and the registry (exit 1, not a stack
+    // trace), before any directory or checkpoint is touched.
+    try {
+      config.platforms = opt::parse_platform_list(cli.get_string("platforms"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gpudiff-campaign: --%s (try --list-platforms)\n",
+                   e.what());
+      return 1;
+    }
     const std::string precision = cli.get_string("precision");
     if (precision == "fp32" || precision == "FP32") {
       config.gen.precision = ir::Precision::FP32;

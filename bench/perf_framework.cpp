@@ -15,9 +15,11 @@
 #include <thread>
 
 #include "campaign/checkpoint.hpp"
+#include "campaign/coordinator.hpp"
 #include "campaign/merge.hpp"
 #include "campaign/scheduler.hpp"
 #include "campaign/shard.hpp"
+#include "campaign/transport.hpp"
 #include "diff/campaign.hpp"
 #include "diff/runner.hpp"
 #include "gen/generator.hpp"
@@ -262,6 +264,48 @@ void BM_SchedulerOverhead(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_SchedulerOverhead)->Unit(benchmark::kMicrosecond);
+
+/// The same claim + heartbeat + release cycle over the TCP coordinator on
+/// localhost (in-process server, real sockets, line-framed JSON) — the
+/// network transport's per-lease coordination price next to
+/// BM_SchedulerOverhead's ~21µs filesystem number.  Three request
+/// round-trips per iteration; the dominant term is not the wire but the
+/// coordinator's durability: every claim transition is persisted with an
+/// fsync'd write-then-rename, so wall time is disk-bound (hundreds of
+/// microseconds) while CPU stays in the tens of microseconds.  Heartbeats
+/// are memory-only by design and cost just the round-trip.
+void BM_LeaseCycleTcp(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() / "gpudiff_bm_coord";
+  const auto journal =
+      std::filesystem::temp_directory_path() / "gpudiff_bm_coord_journal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(journal);
+  diff::CampaignConfig cfg;
+  cfg.num_programs = 64;
+  campaign::CoordinatorOptions copts;
+  copts.dir = dir.string();
+  campaign::Coordinator coordinator(copts);
+  coordinator.start();
+  campaign::TcpTransportOptions topts;
+  topts.host = "127.0.0.1";
+  topts.port = coordinator.port();
+  topts.worker_id = "bench";
+  topts.journal_dir = journal.string();
+  campaign::TcpLeaseTransport transport(std::move(topts));
+  transport.publish_or_verify_manifest(campaign::config_to_json(cfg), 1,
+                                       campaign::lease_count(64, 1));
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transport.try_claim(k));
+    transport.heartbeat(k);
+    transport.release(k);
+    k = (k + 1) % 64;
+  }
+  coordinator.stop();
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(journal);
+}
+BENCHMARK(BM_LeaseCycleTcp)->Unit(benchmark::kMicrosecond);
 
 void BM_FullComparison(benchmark::State& state) {
   gen::GenConfig cfg;

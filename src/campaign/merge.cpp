@@ -136,13 +136,25 @@ std::vector<ShardProgress> load_shards(const std::string& dir) {
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
+    // Crash litter from a killed checkpointer ("shard-*.json.tmp*" — never
+    // a whole checkpoint) must not be read as a shard; write_file_atomic
+    // means anything actually named *.json is whole.
+    if (name.find(".tmp") != std::string::npos) continue;
     if (name.rfind("shard-", 0) == 0 && name.size() > 5 &&
         name.compare(name.size() - 5, 5, ".json") == 0)
       paths.push_back(entry.path().string());
   }
   std::sort(paths.begin(), paths.end());
   parts.reserve(paths.size());
-  for (const auto& path : paths) parts.push_back(load_checkpoint(path));
+  for (const auto& path : paths) {
+    try {
+      parts.push_back(load_checkpoint(path));
+    } catch (const std::exception& e) {
+      // Name the file: "parse error at byte 17" is useless across a
+      // directory of shards; "shard-3-of-8.json: ..." is actionable.
+      throw std::runtime_error("load_shards: " + path + ": " + e.what());
+    }
+  }
   return parts;
 }
 

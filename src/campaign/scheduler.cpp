@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "campaign/checkpoint.hpp"
+#include "campaign/transport.hpp"
+#include "net/socket.hpp"
 #include "support/lockfile.hpp"
 
 namespace gpudiff::campaign {
@@ -20,8 +22,10 @@ namespace {
 
 constexpr const char* kManifestFormat = "gpudiff-campaign-manifest";
 
-support::Json manifest_to_json(const support::Json& config_echo,
-                               int lease_size, int count) {
+}  // namespace
+
+support::Json make_manifest(const support::Json& config_echo, int lease_size,
+                            int count) {
   support::Json j = support::Json::object();
   j["format"] = kManifestFormat;
   j["version"] = 1;
@@ -30,8 +34,6 @@ support::Json manifest_to_json(const support::Json& config_echo,
   j["lease_count"] = count;
   return j;
 }
-
-}  // namespace
 
 int lease_count(int num_programs, int lease_size) {
   if (num_programs < 0)
@@ -65,7 +67,7 @@ std::string LeaseBoard::manifest_path(const std::string& dir) {
 void LeaseBoard::publish_or_verify_manifest(const support::Json& config_echo,
                                             int lease_size, int count) {
   const support::Json manifest =
-      manifest_to_json(config_echo, lease_size, count);
+      make_manifest(config_echo, lease_size, count);
   if (support::publish_file_exclusive(manifest_path(dir_), manifest.dump(1),
                                       "." + worker_))
     return;
@@ -188,37 +190,14 @@ std::string default_worker_id() {
 
 namespace {
 
-/// Reap temp files stranded by workers killed mid-publish: claim temps
-/// and tombstones ("lease-<k>.claim.<suffix>"), done-file temps
-/// ("lease-<k>.done.json.tmp.<suffix>") and manifest temps
-/// ("campaign.json.<suffix>") older than the staleness window.  Without
-/// this, every SIGKILL between a temp write and its link/rename leaks one
-/// file into the shared directory forever.  A *live* publisher whose temp
-/// is this old is indistinguishable from a dead one; reaping its temp
-/// makes its publish return "not acquired" (see publish_file_exclusive),
-/// which the protocol already treats as losing a race.
-void sweep_stale_temps(const std::string& dir, double older_than) {
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
-    const bool temp = name.find(".claim.") != std::string::npos ||
-                      name.find(".done.json.tmp.") != std::string::npos ||
-                      name.rfind("campaign.json.", 0) == 0;
-    if (!temp) continue;
-    const std::string path = entry.path().string();
-    const double age = support::file_age_seconds(path);
-    if (age > std::max(0.0, older_than)) support::remove_file(path);
-  }
-}
-
 /// Touches the claim every `interval` on a dedicated thread for as long
 /// as the object lives, so the claim stays demonstrably alive even while
 /// a single long-running generated program keeps the executor away from
 /// any progress callback.  Destruction wakes and joins the thread.
 class HeartbeatTimer {
  public:
-  HeartbeatTimer(LeaseBoard& board, int lease, double interval_seconds)
-      : board_(board), lease_(lease),
+  HeartbeatTimer(LeaseTransport& transport, int lease, double interval_seconds)
+      : transport_(transport), lease_(lease),
         interval_(std::max(0.01, interval_seconds)) {
     thread_ = std::thread([this] { run(); });
   }
@@ -252,10 +231,10 @@ class HeartbeatTimer {
   void beat_locked(std::chrono::steady_clock::time_point now) {
     if (now - last_beat_ < std::chrono::duration<double>(interval_)) return;
     last_beat_ = now;
-    board_.heartbeat(lease_);
+    transport_.heartbeat(lease_);  // non-throwing by contract
   }
 
-  LeaseBoard& board_;
+  LeaseTransport& transport_;
   const int lease_;
   const double interval_;
   std::mutex mu_;
@@ -272,10 +251,10 @@ class HeartbeatTimer {
 /// concurrently from campaign worker threads; the timer's mutex
 /// serializes both).
 ResultBlock execute_lease(const diff::CampaignConfig& config,
-                          const support::Json& echo, LeaseBoard& board,
+                          const support::Json& echo, LeaseTransport& transport,
                           int lease, std::uint64_t begin, std::uint64_t end,
                           double heartbeat_seconds) {
-  HeartbeatTimer timer(board, lease, heartbeat_seconds);
+  HeartbeatTimer timer(transport, lease, heartbeat_seconds);
   diff::RangeHooks hooks;
   hooks.on_program = [&](std::uint64_t, std::uint64_t) {
     timer.beat_if_due();
@@ -294,35 +273,86 @@ ResultBlock execute_lease(const diff::CampaignConfig& config,
 
 WorkerOutcome run_worker(const diff::CampaignConfig& config,
                          const WorkerOptions& options) {
+  if (!options.coordinator.empty()) {
+    if (!options.dir.empty())
+      throw std::invalid_argument(
+          "run_worker: --worker directory and --coordinator are mutually "
+          "exclusive transports");
+    const auto [host, port] = net::parse_host_port(options.coordinator);
+    TcpTransportOptions topts;
+    topts.host = host;
+    topts.port = port;
+    topts.worker_id = options.worker_id.empty() ? default_worker_id()
+                                                : options.worker_id;
+    topts.journal_dir = options.journal_dir;
+    topts.retry = options.retry;
+    topts.request_timeout_seconds = options.request_timeout_seconds;
+    TcpLeaseTransport transport(std::move(topts));
+    return run_worker(config, options, transport);
+  }
   if (options.dir.empty())
     throw std::invalid_argument("run_worker: no lease directory");
+  FsLeaseTransport transport(options.dir, options.worker_id.empty()
+                                              ? default_worker_id()
+                                              : options.worker_id);
+  return run_worker(config, options, transport);
+}
+
+WorkerOutcome run_worker(const diff::CampaignConfig& config,
+                         const WorkerOptions& options,
+                         LeaseTransport& transport) {
   const int lease_size = std::max(1, options.lease_size);
   const int count = lease_count(config.num_programs, lease_size);
   const support::Json echo = config_to_json(config);
-  LeaseBoard board(options.dir, options.worker_id.empty()
-                                    ? default_worker_id()
-                                    : options.worker_id);
-  board.publish_or_verify_manifest(echo, lease_size, count);
-  // A restarted fleet inherits whatever temp files its predecessors'
-  // kills stranded; reap them once up front (steals reap incrementally).
-  sweep_stale_temps(board.dir(), options.stale_after_seconds);
-
+  const auto stop = [&] {
+    return options.stop_requested && options.stop_requested();
+  };
   WorkerOutcome outcome;
+  // Worker-loop waits (coordinator down, campaign not yet reachable) use
+  // the same capped-backoff-with-deterministic-jitter policy as the
+  // transport's own request retries — no raw sleep loops anywhere on the
+  // coordinator path.
+  const support::RetryPolicy reconnect =
+      options.retry.seeded_for(transport.worker_id() + "/loop");
+  int down_spells = 0;
+
+  // Publish or verify the manifest, patiently: a TCP worker may start
+  // before its coordinator (or during a coordinator restart), and that
+  // must read as "not yet", not as failure.  Configuration mismatches are
+  // std::runtime_error and still propagate immediately.
+  for (;;) {
+    if (stop()) return outcome;
+    try {
+      transport.publish_or_verify_manifest(echo, lease_size, count);
+      break;
+    } catch (const TransportError&) {
+      if (!support::interruptible_sleep(reconnect.backoff_for(down_spells++),
+                                        stop))
+        return outcome;
+    }
+  }
+  // A restarted fleet inherits whatever temp files its predecessors'
+  // kills stranded; housekeep once up front (steals housekeep
+  // incrementally).
+  try {
+    transport.maintain(options.stale_after_seconds);
+  } catch (const TransportError&) {
+    // Housekeeping is best-effort; the scan loop retries the transport.
+  }
+  down_spells = 0;
+
   std::vector<char> done(static_cast<std::size_t>(count), 0);
   int n_done = 0;
   const auto refresh = [&](int k) {
-    if (done[static_cast<std::size_t>(k)] == 0 && board.is_done(k)) {
+    if (done[static_cast<std::size_t>(k)] == 0 && transport.is_done(k)) {
       done[static_cast<std::size_t>(k)] = 1;
       ++n_done;
     }
   };
-  const auto stop = [&] {
-    return options.stop_requested && options.stop_requested();
-  };
   // A worker that runs out of claimable leases waits for its peers (or for
   // their claims to age out) and re-scans at this cadence.
-  const auto poll_interval = std::chrono::duration<double>(std::clamp(
-      options.stale_after_seconds / 10.0, 0.002, 0.5));
+  const double poll_interval = std::clamp(
+      options.stale_after_seconds / 10.0, 0.002, 0.5);
 
   // Start the scan at a worker-dependent offset so a fleet launched
   // simultaneously fans out across the lease range instead of serializing
@@ -330,94 +360,125 @@ WorkerOutcome run_worker(const diff::CampaignConfig& config,
   const int offset =
       count == 0 ? 0
                  : static_cast<int>(std::hash<std::string>{}(
-                                        board.worker_id()) %
+                                        transport.worker_id()) %
                                     static_cast<std::size_t>(count));
 
   bool stopped = false;
   while (n_done < count && !(stopped = stop())) {
     bool progressed = false;
-    for (int step = 0; step < count; ++step) {
-      const int k = (offset + step) % count;
-      refresh(k);
-      if (done[static_cast<std::size_t>(k)] != 0) continue;
-      if ((stopped = stop())) break;
-      bool stolen = false;
-      // Stat the claim before attempting one, so workers waiting out a
-      // peer's lease cost the shared directory one read per scan, not a
-      // temp-file publish cycle.  The stat is advisory; link(2) inside
-      // try_claim stays the arbiter when the lease looks free.
-      const double age = board.claim_age_seconds(k);
-      if (age < 0.0) {
-        if (!board.try_claim(k)) continue;  // lost the race; rescan later
-      } else {
-        if (age < options.stale_after_seconds) continue;
-        // A worker killed between publishing its done file and releasing
-        // its claim leaves a stale claim on a finished lease: completion
-        // wins — no steal — but reap the claim so it does not haunt the
-        // directory forever.
+    bool transport_down = false;
+    try {
+      for (int step = 0; step < count; ++step) {
+        const int k = (offset + step) % count;
+        refresh(k);
+        if (done[static_cast<std::size_t>(k)] != 0) continue;
+        if ((stopped = stop())) break;
+        bool stolen = false;
+        // Check the claim's age before attempting one, so workers waiting
+        // out a peer's lease cost the backend one read per scan, not a
+        // claim-publish cycle.  The check is advisory; the backend's
+        // atomic claim operation stays the arbiter when the lease looks
+        // free.
+        const double age = transport.claim_age_seconds(k);
+        if (age < 0.0) {
+          if (!transport.try_claim(k)) continue;  // lost the race
+        } else {
+          if (age < options.stale_after_seconds) continue;
+          // A worker killed between publishing its done file and releasing
+          // its claim leaves a stale claim on a finished lease: completion
+          // wins — no steal — but reap the claim so it does not haunt the
+          // directory forever.
+          refresh(k);
+          if (done[static_cast<std::size_t>(k)] != 0) {
+            transport.reap_claim(k);
+            continue;
+          }
+          transport.maintain(options.stale_after_seconds);
+          if (!transport.try_steal(k)) continue;
+          stolen = true;
+        }
+        // We hold the claim, but it may have been winnable only because a
+        // peer released it a moment ago — and peers always publish their
+        // done file before releasing.  Re-check under the claim so a
+        // just-finished lease is never re-executed.
         refresh(k);
         if (done[static_cast<std::size_t>(k)] != 0) {
-          board.reap_claim(k);
+          transport.release(k);
           continue;
         }
-        sweep_stale_temps(board.dir(), options.stale_after_seconds);
-        if (!board.try_steal(k)) continue;
-        stolen = true;
+        // We own lease k.  Execute and flush it even if a stop arrives
+        // mid-lease — an interrupted worker never strands claimed work;
+        // the interrupt latency is bounded by one lease.
+        const auto [begin, end] = lease_range(config.num_programs, count, k);
+        try {
+          const ResultBlock block =
+              execute_lease(config, echo, transport, k, begin, end,
+                            options.heartbeat_seconds);
+          transport.publish_done(k, count, block);
+        } catch (...) {
+          // A failed lease (I/O error, allocation failure) must not strand
+          // its claim behind the staleness window on top of killing this
+          // worker: release first, then let the error surface.
+          transport.release(k);
+          throw;
+        }
+        transport.release(k);
+        done[static_cast<std::size_t>(k)] = 1;
+        ++n_done;
+        ++outcome.leases_completed;
+        if (stolen) ++outcome.leases_stolen;
+        outcome.programs_executed += end - begin;
+        progressed = true;
+        if (options.on_lease)
+          options.on_lease({k, begin, end, stolen});
+        if ((stopped = stop())) break;
       }
-      // We hold the claim, but it may have been winnable only because a
-      // peer released it a moment ago — and peers always publish their
-      // done file before releasing.  Re-check under the claim so a
-      // just-finished lease is never re-executed.
-      refresh(k);
-      if (done[static_cast<std::size_t>(k)] != 0) {
-        board.release(k);
-        continue;
-      }
-      // We own lease k.  Execute and flush it even if a stop arrives
-      // mid-lease — an interrupted worker never strands claimed work; the
-      // interrupt latency is bounded by one lease.
-      const auto [begin, end] = lease_range(config.num_programs, count, k);
-      try {
-        const ResultBlock block = execute_lease(
-            config, echo, board, k, begin, end, options.heartbeat_seconds);
-        board.publish_done(k, count, block);
-      } catch (...) {
-        // A failed lease (I/O error, allocation failure) must not strand
-        // its claim behind the staleness window on top of killing this
-        // worker: release first, then let the error surface.
-        board.release(k);
-        throw;
-      }
-      board.release(k);
-      done[static_cast<std::size_t>(k)] = 1;
-      ++n_done;
-      ++outcome.leases_completed;
-      if (stolen) ++outcome.leases_stolen;
-      outcome.programs_executed += end - begin;
-      progressed = true;
-      if (options.on_lease)
-        options.on_lease({k, begin, end, stolen});
-      if ((stopped = stop())) break;
+    } catch (const TransportError&) {
+      // The backend is unreachable.  A held claim is safe to abandon to
+      // the retry: claims are idempotent for their own worker, and at
+      // worst the lease ages out and is re-executed elsewhere.  Back off
+      // and rescan once the coordinator returns.
+      transport_down = true;
     }
     if (stopped || n_done >= count) break;
-    if (!progressed) {
-      // Everything left is claimed by peers that still look alive; wait
-      // for them to finish — or for their heartbeats to go stale, at which
-      // point the scan above steals and the campaign still converges.
-      std::this_thread::sleep_for(poll_interval);
+    if (transport_down) {
+      if (!support::interruptible_sleep(
+              reconnect.backoff_for(down_spells++), stop)) {
+        stopped = true;
+        break;
+      }
+    } else {
+      down_spells = 0;
+      if (!progressed) {
+        // Everything left is claimed by peers that still look alive; wait
+        // for them to finish — or for their heartbeats to go stale, at
+        // which point the scan above steals and the campaign still
+        // converges.
+        if (!support::interruptible_sleep(poll_interval, stop)) {
+          stopped = true;
+          break;
+        }
+      }
     }
   }
-  for (int k = 0; k < count; ++k) {
-    refresh(k);
-    // A claim lingering on a done lease is garbage (done is terminal; a
-    // racing fresh claimer re-checks done and backs off) — typically a
-    // peer killed between publish and release.  Reap it so a finished
-    // directory holds no claim files.
-    if (done[static_cast<std::size_t>(k)] != 0 &&
-        board.claim_age_seconds(k) >= 0.0)
-      board.reap_claim(k);
+  try {
+    for (int k = 0; k < count; ++k) {
+      refresh(k);
+      // A claim lingering on a done lease is garbage (done is terminal; a
+      // racing fresh claimer re-checks done and backs off) — typically a
+      // peer killed between publish and release.  Reap it so a finished
+      // directory holds no claim files.
+      if (done[static_cast<std::size_t>(k)] != 0 &&
+          transport.claim_age_seconds(k) >= 0.0)
+        transport.reap_claim(k);
+    }
+  } catch (const TransportError&) {
+    // Final housekeeping is best-effort; stale claims age out anyway.
   }
-  outcome.campaign_complete = n_done == count;
+  // drain(): a TCP worker holding journaled blocks the coordinator never
+  // received must not report completion — its results are not yet where
+  // the merge will look for them.
+  outcome.campaign_complete = n_done == count && transport.drain();
   return outcome;
 }
 
@@ -435,7 +496,8 @@ bool campaign_complete(const std::string& dir) {
   return true;
 }
 
-diff::CampaignResults merge_lease_dir(const std::string& dir) {
+diff::CampaignResults merge_lease_dir(const std::string& dir,
+                                      const LeaseMergeOptions& options) {
   const support::Json manifest = LeaseBoard::load_manifest(dir);
   const support::Json& echo = manifest.at("config");
   const int count = static_cast<int>(manifest.at("lease_count").as_int());
@@ -448,6 +510,7 @@ diff::CampaignResults merge_lease_dir(const std::string& dir) {
         "merge_lease_dir: manifest lease geometry is inconsistent");
   std::vector<ResultBlock> blocks;
   blocks.reserve(static_cast<std::size_t>(count));
+  std::vector<std::string> quarantined;
   for (int k = 0; k < count; ++k) {
     const std::string path = LeaseBoard::done_path(dir, k);
     if (!std::filesystem::exists(path))
@@ -457,9 +520,25 @@ diff::CampaignResults merge_lease_dir(const std::string& dir) {
           " is unfinished (no done file); run a worker to completion first");
     int lease_index = -1;
     int stored_count = -1;
-    ResultBlock block = block_from_json(
-        support::Json::parse(support::read_file(path)), &lease_index,
-        &stored_count);
+    ResultBlock block;
+    try {
+      block = block_from_json(
+          support::Json::parse(support::read_file(path)), &lease_index,
+          &stored_count);
+    } catch (const std::exception& e) {
+      // Crash litter (a torn or corrupt done file — possible only outside
+      // the atomic write-then-rename discipline, e.g. a failing disk or a
+      // partial copy) gets a diagnostic naming the file, and optionally a
+      // quarantine rename so a re-run worker regenerates the lease.
+      if (!options.quarantine)
+        throw std::runtime_error(
+            "merge_lease_dir: " + path + " is corrupt (" + e.what() +
+            "); re-run with --quarantine to set it aside and let a worker "
+            "regenerate lease " + std::to_string(k));
+      support::rename_file(path, path + ".quarantined");
+      quarantined.push_back(path);
+      continue;
+    }
     if (lease_index != k || stored_count != count)
       throw std::runtime_error("merge_lease_dir: " + path +
                                " does not belong to this lease partition");
@@ -468,6 +547,18 @@ diff::CampaignResults merge_lease_dir(const std::string& dir) {
       throw std::runtime_error("merge_lease_dir: " + path +
                                " covers an unexpected program range");
     blocks.push_back(std::move(block));
+  }
+  if (!quarantined.empty()) {
+    std::string names;
+    for (const auto& q : quarantined) {
+      if (!names.empty()) names += ", ";
+      names += q;
+    }
+    throw std::runtime_error(
+        "merge_lease_dir: quarantined " + std::to_string(quarantined.size()) +
+        " corrupt done file(s): " + names +
+        " (renamed *.quarantined); re-run workers against " + dir +
+        " to regenerate, then merge again");
   }
   return merge_blocks(echo, std::move(blocks));
 }

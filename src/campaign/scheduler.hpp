@@ -53,8 +53,11 @@
 #include "campaign/merge.hpp"
 #include "diff/campaign.hpp"
 #include "support/json.hpp"
+#include "support/retry.hpp"
 
 namespace gpudiff::campaign {
+
+class LeaseTransport;  // campaign/transport.hpp
 
 /// Number of leases for an n-program campaign with target lease size
 /// `lease_size` (clamped to >= 1): ceil(n / lease_size), 0 when n == 0.
@@ -140,9 +143,29 @@ class LeaseBoard {
 /// "host-pid", unique across a fleet of worker processes.
 std::string default_worker_id();
 
+/// The scheduler manifest document (config fingerprint + lease geometry),
+/// shared by the shared-directory board and the TCP coordinator so both
+/// backends publish byte-identical campaign.json files and one merge stage
+/// serves both.
+support::Json make_manifest(const support::Json& config_echo, int lease_size,
+                            int count);
+
 struct WorkerOptions {
-  /// The shared lease directory (required).
+  /// The shared lease directory (required unless `coordinator` is set).
   std::string dir;
+  /// "host:port" of a gpudiff-coordinator; selects the TCP transport
+  /// instead of the shared-directory board.  Mutually exclusive with
+  /// `dir`.
+  std::string coordinator;
+  /// Local journal directory for done blocks the coordinator could not be
+  /// told about (TCP mode only); empty picks a per-worker default under
+  /// the system temp directory.
+  std::string journal_dir;
+  /// Backoff schedule for every coordinator-path retry (requests,
+  /// reconnects, worker-loop waits while the coordinator is down).
+  support::RetryPolicy retry;
+  /// Per-request timeout on the coordinator connection (TCP mode).
+  double request_timeout_seconds = 5.0;
   /// Target programs per lease: the granularity of stealing, of progress
   /// reporting, and of the work lost when a worker dies mid-lease.
   int lease_size = 16;
@@ -187,12 +210,33 @@ struct WorkerOutcome {
 WorkerOutcome run_worker(const diff::CampaignConfig& config,
                          const WorkerOptions& options);
 
+/// The same worker policy loop against an explicit transport (the form the
+/// transport-equivalence tests and benchmarks drive).  The loop is
+/// network-elastic: a TransportError from the backend pauses the scan with
+/// RetryPolicy backoff instead of killing the worker, so a fleet rides out
+/// a coordinator restart and converges once it returns.
+WorkerOutcome run_worker(const diff::CampaignConfig& config,
+                         const WorkerOptions& options,
+                         LeaseTransport& transport);
+
 /// True when a manifest exists and every lease has a done file.
 bool campaign_complete(const std::string& dir);
 
+struct LeaseMergeOptions {
+  /// On a truncated or JSON-corrupt done file, rename it to
+  /// `<file>.quarantined` (so a re-run worker regenerates the lease)
+  /// instead of leaving the corrupt bytes in the merge's way.  The merge
+  /// still fails — the campaign is incomplete — but with a diagnostic
+  /// naming every quarantined file rather than a bare parse abort.
+  bool quarantine = false;
+};
+
 /// Merge a completed lease directory into CampaignResults byte-identical
 /// to the unsharded diff::run_campaign output.  Throws if the manifest is
-/// missing, any lease is unfinished, or any block fails validation.
-diff::CampaignResults merge_lease_dir(const std::string& dir);
+/// missing, any lease is unfinished, or any block fails validation; a
+/// corrupt done file is reported with its file name (crash litter such as
+/// stale `*.tmp.*` publisher temps is never read as a done file).
+diff::CampaignResults merge_lease_dir(const std::string& dir,
+                                      const LeaseMergeOptions& options = {});
 
 }  // namespace gpudiff::campaign

@@ -1,0 +1,401 @@
+#include "campaign/transport.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "campaign/checkpoint.hpp"
+#include "net/wire.hpp"
+#include "support/lockfile.hpp"
+
+namespace gpudiff::campaign {
+
+namespace {
+
+/// Reap temp files stranded by workers killed mid-publish: claim temps
+/// and tombstones ("lease-<k>.claim.<suffix>"), done-file temps
+/// ("lease-<k>.done.json.tmp.<suffix>") and manifest temps
+/// ("campaign.json.<suffix>") older than the staleness window.  Without
+/// this, every SIGKILL between a temp write and its link/rename leaks one
+/// file into the shared directory forever.  A *live* publisher whose temp
+/// is this old is indistinguishable from a dead one; reaping its temp
+/// makes its publish return "not acquired" (see publish_file_exclusive),
+/// which the protocol already treats as losing a race.
+void sweep_stale_temps(const std::string& dir, double older_than) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool temp = name.find(".claim.") != std::string::npos ||
+                      name.find(".done.json.tmp.") != std::string::npos ||
+                      name.rfind("campaign.json.", 0) == 0;
+    if (!temp) continue;
+    const std::string path = entry.path().string();
+    const double age = support::file_age_seconds(path);
+    if (age > std::max(0.0, older_than)) support::remove_file(path);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FsLeaseTransport — the shared-directory board, byte-identical behavior.
+// ---------------------------------------------------------------------------
+
+FsLeaseTransport::FsLeaseTransport(std::string dir, std::string worker_id)
+    : board_(std::move(dir), std::move(worker_id)) {}
+
+const std::string& FsLeaseTransport::worker_id() const noexcept {
+  return board_.worker_id();
+}
+
+void FsLeaseTransport::publish_or_verify_manifest(
+    const support::Json& config_echo, int lease_size, int count) {
+  board_.publish_or_verify_manifest(config_echo, lease_size, count);
+  lease_count_ = count;
+}
+
+bool FsLeaseTransport::is_done(int lease) { return board_.is_done(lease); }
+
+std::vector<int> FsLeaseTransport::list_done() {
+  std::vector<int> done;
+  for (int k = 0; k < lease_count_; ++k)
+    if (board_.is_done(k)) done.push_back(k);
+  return done;
+}
+
+bool FsLeaseTransport::try_claim(int lease) { return board_.try_claim(lease); }
+
+double FsLeaseTransport::claim_age_seconds(int lease) {
+  return board_.claim_age_seconds(lease);
+}
+
+bool FsLeaseTransport::try_steal(int lease) { return board_.try_steal(lease); }
+
+void FsLeaseTransport::reap_claim(int lease) { board_.reap_claim(lease); }
+
+bool FsLeaseTransport::heartbeat(int lease) { return board_.heartbeat(lease); }
+
+void FsLeaseTransport::publish_done(int lease, int count,
+                                    const ResultBlock& block) {
+  board_.publish_done(lease, count, block);
+}
+
+void FsLeaseTransport::release(int lease) { board_.release(lease); }
+
+void FsLeaseTransport::maintain(double stale_after_seconds) {
+  sweep_stale_temps(board_.dir(), stale_after_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// TcpLeaseTransport — the network backend.
+// ---------------------------------------------------------------------------
+
+TcpLeaseTransport::TcpLeaseTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {
+  if (options_.worker_id.empty())
+    throw std::invalid_argument("TcpLeaseTransport: empty worker id");
+  if (options_.journal_dir.empty())
+    options_.journal_dir =
+        (std::filesystem::temp_directory_path() /
+         ("gpudiff-journal-" + options_.worker_id))
+            .string();
+  // Distinct workers must not reconnect in lockstep after a coordinator
+  // restart; derive the jitter stream from the worker id.
+  options_.retry = options_.retry.seeded_for(options_.worker_id);
+}
+
+const std::string& TcpLeaseTransport::worker_id() const noexcept {
+  return options_.worker_id;
+}
+
+std::string TcpLeaseTransport::journal_path(int lease) const {
+  return options_.journal_dir + "/lease-" + std::to_string(lease) +
+         ".done.json";
+}
+
+void TcpLeaseTransport::ensure_connected_locked() {
+  if (socket_.valid()) return;
+  if (!hello_ready_)
+    throw std::logic_error(
+        "TcpLeaseTransport: operation before publish_or_verify_manifest");
+  net::Socket s = net::connect_tcp(options_.host, options_.port,
+                                   options_.connect_timeout_seconds);
+  if (!s.valid())
+    throw TransportError("coordinator " + options_.host + ":" +
+                         std::to_string(options_.port) + " unreachable");
+  support::Json hello = support::Json::object();
+  hello["op"] = "hello";
+  hello["version"] = net::kWireVersion;
+  hello["worker"] = options_.worker_id;
+  hello["config"] = hello_config_;
+  hello["lease_size"] = lease_size_;
+  hello["lease_count"] = lease_count_;
+  const std::int64_t seq = ++seq_;
+  hello["seq"] = seq;
+  if (net::send_message(s, hello, options_.request_timeout_seconds) !=
+      net::IoStatus::Ok)
+    throw TransportError("coordinator hello: send failed");
+  support::Json resp;
+  for (;;) {
+    if (net::recv_message(s, &resp, options_.request_timeout_seconds) !=
+        net::IoStatus::Ok)
+      throw TransportError("coordinator hello: no response");
+    if (resp.get_or("seq", support::Json(std::int64_t{0})).as_int() >= seq)
+      break;
+    // A stale frame from a previous incarnation of this connection pair
+    // cannot occur on a fresh socket; discard defensively anyway.
+  }
+  if (!resp.get_or("ok", support::Json(false)).as_bool()) {
+    const std::string error =
+        resp.contains("error") ? resp.at("error").as_string()
+                               : "coordinator refused hello";
+    if (resp.get_or("fatal", support::Json(false)).as_bool())
+      throw std::runtime_error("coordinator refused connection: " + error);
+    throw TransportError("coordinator hello failed: " + error);
+  }
+  socket_ = std::move(s);
+  // A fresh connection is the reconnect moment: re-publish everything the
+  // journal holds before any new work is claimed, so a worker that rode
+  // out a coordinator outage hands over its results first.
+  flush_journal_locked();
+}
+
+support::Json TcpLeaseTransport::roundtrip_locked(const support::Json& req) {
+  support::Json tagged = req;
+  const std::int64_t seq = ++seq_;
+  tagged["seq"] = seq;
+  if (net::send_message(socket_, tagged, options_.request_timeout_seconds) !=
+      net::IoStatus::Ok)
+    throw TransportError("request send failed");
+  for (;;) {
+    support::Json resp;
+    if (net::recv_message(socket_, &resp,
+                          options_.request_timeout_seconds) !=
+        net::IoStatus::Ok)
+      throw TransportError("request: no response");
+    const std::int64_t got =
+        resp.get_or("seq", support::Json(std::int64_t{0})).as_int();
+    if (got < seq) continue;  // stale response to a duplicated frame
+    if (got > seq) throw TransportError("response stream desynchronized");
+    if (!resp.get_or("ok", support::Json(false)).as_bool()) {
+      const std::string error = resp.contains("error")
+                                    ? resp.at("error").as_string()
+                                    : "unspecified coordinator error";
+      if (resp.get_or("fatal", support::Json(false)).as_bool())
+        throw std::runtime_error("coordinator rejected request: " + error);
+      throw TransportError("coordinator error: " + error);
+    }
+    return resp;
+  }
+}
+
+support::Json TcpLeaseTransport::request_locked(support::Json req) {
+  std::string last_error = "no attempt made";
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0)
+      support::interruptible_sleep(options_.retry.backoff_for(attempt - 1),
+                                   nullptr);
+    try {
+      ensure_connected_locked();
+      return roundtrip_locked(req);
+    } catch (const TransportError& e) {
+      last_error = e.what();
+      socket_.close();
+    }
+    // std::runtime_error (fatal refusal) propagates: retrying cannot help.
+  }
+  throw TransportError("coordinator " + options_.host + ":" +
+                       std::to_string(options_.port) + ": " + last_error +
+                       " (after " + std::to_string(attempts) + " attempts)");
+}
+
+support::Json TcpLeaseTransport::request(support::Json req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return request_locked(std::move(req));
+}
+
+void TcpLeaseTransport::flush_journal_locked() {
+  if (!std::filesystem::is_directory(options_.journal_dir)) return;
+  std::vector<std::filesystem::path> pending;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.journal_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("lease-", 0) == 0 &&
+        name.find(".done.json") != std::string::npos &&
+        name.find(".tmp") == std::string::npos)
+      pending.push_back(entry.path());
+  }
+  std::sort(pending.begin(), pending.end());
+  for (const auto& path : pending) {
+    support::Json doc;
+    try {
+      doc = support::Json::parse(support::read_file(path.string()));
+    } catch (const std::exception&) {
+      // A torn journal entry can only be a crash mid-write of the .tmp
+      // rename path, which write_file_atomic prevents; treat garbage as
+      // unpublishable and leave it for inspection.
+      continue;
+    }
+    support::Json req = support::Json::object();
+    req["op"] = "publish";
+    req["block"] = std::move(doc);
+    roundtrip_locked(req);  // TransportError propagates: flush aborted
+    std::filesystem::remove(path);
+  }
+}
+
+int TcpLeaseTransport::journaled_blocks() const {
+  if (!std::filesystem::is_directory(options_.journal_dir)) return 0;
+  int n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.journal_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("lease-", 0) == 0 &&
+        name.find(".done.json") != std::string::npos &&
+        name.find(".tmp") == std::string::npos)
+      ++n;
+  }
+  return n;
+}
+
+void TcpLeaseTransport::publish_or_verify_manifest(
+    const support::Json& config_echo, int lease_size, int count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hello_config_ = config_echo;
+    lease_size_ = lease_size;
+    lease_count_ = count;
+    hello_ready_ = true;
+    socket_.close();  // force a fresh hello under the new parameters
+  }
+  // The hello is the manifest exchange; probe with the cheapest op so a
+  // mismatch is refused here, at connect, not on the first claim.
+  request([] {
+    support::Json j = support::Json::object();
+    j["op"] = "list_done";
+    return j;
+  }());
+}
+
+bool TcpLeaseTransport::is_done(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "done";
+  req["lease"] = lease;
+  return request(std::move(req)).at("done").as_bool();
+}
+
+std::vector<int> TcpLeaseTransport::list_done() {
+  support::Json req = support::Json::object();
+  req["op"] = "list_done";
+  const support::Json resp = request(std::move(req));
+  std::vector<int> done;
+  for (const auto& k : resp.at("done").as_array())
+    done.push_back(static_cast<int>(k.as_int()));
+  return done;
+}
+
+bool TcpLeaseTransport::try_claim(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "claim";
+  req["lease"] = lease;
+  return request(std::move(req)).at("acquired").as_bool();
+}
+
+double TcpLeaseTransport::claim_age_seconds(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "age";
+  req["lease"] = lease;
+  return request(std::move(req)).at("age").as_double();
+}
+
+bool TcpLeaseTransport::try_steal(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "steal";
+  req["lease"] = lease;
+  return request(std::move(req)).at("stolen").as_bool();
+}
+
+void TcpLeaseTransport::reap_claim(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "reap";
+  req["lease"] = lease;
+  try {
+    request(std::move(req));
+  } catch (const TransportError&) {
+    // Best-effort housekeeping; a lingering claim only costs a later reap.
+  }
+}
+
+bool TcpLeaseTransport::heartbeat(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "heartbeat";
+  req["lease"] = lease;
+  try {
+    return request(std::move(req)).at("beating").as_bool();
+  } catch (const std::exception&) {
+    // Must never throw: the heartbeat timer thread calls this, and the
+    // protocol already treats a missed heartbeat as survivable (worst
+    // case, the claim is stolen and the lease runs twice).
+    return false;
+  }
+}
+
+void TcpLeaseTransport::publish_done(int lease, int count,
+                                     const ResultBlock& block) {
+  const support::Json doc = block_to_json(block, lease, count);
+  support::Json req = support::Json::object();
+  req["op"] = "publish";
+  req["block"] = doc;
+  try {
+    request(std::move(req));
+  } catch (const TransportError&) {
+    // Graceful degradation: the coordinator is unreachable, but the block
+    // must not be lost — journal it locally (same atomic write-then-rename,
+    // same bytes as the coordinator's done file) and re-publish on
+    // reconnect.  Duplicate publishes are safe: the block is a pure
+    // function of (fingerprint, range).
+    std::filesystem::create_directories(options_.journal_dir);
+    support::write_file_atomic(journal_path(lease), doc.dump(1), ".tmp");
+  }
+}
+
+void TcpLeaseTransport::release(int lease) {
+  support::Json req = support::Json::object();
+  req["op"] = "release";
+  req["lease"] = lease;
+  try {
+    request(std::move(req));
+  } catch (const TransportError&) {
+    // Best-effort by contract: an unreleased claim ages out and is stolen.
+  }
+}
+
+void TcpLeaseTransport::maintain(double /*stale_after_seconds*/) {
+  // Staleness housekeeping lives on the coordinator; the worker-side
+  // concern is the journal.  Opportunistically flush it (connecting
+  // triggers flush_journal_locked).
+  if (journaled_blocks() == 0) return;
+  try {
+    support::Json req = support::Json::object();
+    req["op"] = "list_done";
+    request(std::move(req));
+  } catch (const TransportError&) {
+    // Still unreachable; the journal keeps waiting.
+  }
+}
+
+bool TcpLeaseTransport::drain() {
+  if (journaled_blocks() == 0) return true;
+  try {
+    support::Json req = support::Json::object();
+    req["op"] = "list_done";
+    request(std::move(req));
+  } catch (const TransportError&) {
+    return false;
+  }
+  return journaled_blocks() == 0;
+}
+
+}  // namespace gpudiff::campaign

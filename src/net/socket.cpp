@@ -1,0 +1,264 @@
+#include "net/socket.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gpudiff::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double remaining_seconds(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// poll(2) one fd for `events`; true when ready, false on timeout.
+bool poll_fd(int fd, short events, double timeout_seconds) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  const int ms = timeout_seconds <= 0.0
+                     ? 0
+                     : static_cast<int>(std::min(timeout_seconds * 1000.0,
+                                                 2.0e9)) + 1;
+  for (;;) {
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+  other.buf_.clear();
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+    other.buf_.clear();
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+IoStatus Socket::send_all(std::string_view data, double timeout_seconds) {
+  if (fd_ < 0) return IoStatus::Error;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const double left = remaining_seconds(deadline);
+    if (left <= 0.0) return IoStatus::Timeout;
+    if (!poll_fd(fd_, POLLOUT, left)) return IoStatus::Timeout;
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Socket::read_line(std::string* line, double timeout_seconds) {
+  line->clear();
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return IoStatus::Ok;
+    }
+    if (fd_ < 0) return IoStatus::Error;
+    // Unframed garbage must not grow the buffer without bound.
+    if (buf_.size() > (64u << 20)) return IoStatus::Error;
+    const double left = remaining_seconds(deadline);
+    if (left <= 0.0) return IoStatus::Timeout;
+    if (!poll_fd(fd_, POLLIN, left)) return IoStatus::Timeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return IoStatus::Closed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoStatus::Error;
+  }
+}
+
+Socket connect_tcp(const std::string& host, int port,
+                   double timeout_seconds) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                    service.c_str(), &hints, &res) != 0 ||
+      res == nullptr)
+    return Socket();
+  Socket out;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    // Non-blocking connect so the timeout is honored.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    bool connected = rc == 0;
+    if (!connected && errno == EINPROGRESS &&
+        poll_fd(fd, POLLOUT, timeout_seconds)) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      connected = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+                  err == 0;
+    }
+    if (!connected) {
+      ::close(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; I/O polls explicitly
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    out = Socket(fd);
+    break;
+  }
+  ::freeaddrinfo(res);
+  return out;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Listener::listen(const std::string& host, int port, int backlog) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("net: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("net: bad bind address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("net: bind " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("net: listen: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) ==
+      0)
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  else
+    port_ = port;
+  fd_ = fd;
+}
+
+Socket Listener::accept(double timeout_seconds) {
+  if (fd_ < 0) return Socket();
+  if (!poll_fd(fd_, POLLIN, timeout_seconds)) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket();
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+std::pair<std::string, int> parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size())
+    throw std::runtime_error("net: expected host:port, got '" + spec + "'");
+  const std::string host = spec.substr(0, colon);
+  int port = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9' || port > 65535)
+      throw std::runtime_error("net: bad port in '" + spec + "'");
+    port = port * 10 + (c - '0');
+  }
+  if (port <= 0 || port > 65535)
+    throw std::runtime_error("net: bad port in '" + spec + "'");
+  return {host, port};
+}
+
+}  // namespace gpudiff::net

@@ -1,0 +1,43 @@
+#include "net/wire.hpp"
+
+namespace gpudiff::net {
+
+IoStatus send_message(Socket& socket, const support::Json& message,
+                      double timeout_seconds) {
+  std::string line = message.dump();
+  line.push_back('\n');
+  return socket.send_all(line, timeout_seconds);
+}
+
+IoStatus recv_message(Socket& socket, support::Json* message,
+                      double timeout_seconds) {
+  std::string line;
+  const IoStatus status = socket.read_line(&line, timeout_seconds);
+  if (status != IoStatus::Ok) return status;
+  try {
+    *message = support::Json::parse(line);
+  } catch (const std::exception&) {
+    return IoStatus::Error;
+  }
+  if (!message->is_object()) return IoStatus::Error;
+  return IoStatus::Ok;
+}
+
+support::Json ok_response(std::int64_t seq) {
+  support::Json j = support::Json::object();
+  j["ok"] = true;
+  j["seq"] = seq;
+  return j;
+}
+
+support::Json error_response(std::int64_t seq, const std::string& error,
+                             bool fatal) {
+  support::Json j = support::Json::object();
+  j["ok"] = false;
+  j["error"] = error;
+  j["fatal"] = fatal;
+  j["seq"] = seq;
+  return j;
+}
+
+}  // namespace gpudiff::net

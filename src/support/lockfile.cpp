@@ -62,7 +62,12 @@ double file_age_seconds(const std::string& path) {
   const auto mtime = std::filesystem::last_write_time(path, ec);
   if (ec) return -1.0;
   const auto now = std::filesystem::file_time_type::clock::now();
-  return std::chrono::duration<double>(now - mtime).count();
+  const double age = std::chrono::duration<double>(now - mtime).count();
+  // A future mtime (fleet clock skew over NFS, a stepped clock) must read
+  // as "fresh right now", not as a negative age: callers use negative to
+  // mean "no file" (see the header contract), and a scheduler that
+  // mistook skew for absence would instantly steal a live worker's claim.
+  return age < 0.0 ? 0.0 : age;
 }
 
 bool age_file(const std::string& path, double seconds) {

@@ -43,7 +43,11 @@ bool publish_file_exclusive(const std::string& path, std::string_view contents,
 bool touch_file(const std::string& path);
 
 /// Seconds since the file's last write, or a negative value if the file
-/// does not exist.  This is the lease staleness clock.
+/// does not exist.  This is the lease staleness clock.  A file whose
+/// mtime is in the future (another host's skewed clock over NFS, a
+/// locally stepped clock) reads as age 0.0 — maximally fresh — never as a
+/// negative age: negative is reserved for "no file", and a caller that
+/// confused skew with absence would steal a live worker's claim.
 double file_age_seconds(const std::string& path);
 
 /// Set the file's mtime `seconds` into the past (test/fault-injection

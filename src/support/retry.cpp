@@ -1,0 +1,58 @@
+#include "support/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace gpudiff::support {
+
+double RetryPolicy::backoff_for(int attempt) const noexcept {
+  if (attempt < 0) attempt = 0;
+  const double initial = std::max(0.0, initial_backoff_seconds);
+  const double cap = std::max(initial, max_backoff_seconds);
+  const double growth = std::max(1.0, multiplier);
+  // pow on small integer exponents is exact enough, but the cap must win
+  // before the exponential overflows: grow iteratively and stop at the cap.
+  double base = initial;
+  for (int i = 0; i < attempt && base < cap; ++i) base *= growth;
+  base = std::min(base, cap);
+  const double jitter = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (jitter == 0.0 || base == 0.0) return base;
+  // Deterministic per-(seed, attempt) uniform draw in [0, 1).
+  SplitMix64 mix(jitter_seed ^ (0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(attempt) + 1)));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // 53-bit mantissa
+  return base * (1.0 - jitter + 2.0 * jitter * u);
+}
+
+RetryPolicy RetryPolicy::seeded_for(const std::string& id) const {
+  RetryPolicy seeded = *this;
+  // FNV-1a over the id, mixed once more so short ids still decohere.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  seeded.jitter_seed = jitter_seed ^ SplitMix64(h).next();
+  return seeded;
+}
+
+bool interruptible_sleep(double seconds,
+                         const std::function<bool()>& cancelled) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(std::max(0.0, seconds));
+  for (;;) {
+    if (cancelled && cancelled()) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return true;
+    const std::chrono::duration<double> remaining = deadline - now;
+    std::this_thread::sleep_for(
+        std::min(remaining, std::chrono::duration<double>(0.025)));
+  }
+}
+
+}  // namespace gpudiff::support

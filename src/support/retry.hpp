@@ -1,0 +1,54 @@
+#pragma once
+// Capped exponential backoff with deterministic jitter.
+//
+// Every retry loop on the coordinator path (TCP lease transport connects,
+// request resends, worker reconnect waits) draws its delays from one
+// RetryPolicy instead of hand-rolled sleep loops, so the retry behavior is
+// testable: given the same policy the whole backoff schedule is a pure
+// function of the attempt number, pinned by unit tests.
+//
+// The jitter is deterministic — a SplitMix64 hash of (seed, attempt)
+// scales each delay into [1 - jitter_fraction, 1 + jitter_fraction) — so
+// two runs of the same worker produce the same schedule (reproducible
+// fault-injection tests), while distinct seeds (distinct workers) decohere
+// and avoid thundering-herd reconnects against a restarted coordinator.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gpudiff::support {
+
+struct RetryPolicy {
+  /// Attempts per operation before the caller gives up (a transport
+  /// reports TransportError; outer loops may start a fresh operation).
+  int max_attempts = 8;
+  /// Delay after the first failed attempt, seconds.
+  double initial_backoff_seconds = 0.05;
+  /// Ceiling on the exponential growth, seconds (applied before jitter).
+  double max_backoff_seconds = 2.0;
+  /// Growth factor between consecutive attempts.
+  double multiplier = 2.0;
+  /// Each delay is scaled by a deterministic factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction).
+  double jitter_fraction = 0.25;
+  /// Jitter stream selector; derive per worker (see seeded_for) so a fleet
+  /// does not reconnect in lockstep.
+  std::uint64_t jitter_seed = 0;
+
+  /// Backoff before retry number `attempt` (0-based: the delay between the
+  /// first failure and the second attempt is backoff_for(0)).  Pure
+  /// function of (policy, attempt).
+  double backoff_for(int attempt) const noexcept;
+
+  /// This policy with jitter_seed derived from `id` (e.g. the worker id).
+  RetryPolicy seeded_for(const std::string& id) const;
+};
+
+/// Sleep for `seconds`, polling `cancelled` (when non-null) every few tens
+/// of milliseconds so an interrupted worker never rides out a full backoff
+/// window.  Returns false if cancelled before the time elapsed.
+bool interruptible_sleep(double seconds,
+                         const std::function<bool()>& cancelled);
+
+}  // namespace gpudiff::support

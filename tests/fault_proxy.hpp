@@ -1,0 +1,188 @@
+#pragma once
+// Fault-injection TCP proxy for the coordinator tests: a line-framed
+// relay that sits between a worker and the coordinator and — on a
+// scripted, deterministic schedule — drops, delays, duplicates, reorders
+// or severs messages in either direction.  The lease protocol's claim is
+// that none of this can change a single byte of the merged results; this
+// proxy is how the tests earn that sentence.
+//
+// Header-only on purpose: every tests/*.cpp is its own test binary under
+// the build's glob, so shared test infrastructure lives in headers.
+//
+// The proxy relays whole '\n'-terminated lines (the wire protocol's frame
+// unit), which is what makes per-message faults meaningful: a "drop" loses
+// exactly one request or response, a "duplicate" replays one, a "reorder"
+// holds one back and delivers it after its successor.  Decisions come
+// from a caller-supplied function of (direction, line index) so a test
+// can script exact fault sequences or drive them from a seeded RNG —
+// deterministically reproducible either way.
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace gpudiff::testing {
+
+enum class FaultKind {
+  Forward,    ///< relay the line unmodified
+  Drop,       ///< swallow the line (the retry policy's problem)
+  Duplicate,  ///< relay the line twice (the seq discipline's problem)
+  Reorder,    ///< hold the line back; deliver it after the next one
+  Sever,      ///< drop the line and cut the connection
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::Forward;
+  double delay_seconds = 0.0;  ///< sleep before relaying (both copies)
+};
+
+enum class Direction { ClientToServer, ServerToClient };
+
+/// decide(direction, line_index) — line_index counts per connection and
+/// direction, from 0.  A null decide forwards everything.
+class FaultProxy {
+ public:
+  using Decide = std::function<Fault(Direction, int line_index)>;
+
+  FaultProxy(std::string upstream_host, int upstream_port,
+             Decide decide = nullptr)
+      : upstream_host_(std::move(upstream_host)),
+        upstream_port_(upstream_port),
+        decide_(std::move(decide)) {
+    listener_.listen("127.0.0.1", 0);
+    threads_.emplace_back([this] { accept_loop(); });
+  }
+
+  ~FaultProxy() { stop(); }
+
+  int port() const noexcept { return listener_.port(); }
+  int connections_accepted() const noexcept { return accepted_.load(); }
+
+  /// Cut every live connection now (workers must reconnect through their
+  /// retry policy).  New connections are still accepted.
+  void sever_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) conn->severed.store(true);
+  }
+
+  void stop() {
+    if (stop_.exchange(true)) return;
+    sever_all();
+    // Join before closing the listener: the accept loop and every pump
+    // poll stop_/severed at a short timeout, so they exit on their own,
+    // and the fd is only closed once nothing can still be polling it.
+    // Any pump spawned before the flag flipped landed in threads_ before
+    // the swap (accept_loop re-checks stop_ under the lock).
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads.swap(threads_);
+    }
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
+    listener_.close();
+  }
+
+ private:
+  struct Connection {
+    net::Socket client;
+    net::Socket upstream;
+    std::atomic<bool> severed{false};
+  };
+
+  void accept_loop() {
+    while (!stop_.load()) {
+      net::Socket client = listener_.accept(0.05);
+      if (!client.valid()) continue;
+      net::Socket upstream = net::connect_tcp(upstream_host_, upstream_port_,
+                                              /*timeout_seconds=*/2.0);
+      if (!upstream.valid()) continue;  // refuse by dropping the client
+      auto conn = std::make_shared<Connection>();
+      conn->client = std::move(client);
+      conn->upstream = std::move(upstream);
+      accepted_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_.load()) return;
+      connections_.push_back(conn);
+      threads_.emplace_back(
+          [this, conn] { pump(conn, Direction::ClientToServer); });
+      threads_.emplace_back(
+          [this, conn] { pump(conn, Direction::ServerToClient); });
+    }
+  }
+
+  // One direction of one connection.  Each pump reads from its source with
+  // a short timeout so stop_/severed are honored promptly; the sockets
+  // themselves are only read by their one pump (client by C→S, upstream by
+  // S→C) and written by the opposite pump — Socket::read_line buffers
+  // internally, send_all does not, so this split is data-race-free.
+  void pump(const std::shared_ptr<Connection>& conn, Direction dir) {
+    net::Socket& from =
+        dir == Direction::ClientToServer ? conn->client : conn->upstream;
+    net::Socket& to =
+        dir == Direction::ClientToServer ? conn->upstream : conn->client;
+    int line_index = 0;
+    std::string held;  // a reordered line waiting for its successor
+    bool holding = false;
+    const auto relay = [&](const std::string& line) {
+      return to.send_all(line + "\n", 5.0) == net::IoStatus::Ok;
+    };
+    while (!stop_.load() && !conn->severed.load()) {
+      std::string line;
+      const net::IoStatus status = from.read_line(&line, 0.05);
+      if (status == net::IoStatus::Timeout) continue;
+      if (status != net::IoStatus::Ok) break;
+      const Fault fault =
+          decide_ ? decide_(dir, line_index++) : Fault{};
+      if (fault.delay_seconds > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.delay_seconds));
+      bool ok = true;
+      switch (fault.kind) {
+        case FaultKind::Drop:
+          break;
+        case FaultKind::Sever:
+          conn->severed.store(true);
+          break;
+        case FaultKind::Duplicate:
+          ok = relay(line) && relay(line);
+          break;
+        case FaultKind::Reorder:
+          if (holding) ok = relay(line);  // only hold one line at a time
+          else { held = line; holding = true; line.clear(); }
+          break;
+        case FaultKind::Forward:
+          ok = relay(line);
+          break;
+      }
+      if (ok && holding && fault.kind != FaultKind::Reorder) {
+        // The successor went out (or was dropped); release the held line
+        // behind it — the reorder.
+        ok = relay(held);
+        holding = false;
+      }
+      if (!ok) break;
+    }
+    conn->severed.store(true);
+  }
+
+  std::string upstream_host_;
+  int upstream_port_ = 0;
+  Decide decide_;
+  net::Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepted_{0};
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gpudiff::testing

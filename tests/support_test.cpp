@@ -1,15 +1,20 @@
 // Unit tests for the support layer: rng, json, strings, table, cli,
-// thread_pool.
+// thread_pool, retry, lockfile staleness.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <set>
 #include <stdexcept>
 
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/lockfile.hpp"
+#include "support/retry.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -356,6 +361,91 @@ TEST(ParallelFor, PropagatesExceptions) {
         if (i == 37) throw std::runtime_error("boom");
       }, 4),
       std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy — the backoff schedule is a pure function of (policy,
+// attempt); these tests pin it so no coordinator-path retry loop can
+// silently change cadence.
+// ---------------------------------------------------------------------------
+
+TEST(Retry, JitterlessScheduleIsCappedExponential) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.max_backoff_seconds = 1.0;
+  p.multiplier = 2.0;
+  p.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_for(0), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff_for(1), 0.2);
+  EXPECT_DOUBLE_EQ(p.backoff_for(2), 0.4);
+  EXPECT_DOUBLE_EQ(p.backoff_for(3), 0.8);
+  EXPECT_DOUBLE_EQ(p.backoff_for(4), 1.0);   // capped
+  EXPECT_DOUBLE_EQ(p.backoff_for(50), 1.0);  // stays capped, no overflow
+  EXPECT_DOUBLE_EQ(p.backoff_for(-3), 0.1);  // clamped to attempt 0
+}
+
+TEST(Retry, JitterIsDeterministicAndBounded) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.max_backoff_seconds = 10.0;
+  p.jitter_fraction = 0.25;
+  p.jitter_seed = 42;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const double base = std::min(10.0, 0.1 * std::pow(2.0, attempt));
+    const double d = p.backoff_for(attempt);
+    EXPECT_EQ(d, p.backoff_for(attempt)) << "jitter must be deterministic";
+    EXPECT_GE(d, base * 0.75 - 1e-12) << "attempt " << attempt;
+    EXPECT_LT(d, base * 1.25 + 1e-12) << "attempt " << attempt;
+  }
+  // Different attempts draw different jitter (the whole point of it).
+  EXPECT_NE(p.backoff_for(3) / 0.8, p.backoff_for(4) / 1.6);
+}
+
+TEST(Retry, SeededForDecoheresWorkersButStaysDeterministic) {
+  RetryPolicy base;
+  base.jitter_fraction = 0.25;
+  const RetryPolicy a = base.seeded_for("host-1");
+  const RetryPolicy b = base.seeded_for("host-2");
+  EXPECT_NE(a.jitter_seed, b.jitter_seed);
+  EXPECT_EQ(a.jitter_seed, base.seeded_for("host-1").jitter_seed);
+  // Distinct seeds produce distinct schedules (no thundering herd).
+  bool any_differ = false;
+  for (int attempt = 0; attempt < 8; ++attempt)
+    any_differ = any_differ || a.backoff_for(attempt) != b.backoff_for(attempt);
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Retry, InterruptibleSleepHonorsCancellation) {
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(interruptible_sleep(30.0, [] { return true; }));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 5.0) << "cancellation must cut the sleep short";
+  EXPECT_TRUE(interruptible_sleep(0.0, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// Lockfile staleness under clock skew
+// ---------------------------------------------------------------------------
+
+TEST(Lockfile, FileAgeClampsFutureMtimesToFresh) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gpudiff_skew_test").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  // A skewed peer's clock stamped this file two minutes in the future
+  // (age_file with a negative offset pushes the mtime forward).  The age
+  // must clamp to "fresh now", not go negative: negative means "no file",
+  // and a scheduler confusing skew with absence would instantly steal a
+  // live worker's claim.
+  ASSERT_TRUE(age_file(path, -120.0));
+  EXPECT_DOUBLE_EQ(file_age_seconds(path), 0.0);
+  remove_file(path);
+  EXPECT_LT(file_age_seconds(path), 0.0) << "missing file stays negative";
 }
 
 }  // namespace

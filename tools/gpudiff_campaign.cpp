@@ -24,6 +24,17 @@
 //   done; wait
 //   gpudiff-campaign --merge --checkpoint-dir lease-dir --report results.json
 //
+//   # the same fleet without a shared filesystem: a TCP coordinator owns
+//   # the lease board (durable state dir, restartable after SIGKILL), and
+//   # workers coordinate over host:port with retry/backoff — a worker that
+//   # loses the coordinator finishes its lease, journals the result
+//   # locally, and republishes when the connection returns
+//   gpudiff-coordinator --dir coord-state --port 7070 &
+//   for host in a b c; do
+//     ssh $host gpudiff-campaign --coordinator head:7070 --programs 3540 &
+//   done; wait
+//   gpudiff-campaign --merge --checkpoint-dir coord-state --report results.json
+//
 // SIGINT/SIGTERM stop the run gracefully: shard mode checkpoints at the
 // next block boundary, worker mode finishes and publishes the in-flight
 // lease and releases every claim it holds — interrupted processes never
@@ -153,6 +164,17 @@ int main(int argc, char** argv) {
                  60.0);
   cli.add_string("worker-id", 'W', "unique worker name (default: host-pid)",
                  "");
+  cli.add_string("coordinator", 'C',
+                 "run as a worker against a gpudiff-coordinator at host:port "
+                 "instead of a shared lease directory",
+                 "");
+  cli.add_string("journal-dir", 'J',
+                 "local journal for results the coordinator could not be told "
+                 "about (--coordinator mode; default: per-worker temp dir)",
+                 "");
+  cli.add_flag("quarantine",
+               "--merge only: set corrupt lease done files aside as "
+               "*.quarantined instead of aborting on the first one");
   cli.add_flag("progress", "print progress after every checkpoint block");
   cli.add_string("report", 'r', "write canonical results JSON to this path", "");
   cli.add_flag("tables", "print the per-level and adjacency tables");
@@ -176,7 +198,9 @@ int main(int argc, char** argv) {
       // shard directory holds bare shard-i-of-N checkpoints.
       const bool lease_dir = std::filesystem::exists(
           campaign::LeaseBoard::manifest_path(checkpoint_dir));
-      emit_results(lease_dir ? campaign::merge_lease_dir(checkpoint_dir)
+      campaign::LeaseMergeOptions mopts;
+      mopts.quarantine = cli.get_flag("quarantine");
+      emit_results(lease_dir ? campaign::merge_lease_dir(checkpoint_dir, mopts)
                              : campaign::merge_checkpoint_dir(checkpoint_dir),
                    report_path, tables);
       return 0;
@@ -189,7 +213,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string worker_dir = cli.get_string("worker");
-    if (shard.count > 1 && checkpoint_dir.empty() && worker_dir.empty()) {
+    const std::string coordinator = cli.get_string("coordinator");
+    if (!worker_dir.empty() && !coordinator.empty()) {
+      std::fprintf(stderr,
+                   "gpudiff-campaign: --worker (shared directory) and "
+                   "--coordinator (TCP) are two transports for the same lease "
+                   "protocol; pass one or the other\n");
+      return 1;
+    }
+    if (shard.count > 1 && checkpoint_dir.empty() && worker_dir.empty() &&
+        coordinator.empty()) {
       std::fprintf(stderr,
                    "gpudiff-campaign: a multi-shard run needs --checkpoint-dir "
                    "(the shard state is the merge input)\n");
@@ -225,7 +258,7 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
-    if (!worker_dir.empty()) {
+    if (!worker_dir.empty() || !coordinator.empty()) {
       if (cli.get_string("shard") != "0/1") {
         std::fprintf(stderr,
                      "gpudiff-campaign: --worker replaces the fixed --shard "
@@ -247,6 +280,8 @@ int main(int argc, char** argv) {
       }
       campaign::WorkerOptions wopts;
       wopts.dir = worker_dir;
+      wopts.coordinator = coordinator;
+      wopts.journal_dir = cli.get_string("journal-dir");
       wopts.lease_size = static_cast<int>(cli.get_int("lease-size"));
       wopts.heartbeat_seconds = cli.get_double("heartbeat");
       wopts.stale_after_seconds = cli.get_double("stale-after");
@@ -276,10 +311,21 @@ int main(int argc, char** argv) {
         // picks up exactly where the fleet left off.
         std::printf("campaign incomplete; rerun workers against %s to "
                     "continue\n",
-                    worker_dir.c_str());
+                    worker_dir.empty() ? coordinator.c_str()
+                                       : worker_dir.c_str());
         return 3;
       }
-      if (!report_path.empty() || tables) {
+      if (worker_dir.empty()) {
+        // TCP mode: the done blocks live in the coordinator's state
+        // directory (same layout as a lease directory) — merge there.
+        std::printf("campaign complete; merge on the coordinator host with "
+                    "--merge --checkpoint-dir <coordinator state dir>\n");
+        if (!report_path.empty() || tables)
+          std::fprintf(stderr,
+                       "gpudiff-campaign: --report/--tables need the merged "
+                       "results; run --merge against the coordinator's state "
+                       "directory\n");
+      } else if (!report_path.empty() || tables) {
         // Deterministic outputs make this safe in a fleet: every worker
         // that gets here writes byte-identical results (each through its
         // own temp file).

@@ -1,0 +1,77 @@
+// Portable lane-engine instantiations and SIMD engine resolution.
+//
+// This TU is compiled with the project's baseline flags (no AVX2), so the
+// GenericLanes instantiations here run on every host and serve as the
+// always-available reference for the differential tests.  The AVX2
+// backend lives in bytecode_simd_avx2.cpp, compiled with -mavx2 -mfma and
+// entered only behind the runtime cpuid gate below.
+
+#include <stdexcept>
+
+#include "support/cpu.hpp"
+#include "vgpu/lane_engine.hpp"
+
+namespace gpudiff::vgpu {
+
+namespace lane {
+
+bool run_group_generic_w1_64(const BytecodeProgram& bp, const KernelArgs* inputs,
+                             ExecContext& ctx, RunResult* out) {
+  return run_group<simd::GenericLanes<double, 1>>(bp, inputs, ctx, out);
+}
+
+bool run_group_generic_w1_32(const BytecodeProgram& bp, const KernelArgs* inputs,
+                             ExecContext& ctx, RunResult* out) {
+  return run_group<simd::GenericLanes<float, 1>>(bp, inputs, ctx, out);
+}
+
+bool run_group_generic_64(const BytecodeProgram& bp, const KernelArgs* inputs,
+                          ExecContext& ctx, RunResult* out) {
+  return run_group<simd::GenericLanes<double, 4>>(bp, inputs, ctx, out);
+}
+
+bool run_group_generic_32(const BytecodeProgram& bp, const KernelArgs* inputs,
+                          ExecContext& ctx, RunResult* out) {
+  return run_group<simd::GenericLanes<float, 8>>(bp, inputs, ctx, out);
+}
+
+}  // namespace lane
+
+SimdEngine simd_engine() {
+  switch (support::simd_override()) {
+    case support::SimdOverride::Off:
+      return SimdEngine::Off;
+    case support::SimdOverride::Scalar:
+      return SimdEngine::Scalar;
+    case support::SimdOverride::Scalar1:
+      return SimdEngine::Scalar1;
+    case support::SimdOverride::Avx2:
+#if defined(GPUDIFF_SIMD_AVX2)
+      if (support::cpu_features().avx2_usable()) return SimdEngine::Avx2;
+      throw std::runtime_error(
+          "GPUDIFF_SIMD=avx2: host CPU/OS lacks AVX2+FMA with YMM state (" +
+          support::cpu_features().to_string() + ")");
+#else
+      throw std::runtime_error(
+          "GPUDIFF_SIMD=avx2: this binary was built without AVX2 support");
+#endif
+    case support::SimdOverride::Auto:
+      break;
+  }
+#if defined(GPUDIFF_SIMD_AVX2)
+  if (support::cpu_features().avx2_usable()) return SimdEngine::Avx2;
+#endif
+  return SimdEngine::Off;
+}
+
+const char* to_string(SimdEngine engine) noexcept {
+  switch (engine) {
+    case SimdEngine::Off: return "off";
+    case SimdEngine::Scalar1: return "scalar1";
+    case SimdEngine::Scalar: return "scalar";
+    case SimdEngine::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace gpudiff::vgpu

@@ -1,0 +1,31 @@
+// AVX2+FMA lane-engine instantiations: 4 x binary64 / 8 x binary32 per
+// YMM register.
+//
+// Compiled with -mavx2 -mfma (per-source options set by CMake when the
+// toolchain targets x86-64), so this is the only TU allowed to emit VEX
+// instructions.  Callers must gate entry on support::cpu_features()
+// .avx2_usable() — run_batch does, via simd_engine().  When the build
+// does not enable AVX2 this TU compiles to nothing and the entry points
+// are never referenced (bytecode.cpp guards them with GPUDIFF_SIMD_AVX2).
+
+#include "vgpu/simd.hpp"
+
+#if GPUDIFF_SIMD_AVX2_TU
+
+#include "vgpu/lane_engine.hpp"
+
+namespace gpudiff::vgpu::lane {
+
+bool run_group_avx2_64(const BytecodeProgram& bp, const KernelArgs* inputs,
+                       ExecContext& ctx, RunResult* out) {
+  return run_group<simd::Avx2Lanes<double>>(bp, inputs, ctx, out);
+}
+
+bool run_group_avx2_32(const BytecodeProgram& bp, const KernelArgs* inputs,
+                       ExecContext& ctx, RunResult* out) {
+  return run_group<simd::Avx2Lanes<float>>(bp, inputs, ctx, out);
+}
+
+}  // namespace gpudiff::vgpu::lane
+
+#endif  // GPUDIFF_SIMD_AVX2_TU

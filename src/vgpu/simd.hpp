@@ -1,0 +1,240 @@
+#pragma once
+// Width-abstracted SIMD lanes for the bytecode VM's lane-parallel engine.
+//
+// A `lanes` backend packs W values of T into one vector register and
+// exposes exactly the operations the lane interpreter
+// (vgpu/lane_engine.hpp) needs: IEEE arithmetic, quiet comparisons that
+// match C expression semantics (ordered-quiet for ==/</<=/>/>=,
+// unordered-quiet for !=), bitwise combination of comparison masks, and a
+// sign-bit movemask.  Masks are ordinary vectors whose lanes are all-ones
+// or all-zero bit patterns, exactly as x86 compare instructions produce
+// them — the portable backend maintains the same invariant so the two are
+// interchangeable.
+//
+// Two backends:
+//   * GenericLanes<T, W> — portable C++ (any W, any platform); the
+//     reference implementation, always built.  W=1 is the pure scalar
+//     lane path; W=4/8 exercises the full mask discipline without
+//     intrinsics.
+//   * Avx2Lanes<double> (W=4) / Avx2Lanes<float> (W=8) — AVX2+FMA
+//     intrinsics, visible only to translation units compiled with
+//     -mavx2 -mfma (bytecode_simd_avx2.cpp) and entered only after a
+//     runtime cpuid check (support/cpu.hpp).
+//
+// Bit-identity note: every arithmetic op here is a single IEEE-754
+// correctly-rounded operation under the default rounding mode, so the
+// vector result of add/sub/mul/div/fma is bit-identical per lane to the
+// scalar VM's `a + b` / std::fma / soft_* paths (the soft paths exist to
+// avoid microcode assists, not to change results).  NaN propagation and
+// FTZ/DAZ are NOT left to hardware — the lane interpreter applies the
+// same explicit bit-level rules as vgpu::Fpu.
+
+#include <cmath>
+#include <cstdint>
+
+#include "fp/bits.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define GPUDIFF_SIMD_AVX2_TU 1
+#endif
+
+namespace gpudiff::vgpu::simd {
+
+/// Portable reference backend: W lanes of T in a plain array.
+template <typename T, int W>
+struct GenericLanes {
+  using value_type = T;
+  using Bits = typename fp::FloatTraits<T>::Bits;
+  static constexpr int width = W;
+
+  struct vec {
+    T v[W];
+  };
+
+  static vec broadcast(T x) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = x;
+    return r;
+  }
+  static vec zero() noexcept { return broadcast(T(0)); }
+  static vec loadu(const T* p) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static void storeu(T* p, vec x) noexcept {
+    for (int l = 0; l < W; ++l) p[l] = x.v[l];
+  }
+
+  static vec add(vec a, vec b) noexcept { return map2(a, b, [](T x, T y) { return x + y; }); }
+  static vec sub(vec a, vec b) noexcept { return map2(a, b, [](T x, T y) { return x - y; }); }
+  static vec mul(vec a, vec b) noexcept { return map2(a, b, [](T x, T y) { return x * y; }); }
+  static vec div(vec a, vec b) noexcept { return map2(a, b, [](T x, T y) { return x / y; }); }
+  static vec fma(vec a, vec b, vec c) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = std::fma(a.v[l], b.v[l], c.v[l]);
+    return r;
+  }
+  /// Finite-math-only compare-selects (MinNaive/MaxNaive): a<b?a:b form,
+  /// which is also the exact semantics of x86 MINP*/MAXP*.
+  static vec min_naive(vec a, vec b) noexcept {
+    return map2(a, b, [](T x, T y) { return x < y ? x : y; });
+  }
+  static vec max_naive(vec a, vec b) noexcept {
+    return map2(a, b, [](T x, T y) { return x > y ? x : y; });
+  }
+
+  static vec and_bits(vec a, vec b) noexcept { return bit2(a, b, [](Bits x, Bits y) { return x & y; }); }
+  static vec or_bits(vec a, vec b) noexcept { return bit2(a, b, [](Bits x, Bits y) { return x | y; }); }
+  static vec xor_bits(vec a, vec b) noexcept { return bit2(a, b, [](Bits x, Bits y) { return x ^ y; }); }
+  /// (~a) & b — the SSE ANDNOT operand order.
+  static vec andnot_bits(vec a, vec b) noexcept {
+    return bit2(a, b, [](Bits x, Bits y) { return static_cast<Bits>(~x & y); });
+  }
+  /// m ? a : b per lane (m lanes are all-ones or all-zero).
+  static vec blend(vec m, vec a, vec b) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l) {
+      const Bits mm = fp::to_bits(m.v[l]);
+      r.v[l] = fp::from_bits<T>((fp::to_bits(a.v[l]) & mm) |
+                                (fp::to_bits(b.v[l]) & static_cast<Bits>(~mm)));
+    }
+    return r;
+  }
+
+  static vec cmp_eq(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x == y; }); }
+  static vec cmp_neq_uq(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x != y; }); }
+  static vec cmp_lt(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x < y; }); }
+  static vec cmp_le(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x <= y; }); }
+  static vec cmp_gt(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x > y; }); }
+  static vec cmp_ge(vec a, vec b) noexcept { return mask2(a, b, [](T x, T y) { return x >= y; }); }
+  static vec cmp_unord(vec a, vec b) noexcept {
+    return mask2(a, b, [](T x, T y) { return x != x || y != y; });
+  }
+
+  /// Sign bit of every lane, lane 0 in bit 0.
+  static unsigned movemask(vec m) noexcept {
+    unsigned bits = 0;
+    for (int l = 0; l < W; ++l)
+      bits |= static_cast<unsigned>(fp::to_bits(m.v[l]) >>
+                                    (sizeof(Bits) * 8 - 1))
+              << l;
+    return bits;
+  }
+
+ private:
+  template <typename F>
+  static vec map2(vec a, vec b, F f) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = f(a.v[l], b.v[l]);
+    return r;
+  }
+  template <typename F>
+  static vec bit2(vec a, vec b, F f) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l)
+      r.v[l] = fp::from_bits<T>(f(fp::to_bits(a.v[l]), fp::to_bits(b.v[l])));
+    return r;
+  }
+  template <typename F>
+  static vec mask2(vec a, vec b, F f) noexcept {
+    vec r;
+    for (int l = 0; l < W; ++l)
+      r.v[l] = fp::from_bits<T>(f(a.v[l], b.v[l]) ? static_cast<Bits>(~Bits(0))
+                                                  : Bits(0));
+    return r;
+  }
+};
+
+#if GPUDIFF_SIMD_AVX2_TU
+
+template <typename T>
+struct Avx2Lanes;
+
+/// 4 x binary64 in one YMM register.
+template <>
+struct Avx2Lanes<double> {
+  using value_type = double;
+  using Bits = std::uint64_t;
+  static constexpr int width = 4;
+  using vec = __m256d;
+
+  static vec broadcast(double x) noexcept { return _mm256_set1_pd(x); }
+  static vec zero() noexcept { return _mm256_setzero_pd(); }
+  static vec loadu(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, vec x) noexcept { _mm256_storeu_pd(p, x); }
+
+  static vec add(vec a, vec b) noexcept { return _mm256_add_pd(a, b); }
+  static vec sub(vec a, vec b) noexcept { return _mm256_sub_pd(a, b); }
+  static vec mul(vec a, vec b) noexcept { return _mm256_mul_pd(a, b); }
+  static vec div(vec a, vec b) noexcept { return _mm256_div_pd(a, b); }
+  static vec fma(vec a, vec b, vec c) noexcept { return _mm256_fmadd_pd(a, b, c); }
+  static vec min_naive(vec a, vec b) noexcept { return _mm256_min_pd(a, b); }
+  static vec max_naive(vec a, vec b) noexcept { return _mm256_max_pd(a, b); }
+
+  static vec and_bits(vec a, vec b) noexcept { return _mm256_and_pd(a, b); }
+  static vec or_bits(vec a, vec b) noexcept { return _mm256_or_pd(a, b); }
+  static vec xor_bits(vec a, vec b) noexcept { return _mm256_xor_pd(a, b); }
+  static vec andnot_bits(vec a, vec b) noexcept { return _mm256_andnot_pd(a, b); }
+  static vec blend(vec m, vec a, vec b) noexcept {
+    // Masks are all-ones/all-zero, so sign-bit BLENDV selects correctly.
+    return _mm256_blendv_pd(b, a, m);
+  }
+
+  static vec cmp_eq(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_EQ_OQ); }
+  static vec cmp_neq_uq(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_NEQ_UQ); }
+  static vec cmp_lt(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static vec cmp_le(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static vec cmp_gt(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static vec cmp_ge(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static vec cmp_unord(vec a, vec b) noexcept { return _mm256_cmp_pd(a, b, _CMP_UNORD_Q); }
+
+  static unsigned movemask(vec m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+};
+
+/// 8 x binary32 in one YMM register.
+template <>
+struct Avx2Lanes<float> {
+  using value_type = float;
+  using Bits = std::uint32_t;
+  static constexpr int width = 8;
+  using vec = __m256;
+
+  static vec broadcast(float x) noexcept { return _mm256_set1_ps(x); }
+  static vec zero() noexcept { return _mm256_setzero_ps(); }
+  static vec loadu(const float* p) noexcept { return _mm256_loadu_ps(p); }
+  static void storeu(float* p, vec x) noexcept { _mm256_storeu_ps(p, x); }
+
+  static vec add(vec a, vec b) noexcept { return _mm256_add_ps(a, b); }
+  static vec sub(vec a, vec b) noexcept { return _mm256_sub_ps(a, b); }
+  static vec mul(vec a, vec b) noexcept { return _mm256_mul_ps(a, b); }
+  static vec div(vec a, vec b) noexcept { return _mm256_div_ps(a, b); }
+  static vec fma(vec a, vec b, vec c) noexcept { return _mm256_fmadd_ps(a, b, c); }
+  static vec min_naive(vec a, vec b) noexcept { return _mm256_min_ps(a, b); }
+  static vec max_naive(vec a, vec b) noexcept { return _mm256_max_ps(a, b); }
+
+  static vec and_bits(vec a, vec b) noexcept { return _mm256_and_ps(a, b); }
+  static vec or_bits(vec a, vec b) noexcept { return _mm256_or_ps(a, b); }
+  static vec xor_bits(vec a, vec b) noexcept { return _mm256_xor_ps(a, b); }
+  static vec andnot_bits(vec a, vec b) noexcept { return _mm256_andnot_ps(a, b); }
+  static vec blend(vec m, vec a, vec b) noexcept { return _mm256_blendv_ps(b, a, m); }
+
+  static vec cmp_eq(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_EQ_OQ); }
+  static vec cmp_neq_uq(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_NEQ_UQ); }
+  static vec cmp_lt(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_LT_OQ); }
+  static vec cmp_le(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_LE_OQ); }
+  static vec cmp_gt(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_GT_OQ); }
+  static vec cmp_ge(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_GE_OQ); }
+  static vec cmp_unord(vec a, vec b) noexcept { return _mm256_cmp_ps(a, b, _CMP_UNORD_Q); }
+
+  static unsigned movemask(vec m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_ps(m));
+  }
+};
+
+#endif  // GPUDIFF_SIMD_AVX2_TU
+
+}  // namespace gpudiff::vgpu::simd

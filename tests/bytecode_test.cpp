@@ -8,13 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "diff/campaign.hpp"
+#include "diff/runner.hpp"
 #include "gen/generator.hpp"
 #include "gen/inputs.hpp"
 #include "ir/builder.hpp"
 #include "opt/pipeline.hpp"
+#include "support/cpu.hpp"
 #include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 
@@ -22,6 +26,37 @@ namespace {
 
 using namespace gpudiff;
 using namespace gpudiff::ir;
+
+/// Every lane engine this binary can actually run (Avx2 is present only
+/// when compiled in and the host supports it; probing through
+/// simd_engine() also exercises its fail-fast throw).
+std::vector<support::SimdOverride> runnable_engines() {
+  std::vector<support::SimdOverride> v{support::SimdOverride::Off,
+                                       support::SimdOverride::Scalar1,
+                                       support::SimdOverride::Scalar};
+  const support::SimdOverride saved = support::simd_override();
+  support::set_simd_override(support::SimdOverride::Avx2);
+  try {
+    (void)vgpu::simd_engine();
+    v.push_back(support::SimdOverride::Avx2);
+  } catch (const std::runtime_error&) {
+    // Not compiled in or not usable on this host: the Avx2 leg is covered
+    // on CI's AVX2 runner instead.
+  }
+  support::set_simd_override(saved);
+  return v;
+}
+
+/// RAII engine override so a failing test cannot leak its engine choice
+/// into later tests.
+struct ScopedEngine {
+  explicit ScopedEngine(support::SimdOverride mode)
+      : saved(support::simd_override()) {
+    support::set_simd_override(mode);
+  }
+  ~ScopedEngine() { support::set_simd_override(saved); }
+  const support::SimdOverride saved;
+};
 
 void expect_identical(const vgpu::RunResult& vm, const vgpu::RunResult& tree,
                       const std::string& context) {
@@ -326,6 +361,223 @@ TEST(Bytecode, BatchRejectsMismatchedArguments) {
   vgpu::RunResult out[2];
   vgpu::ExecContext ctx;
   EXPECT_THROW(exe.bytecode().run_batch(inputs, ctx, out), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-parallel engines (GPUDIFF_SIMD): every engine must be bit-identical
+// to the plain interpreter loop — values, flags, op and cycle counts —
+// including under divergent control flow and through trap re-runs.
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeLanes, GeneratedProgramsBitIdenticalAcrossEngines) {
+  // The dbg-style sweep that caught the probe-underflow bug: generated
+  // programs (subnormal-heavy inputs) across opt levels and platforms,
+  // fp64 and fp32, every runnable engine against the interpreter loop.
+  const auto engines = runnable_engines();
+  for (const Precision precision : {Precision::FP64, Precision::FP32}) {
+    gen::GenConfig cfg;
+    cfg.precision = precision;
+    const gen::Generator generator(cfg, 77);
+    const gen::InputGenerator input_gen(77);
+    for (std::uint64_t pi = 0; pi < 25; ++pi) {
+      const Program program = generator.generate(pi);
+      std::vector<vgpu::KernelArgs> inputs;
+      for (int ii = 0; ii < 6; ++ii)
+        inputs.push_back(input_gen.generate(program, pi, ii));
+      for (const opt::OptLevel level : opt::kAllOptLevels) {
+        const diff::CompiledSet set = diff::compile_pair(program, level);
+        for (const opt::Executable& exe : set.exes) {
+          std::vector<vgpu::RunResult> ref(inputs.size());
+          {
+            ScopedEngine off(support::SimdOverride::Off);
+            vgpu::run_kernel_batch(exe, inputs, ref.data());
+          }
+          for (const support::SimdOverride mode : engines) {
+            ScopedEngine eng(mode);
+            std::vector<vgpu::RunResult> got(inputs.size());
+            vgpu::run_kernel_batch(exe, inputs, got.data());
+            for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
+              expect_identical(got[ii], ref[ii],
+                               std::string(support::to_string(mode)) +
+                                   " program " + std::to_string(pi) + " input " +
+                                   std::to_string(ii) + " " + exe.description());
+              if (HasFailure()) return;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BytecodeLanes, DivergentControlFlowBitIdenticalAcrossEngines) {
+  // Hand-built worst case for the mask discipline: per-input trip counts
+  // (including zero-trip), a data-dependent if whose body re-tests every
+  // step, and masked div/add/mul — so lanes of one group run different
+  // instruction sequences and must still match the sequential loop
+  // exactly, for inputs spanning subnormals, zeros, infinities and NaN.
+  ProgramBuilder b(Precision::FP64);
+  Arena& A = b.arena();
+  const int n = b.add_int_param();
+  b.begin_for(n);
+  b.begin_if(make_cmp(A, CmpOp::Lt, make_param(A, 0), make_literal(A, 4.0)));
+  b.assign_comp(AssignOp::Div, make_literal(A, 3.0));
+  b.assign_comp(AssignOp::Add, make_literal(A, 1.25));
+  b.end_block();
+  b.assign_comp(AssignOp::Mul, make_literal(A, 1.125));
+  b.end_block();
+  b.assign_comp(AssignOp::Sub, make_loop_var(A, 0));
+
+  const double comps[] = {0.5,    -3.0, 1e-310, 100.0,
+                          -1e300, 0.0,  1e308,  std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(), 2.0, 3.5, -1e-320, 7.0};
+  const auto engines = runnable_engines();
+  const Program program = b.build();
+  for (const opt::OptLevel level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+    const opt::Executable exe =
+        opt::compile(program, {opt::Toolchain::Nvcc, level, false});
+    std::vector<vgpu::KernelArgs> inputs;
+    for (std::size_t i = 0; i < std::size(comps); ++i) {
+      vgpu::KernelArgs args;
+      args.fp = {comps[i], 0.0};
+      args.ints = {0, static_cast<int>(i % 7)};  // trip counts 0..6
+      inputs.push_back(args);
+    }
+    std::vector<vgpu::RunResult> ref(inputs.size());
+    {
+      ScopedEngine off(support::SimdOverride::Off);
+      vgpu::run_kernel_batch(exe, inputs, ref.data());
+    }
+    for (const support::SimdOverride mode : engines) {
+      ScopedEngine eng(mode);
+      std::vector<vgpu::RunResult> got(inputs.size());
+      vgpu::run_kernel_batch(exe, inputs, got.data());
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        expect_identical(got[i], ref[i],
+                         std::string(support::to_string(mode)) + " input " +
+                             std::to_string(i));
+    }
+  }
+}
+
+TEST(BytecodeLanes, BatchSizesSpanningGroupBoundaries) {
+  // Sizes around the group widths (1, W-1, W, W+1, 2W, 2W+3) must all
+  // produce the per-input results of the sequential loop — the tail path
+  // and the grouped path meet inside one batch.
+  gen::GenConfig cfg;
+  const gen::Generator generator(cfg, 9);
+  const gen::InputGenerator input_gen(9);
+  const Program program = generator.generate(3);
+  const opt::Executable exe =
+      opt::compile(program, {opt::Toolchain::Nvcc, opt::OptLevel::O1, false});
+  std::vector<vgpu::KernelArgs> pool;
+  for (int ii = 0; ii < 19; ++ii)
+    pool.push_back(input_gen.generate(program, 3, ii));
+  std::vector<vgpu::RunResult> ref(pool.size());
+  {
+    ScopedEngine off(support::SimdOverride::Off);
+    vgpu::run_kernel_batch(exe, pool, ref.data());
+  }
+  for (const support::SimdOverride mode : runnable_engines()) {
+    ScopedEngine eng(mode);
+    for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{5},
+                                    std::size_t{8}, std::size_t{9},
+                                    std::size_t{16}, std::size_t{19}}) {
+      std::vector<vgpu::RunResult> got(count);
+      vgpu::run_kernel_batch(
+          exe, std::span<const vgpu::KernelArgs>(pool.data(), count),
+          got.data());
+      for (std::size_t i = 0; i < count; ++i)
+        expect_identical(got[i], ref[i],
+                         std::string(support::to_string(mode)) + " count " +
+                             std::to_string(count) + " input " +
+                             std::to_string(i));
+    }
+  }
+}
+
+TEST(BytecodeLanes, AdaptiveDispatchVerdictFromInstructionMix) {
+  // The compile-time lane-affinity verdict that steers automatic engine
+  // selection: loops disqualify (runtime trip counts diverge the lanes),
+  // and straight-line code qualifies only with enough vectorizable
+  // arithmetic to amortize the group setup.  A single divide clears the
+  // bar (cycle-model weight 16 in fp64); a lone cheap accumulate does not.
+  {
+    ProgramBuilder b(Precision::FP64);
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Div, make_param(A, 0));
+    const opt::Executable exe = compile_o0(b.build());
+    EXPECT_TRUE(exe.bytecode().lane_profitable());
+  }
+  {
+    ProgramBuilder b(Precision::FP64);
+    Arena& A = b.arena();
+    b.assign_comp(AssignOp::Add, make_param(A, 0));
+    const opt::Executable exe = compile_o0(b.build());
+    EXPECT_FALSE(exe.bytecode().lane_profitable());
+  }
+  {
+    ProgramBuilder b(Precision::FP64);
+    Arena& A = b.arena();
+    const int n = b.add_int_param();
+    b.begin_for(n);
+    b.assign_comp(AssignOp::Div, make_param(A, 0));
+    b.end_block();
+    const opt::Executable exe = compile_o0(b.build());
+    EXPECT_FALSE(exe.bytecode().lane_profitable());
+  }
+}
+
+TEST(BytecodeLanes, BatchThrowLeavesNoStaleOutputs) {
+  // Regression for the partial-state bug: a throw mid-batch used to leave
+  // whatever memory the caller handed in for the unreached outputs.  Now
+  // every output is either a completed result (inputs before the faulting
+  // one, in input order) or a zeroed RunResult{} — under every engine,
+  // whose grouped execution must re-run the faulting group scalar to keep
+  // exactly these sequential semantics.
+  Arena A;
+  std::vector<Param> params{{ParamKind::Comp, "comp"},
+                            {ParamKind::Scalar, "var_1"}};
+  std::vector<StmtId> guarded;
+  guarded.push_back(
+      make_store_array(A, 1, make_literal(A, 0.0), make_literal(A, 1.0)));
+  std::vector<StmtId> body;
+  body.push_back(make_if(
+      A, make_cmp(A, CmpOp::Ne, make_param(A, 1), make_literal(A, 0.0)),
+      guarded));
+  body.push_back(make_assign_comp(A, AssignOp::Add, make_literal(A, 2.0)));
+  const opt::Executable exe = compile_o0(
+      Program(Precision::FP64, std::move(params), std::move(A), std::move(body)));
+  std::vector<vgpu::KernelArgs> inputs;
+  for (int i = 0; i < 11; ++i) {
+    vgpu::KernelArgs args;
+    args.fp = {1.0, i == 6 ? 1.0 : 0.0};  // input 6 reaches the trap
+    args.ints = {0, 0};
+    inputs.push_back(args);
+  }
+  for (const support::SimdOverride mode : runnable_engines()) {
+    ScopedEngine eng(mode);
+    std::vector<vgpu::RunResult> out(inputs.size());
+    for (auto& r : out) {  // stale garbage the contract must erase
+      r.value_bits = 0xDEADBEEFull;
+      r.op_count = 123;
+    }
+    vgpu::ExecContext ctx;
+    EXPECT_THROW(exe.bytecode().run_batch(inputs, ctx, out.data()),
+                 std::runtime_error)
+        << support::to_string(mode);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(out[i].value, 3.0) << support::to_string(mode) << " input " << i;
+      EXPECT_GT(out[i].op_count, 0u) << support::to_string(mode) << " input " << i;
+    }
+    for (std::size_t i = 6; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].value_bits, 0u)
+          << support::to_string(mode) << " input " << i;
+      EXPECT_EQ(out[i].op_count, 0u)
+          << support::to_string(mode) << " input " << i;
+    }
+  }
 }
 
 TEST(Bytecode, CompiledProgramIsCachedOnExecutable) {

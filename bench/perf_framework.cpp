@@ -25,7 +25,9 @@
 #include "gen/generator.hpp"
 #include "gen/inputs.hpp"
 #include "opt/pipeline.hpp"
+#include "store/store.hpp"
 #include "support/cpu.hpp"
+#include "support/json.hpp"
 #include "vgpu/bytecode.hpp"
 #include "vgpu/interp.hpp"
 #include "vmath/core/kernels.hpp"
@@ -480,6 +482,63 @@ void BM_FastSinf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastSinf);
+
+/// A small v2 campaign report (embedded config + fingerprint) written to
+/// disk once, shared by the store benchmarks below.
+const std::string& store_bench_report() {
+  static const std::string path = [] {
+    diff::CampaignConfig cfg;
+    cfg.num_programs = 16;
+    cfg.inputs_per_program = 4;
+    cfg.threads = 1;
+    const support::Json echo = campaign::config_to_json(cfg);
+    const support::Json report =
+        campaign::results_to_json(diff::run_campaign(cfg), &echo);
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "gpudiff_bench_report.json")
+            .string();
+    support::write_file(p, report.dump(1) + "\n");
+    return p;
+  }();
+  return path;
+}
+
+/// Ingest cost per commit: one campaign report folded into a population
+/// document plus its atomic write (the CI trend-gate hot path).
+void BM_StoreIngest(benchmark::State& state) {
+  const std::string db =
+      (std::filesystem::temp_directory_path() / "gpudiff_bench_store_ingest")
+          .string();
+  std::filesystem::remove_all(db);
+  const std::string& report = store_bench_report();
+  long long commit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store::ingest(db, "c" + std::to_string(commit++), {report}));
+  }
+  std::filesystem::remove_all(db);
+}
+BENCHMARK(BM_StoreIngest)->Unit(benchmark::kMicrosecond);
+
+/// Query cost over a loaded index: the three query shapes gpudiff-serve
+/// answers (summary, trend, cross-commit diff) over 8 ingested commits.
+void BM_StoreQuery(benchmark::State& state) {
+  const std::string db =
+      (std::filesystem::temp_directory_path() / "gpudiff_bench_store_query")
+          .string();
+  std::filesystem::remove_all(db);
+  const std::string& report = store_bench_report();
+  for (int i = 0; i < 8; ++i)
+    store::ingest(db, "c" + std::to_string(i), {report});
+  const store::StoreIndex index = store::load_store(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::summary(index));
+    benchmark::DoNotOptimize(store::trend(index));
+    benchmark::DoNotOptimize(store::diff_commits(index, "c0", "c7"));
+  }
+  std::filesystem::remove_all(db);
+}
+BENCHMARK(BM_StoreQuery)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

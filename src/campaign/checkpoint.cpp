@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "support/strings.hpp"
+
 namespace gpudiff::campaign {
 
 using support::Json;
@@ -53,14 +55,19 @@ fp::Outcome outcome_from_json(const Json& j) {
 // Reject foreign documents with a real diagnostic (a missing "format"
 // key must not surface as a low-level JSON type error) and refuse
 // versions this binary does not understand.
-void check_format(const Json& j, const char* format, const char* what) {
+void check_format(const Json& j, const char* format, const char* what,
+                  int max_version) {
   if (!j.is_object() || !j.contains("format") || !j.at("format").is_string() ||
       j.at("format").as_string() != format)
     throw std::runtime_error(std::string("campaign: not a ") + what);
   if (!j.contains("version") || !j.at("version").is_number() ||
-      j.at("version").as_int() != 1)
+      j.at("version").as_int() < 1 || j.at("version").as_int() > max_version)
     throw std::runtime_error(std::string("campaign: unsupported ") + what +
                              " version");
+}
+
+std::string fingerprint_digest(const Json& config_echo) {
+  return "cfg-" + support::fnv1a64_hex(config_echo.dump());
 }
 
 bool legacy_platform_pair(const std::vector<std::string>& names) {
@@ -401,7 +408,8 @@ ShardProgress load_checkpoint(const std::string& path) {
   return progress_from_json(Json::parse(support::read_file(path)));
 }
 
-Json results_to_json(const diff::CampaignResults& results) {
+Json results_to_json(const diff::CampaignResults& results,
+                     const Json* config_echo) {
   // The default nvcc/hipcc selection keeps the pre-registry document
   // layout (no "platforms" member, flat stats, nvcc/hipcc record keys) so
   // paper-default campaign reports stay byte-identical across the
@@ -409,7 +417,11 @@ Json results_to_json(const diff::CampaignResults& results) {
   const bool legacy = legacy_platform_pair(results.platforms);
   Json j = Json::object();
   j["format"] = kResultsFormat;
-  j["version"] = 1;
+  j["version"] = config_echo == nullptr ? 1 : 2;
+  if (config_echo != nullptr) {
+    j["config"] = *config_echo;
+    j["fingerprint"] = fingerprint_digest(*config_echo);
+  }
   j["seed"] = static_cast<long long>(results.seed);
   j["precision"] = ir::to_string(results.precision);
   j["hipify_converted"] = results.hipify_converted;
@@ -438,7 +450,19 @@ Json results_to_json(const diff::CampaignResults& results) {
 }
 
 diff::CampaignResults results_from_json(const Json& j) {
-  check_format(j, kResultsFormat, "gpudiff campaign results file");
+  check_format(j, kResultsFormat, "gpudiff campaign results file",
+               /*max_version=*/2);
+  if (j.at("version").as_int() >= 2) {
+    // The version-2 extras are pure annotation over the version-1 fields,
+    // but an annotation that lies is worse than none: the embedded
+    // fingerprint must be the digest of the embedded config bytes.
+    if (!j.contains("config") || !j.contains("fingerprint"))
+      throw std::runtime_error(
+          "campaign: version-2 results file lacks config/fingerprint");
+    if (j.at("fingerprint").as_string() != fingerprint_digest(j.at("config")))
+      throw std::runtime_error(
+          "campaign: results fingerprint does not match its embedded config");
+  }
   diff::CampaignResults results;
   results.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
   if (!ir::parse_precision(j.at("precision").as_string(), &results.precision))

@@ -41,12 +41,14 @@ bool legacy_platform_pair(const std::vector<std::string>& names);
 std::vector<std::string> platform_names_from_echo(
     const support::Json& config_echo);
 
-/// Validate that `j` is a version-1 document of the given `format`
-/// ("format"/"version" keys); throws std::runtime_error naming `what`
-/// otherwise.  One rule for every campaign file — checkpoints, lease
-/// results, merged reports and the scheduler manifest.
+/// Validate that `j` is a document of the given `format` with version in
+/// [1, max_version] ("format"/"version" keys); throws std::runtime_error
+/// naming `what` otherwise.  One rule for every campaign file —
+/// checkpoints, lease results, merged reports and the scheduler manifest.
+/// Every format is still version 1 except campaign results, whose
+/// version 2 adds the embedded config fingerprint (see results_to_json).
 void check_format(const support::Json& j, const char* format,
-                  const char* what);
+                  const char* what, int max_version = 1);
 
 /// `legacy_pair` selects the flat pre-registry layout (see
 /// legacy_platform_pair); the general layout carries one stats/payload
@@ -84,7 +86,22 @@ ShardProgress load_checkpoint(const std::string& path);
 
 /// Canonical JSON for a finished campaign: the artifact the CLI's --report
 /// writes and the CI equivalence job compares byte-for-byte.
-support::Json results_to_json(const diff::CampaignResults& results);
+///
+/// With `config_echo` null (the default) the document is version 1 and its
+/// bytes are unchanged from every prior release — the default nvcc/hipcc
+/// layout stays locked by tests/golden.  Passing the campaign's
+/// config_to_json fingerprint emits the version-2 superset (the --report-v2
+/// flag): identical fields plus "config" (the full fingerprint) and
+/// "fingerprint" ("cfg-" + fnv1a64 of the config bytes), which is the key
+/// the results store ingests under without re-deriving anything.
+support::Json results_to_json(const diff::CampaignResults& results,
+                              const support::Json* config_echo = nullptr);
+/// Accepts versions 1 and 2 (a version-2 document's extra members are
+/// cross-checked — an embedded fingerprint must match its config bytes).
 diff::CampaignResults results_from_json(const support::Json& j);
+
+/// The digest the store keys a config fingerprint under:
+/// "cfg-" + fnv1a64_hex(config_echo.dump()).
+std::string fingerprint_digest(const support::Json& config_echo);
 
 }  // namespace gpudiff::campaign

@@ -496,6 +496,37 @@ bool campaign_complete(const std::string& dir) {
   return true;
 }
 
+support::Json config_echo_of_dir(const std::string& dir) {
+  if (std::filesystem::exists(LeaseBoard::manifest_path(dir)))
+    return LeaseBoard::load_manifest(dir).at("config");
+  // Fixed-carve shard directory: every checkpoint embeds the same
+  // fingerprint (the merge validates that), so the lexicographically
+  // first one speaks for the campaign.
+  std::vector<std::string> paths;
+  if (!std::filesystem::is_directory(dir))
+    throw std::runtime_error("config_echo_of_dir: not a directory: " + dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp") != std::string::npos) continue;
+    if (name.rfind("shard-", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0)
+      paths.push_back(entry.path().string());
+  }
+  if (paths.empty())
+    throw std::runtime_error(
+        "config_echo_of_dir: " + dir +
+        " holds neither a campaign manifest nor shard checkpoints");
+  std::sort(paths.begin(), paths.end());
+  try {
+    return support::Json::parse(support::read_file(paths.front()))
+        .at("config");
+  } catch (const std::exception& e) {
+    throw std::runtime_error("config_echo_of_dir: " + paths.front() + ": " +
+                             e.what());
+  }
+}
+
 diff::CampaignResults merge_lease_dir(const std::string& dir,
                                       const LeaseMergeOptions& options) {
   const support::Json manifest = LeaseBoard::load_manifest(dir);

@@ -222,6 +222,13 @@ WorkerOutcome run_worker(const diff::CampaignConfig& config,
 /// True when a manifest exists and every lease has a done file.
 bool campaign_complete(const std::string& dir);
 
+/// The configuration fingerprint a results directory was produced under:
+/// the manifest's "config" for a lease/coordinator directory, the first
+/// shard checkpoint's for a fixed-carve directory.  Throws if the
+/// directory holds neither.  This is what lets `--merge --report-v2`
+/// stamp the merged report with the fingerprint the store keys it by.
+support::Json config_echo_of_dir(const std::string& dir);
+
 struct LeaseMergeOptions {
   /// On a truncated or JSON-corrupt done file, rename it to
   /// `<file>.quarantined` (so a re-run worker regenerates the lease)

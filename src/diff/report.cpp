@@ -181,4 +181,81 @@ std::string render_records(const CampaignResults& results, std::size_t limit) {
   return t.render();
 }
 
+std::string render_store_summary(const support::Json& summary_doc) {
+  Table t("Results store summary");
+  t.set_header({"Commit", "Populations", "Comparisons", "Discrepancies",
+                "Benchmarks"},
+               {Align::Left, Align::Right, Align::Right, Align::Right,
+                Align::Right});
+  for (const auto& row : summary_doc.at("commits").as_array()) {
+    t.add_row({row.at("commit").as_string(),
+               with_commas(row.at("populations").as_int()),
+               with_commas(row.at("comparisons").as_int()),
+               with_commas(row.at("discrepancies").as_int()),
+               with_commas(row.at("benchmarks").as_int())});
+  }
+  return t.render();
+}
+
+std::string render_store_diff(const support::Json& diff_doc) {
+  const std::string from = diff_doc.at("from").as_string();
+  const std::string to = diff_doc.at("to").as_string();
+  std::string out;
+
+  const auto& pops = diff_doc.at("populations").as_object();
+  if (!pops.empty()) {
+    Table t("Discrepancy populations: " + from + " -> " + to);
+    t.set_header({"Fingerprint", "Status", "From", "To", "Delta"},
+                 {Align::Left, Align::Left, Align::Right, Align::Right,
+                  Align::Right});
+    for (const auto& [fp, entry] : pops) {
+      const std::string status = entry.at("status").as_string();
+      if (status != "matched") {
+        t.add_row({fp, status, "-", "-",
+                   with_commas(entry.at("discrepancies").as_int())});
+        continue;
+      }
+      const auto& d = entry.at("discrepancies");
+      t.add_row({fp, entry.at("regressed").as_bool() ? "REGRESSED" : "ok",
+                 with_commas(d.at("from").as_int()),
+                 with_commas(d.at("to").as_int()),
+                 with_commas(d.at("delta").as_int())});
+    }
+    out += t.render();
+  }
+
+  const auto& perf = diff_doc.at("perf").as_object();
+  if (!perf.empty()) {
+    Table t(support::format("Perf: %s -> %s (threshold +%.1f%%)", from.c_str(),
+                            to.c_str(),
+                            diff_doc.at("max_perf_regress_pct").as_double()));
+    t.set_header({"Benchmark", "Status", "From (ns)", "To (ns)", "Ratio"},
+                 {Align::Left, Align::Left, Align::Right, Align::Right,
+                  Align::Right});
+    for (const auto& [name, entry] : perf) {
+      const std::string status = entry.at("status").as_string();
+      if (status != "matched") {
+        t.add_row({name, status, "-", "-", "-"});
+        continue;
+      }
+      t.add_row({name, entry.at("regressed").as_bool() ? "REGRESSED" : "ok",
+                 support::format("%.1f", entry.at("from_ns").as_double()),
+                 support::format("%.1f", entry.at("to_ns").as_double()),
+                 support::format("%.3f", entry.at("ratio").as_double())});
+    }
+    out += t.render();
+  }
+
+  const auto& reg = diff_doc.at("regressions");
+  const auto n_pop = reg.at("population").as_array().size();
+  const auto n_perf = reg.at("perf").as_array().size();
+  if (diff_doc.at("clean").as_bool()) {
+    out += "no regressions\n";
+  } else {
+    out += support::format("REGRESSIONS: %zu population, %zu perf\n", n_pop,
+                           n_perf);
+  }
+  return out;
+}
+
 }  // namespace gpudiff::diff

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "diff/campaign.hpp"
+#include "support/json.hpp"
 
 namespace gpudiff::diff {
 
@@ -30,5 +31,13 @@ std::string render_adjacency(const CampaignResults& results,
 
 /// A drill-down listing of retained discrepancy records (first `limit`).
 std::string render_records(const CampaignResults& results, std::size_t limit);
+
+/// Results-store summary table (one row per commit) from store::summary's
+/// JSON document.
+std::string render_store_summary(const support::Json& summary_doc);
+
+/// Cross-commit diff tables (population deltas, then perf ratios, then the
+/// regression verdict) from store::diff_commits's JSON document.
+std::string render_store_diff(const support::Json& diff_doc);
 
 }  // namespace gpudiff::diff

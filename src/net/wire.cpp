@@ -23,6 +23,23 @@ IoStatus recv_message(Socket& socket, support::Json* message,
   return IoStatus::Ok;
 }
 
+IoStatus request_response(Socket& socket, support::Json request,
+                          std::int64_t seq, support::Json* response,
+                          double timeout_seconds) {
+  request["seq"] = seq;
+  IoStatus status = send_message(socket, request, timeout_seconds);
+  if (status != IoStatus::Ok) return status;
+  for (;;) {
+    status = recv_message(socket, response, timeout_seconds);
+    if (status != IoStatus::Ok) return status;
+    const std::int64_t got =
+        response->get_or("seq", support::Json(std::int64_t{0})).as_int();
+    if (got < seq) continue;  // stale response to a duplicated frame
+    if (got > seq) return IoStatus::Error;
+    return IoStatus::Ok;
+  }
+}
+
 support::Json ok_response(std::int64_t seq) {
   support::Json j = support::Json::object();
   j["ok"] = true;

@@ -54,6 +54,16 @@ IoStatus send_message(Socket& socket, const support::Json& message,
 IoStatus recv_message(Socket& socket, support::Json* message,
                       double timeout_seconds);
 
+/// Client side of one request/response exchange under the seq discipline:
+/// stamp `request` with `seq`, send it, then read until the response
+/// echoing `seq` arrives — frames with a lower seq are stale duplicates
+/// and are discarded, a higher seq means the stream is desynchronized
+/// (returned as Error).  Both the worker transport and the store query
+/// clients speak this exchange; the caller owns seq monotonicity.
+IoStatus request_response(Socket& socket, support::Json request,
+                          std::int64_t seq, support::Json* response,
+                          double timeout_seconds);
+
 /// {"ok":true,"seq":seq} — extend with op-specific fields.
 support::Json ok_response(std::int64_t seq);
 /// {"ok":false,"error":error,"fatal":fatal,"seq":seq}

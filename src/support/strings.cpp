@@ -1,6 +1,7 @@
 #include "support/strings.hpp"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace gpudiff::support {
@@ -93,6 +94,18 @@ std::string with_commas(long long n) {
   }
   if (neg) out += '-';
   return {out.rbegin(), out.rend()};
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 }  // namespace gpudiff::support

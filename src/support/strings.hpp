@@ -31,4 +31,10 @@ std::string indent(std::string_view text, int spaces);
 /// Render `n` with thousands separators ("24,750") as the paper's tables do.
 std::string with_commas(long long n);
 
+/// FNV-1a 64-bit digest of `s` as 16 lowercase hex digits.  Stable across
+/// platforms and releases by construction — the results store keys records
+/// by digests of serialized configuration fingerprints, and a key must
+/// never change spelling between binaries.
+std::string fnv1a64_hex(std::string_view s);
+
 }  // namespace gpudiff::support

@@ -76,6 +76,28 @@ constexpr std::int64_t kDefaultCheckpointEvery = 64;
 
 void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
+// Machine-readable registry dump: the same field spelling as the
+// config fingerprint (campaign::config_to_json), plus the blurb — so
+// store keys and external tooling agree with the fingerprint on what
+// constitutes platform-set identity.
+void list_platforms_json() {
+  support::Json arr = support::Json::array();
+  for (const opt::PlatformSpec& spec : opt::platform_registry()) {
+    support::Json p = support::Json::object();
+    p["name"] = spec.name;
+    p["toolchain"] = opt::to_string(spec.toolchain);
+    p["fast_math"] = spec.fast_math;
+    p["ftz32"] = spec.force_ftz32;
+    p["daz32"] = spec.force_daz32;
+    p["fma"] = opt::to_string(spec.fma);
+    p["div32"] = opt::to_string(spec.div32);
+    p["mathlib"] = spec.mathlib;
+    p["blurb"] = spec.blurb;
+    arr.push_back(std::move(p));
+  }
+  std::printf("%s\n", arr.dump(1).c_str());
+}
+
 void list_platforms() {
   support::Table t("Platform registry (--platforms a,b,c; first = baseline)");
   t.set_header({"Name", "Toolchain", "Fast math", "FTZ32", "DAZ32", "FMA",
@@ -111,6 +133,7 @@ void print_summary(const diff::CampaignResults& results) {
 // could be torn mid-race.
 void emit_results(const diff::CampaignResults& results,
                   const std::string& report_path, bool tables,
+                  const support::Json* config_echo = nullptr,
                   const std::string& temp_suffix = ".tmp") {
   print_summary(results);
   if (tables) {
@@ -120,9 +143,10 @@ void emit_results(const diff::CampaignResults& results,
                stdout);
   }
   if (!report_path.empty()) {
-    support::write_file_atomic(report_path,
-                               campaign::results_to_json(results).dump(1) + "\n",
-                               temp_suffix);
+    support::write_file_atomic(
+        report_path,
+        campaign::results_to_json(results, config_echo).dump(1) + "\n",
+        temp_suffix);
     std::printf("report written to %s\n", report_path.c_str());
   }
 }
@@ -143,6 +167,9 @@ int main(int argc, char** argv) {
                  "nvcc,hipcc");
   cli.add_flag("list-platforms",
                "print the platform registry (name, toolchain, FP-env) and exit");
+  cli.add_flag("json",
+               "with --list-platforms: dump the registry as JSON (full "
+               "PlatformSpec fields, fingerprint spelling)");
   cli.add_flag("hipify", "test the HIPIFY-converted binding (Tables VII/VIII)");
   cli.add_int("threads", 't', "worker threads (0 = hardware concurrency)", 0);
   cli.add_int("max-records", 'm', "cap on retained discrepancy records", 50000);
@@ -179,17 +206,25 @@ int main(int argc, char** argv) {
                "*.quarantined instead of aborting on the first one");
   cli.add_flag("progress", "print progress after every checkpoint block");
   cli.add_string("report", 'r', "write canonical results JSON to this path", "");
+  cli.add_flag("report-v2",
+               "write the version-2 report superset (embedded config "
+               "fingerprint + store key); default stays the byte-stable "
+               "version-1 layout");
   cli.add_flag("tables", "print the per-level and adjacency tables");
   if (!cli.parse(argc, argv)) return 1;
 
   try {
     if (cli.get_flag("list-platforms")) {
-      list_platforms();
+      if (cli.get_flag("json"))
+        list_platforms_json();
+      else
+        list_platforms();
       return 0;
     }
     const std::string checkpoint_dir = cli.get_string("checkpoint-dir");
     const std::string report_path = cli.get_string("report");
     const bool tables = cli.get_flag("tables");
+    const bool report_v2 = cli.get_flag("report-v2");
 
     if (cli.get_flag("merge")) {
       if (checkpoint_dir.empty()) {
@@ -202,9 +237,13 @@ int main(int argc, char** argv) {
           campaign::LeaseBoard::manifest_path(checkpoint_dir));
       campaign::LeaseMergeOptions mopts;
       mopts.quarantine = cli.get_flag("quarantine");
+      // The merged results do not carry the fingerprint; the directory
+      // that produced them does.
+      support::Json echo;
+      if (report_v2) echo = campaign::config_echo_of_dir(checkpoint_dir);
       emit_results(lease_dir ? campaign::merge_lease_dir(checkpoint_dir, mopts)
                              : campaign::merge_checkpoint_dir(checkpoint_dir),
-                   report_path, tables);
+                   report_path, tables, report_v2 ? &echo : nullptr);
       return 0;
     }
 
@@ -340,8 +379,9 @@ int main(int argc, char** argv) {
         // Deterministic outputs make this safe in a fleet: every worker
         // that gets here writes byte-identical results (each through its
         // own temp file).
+        const support::Json echo = campaign::config_to_json(config);
         emit_results(campaign::merge_lease_dir(worker_dir), report_path,
-                     tables,
+                     tables, report_v2 ? &echo : nullptr,
                      ".tmp." + std::to_string(::getpid()));
       } else {
         std::printf("campaign complete; merge with --merge --checkpoint-dir "
@@ -392,7 +432,9 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (shard.count == 1) {
-      emit_results(campaign::merge_shards({progress}), report_path, tables);
+      const support::Json echo = campaign::config_to_json(config);
+      emit_results(campaign::merge_shards({progress}), report_path, tables,
+                   report_v2 ? &echo : nullptr);
     } else {
       std::printf("shard %s complete (%llu programs); merge all shards with "
                   "--merge --checkpoint-dir %s\n",

@@ -25,6 +25,8 @@
 #include "gen/generator.hpp"
 #include "gen/inputs.hpp"
 #include "opt/pipeline.hpp"
+#include "opt/platform.hpp"
+#include "reduce/reduce.hpp"
 #include "store/store.hpp"
 #include "support/cpu.hpp"
 #include "support/json.hpp"
@@ -539,6 +541,26 @@ void BM_StoreQuery(benchmark::State& state) {
   std::filesystem::remove_all(db);
 }
 BENCHMARK(BM_StoreQuery)->Unit(benchmark::kMicrosecond);
+
+/// One full delta-debugging reduction of a discrepant record — ddmin,
+/// flatten/constfold/hoist/polish to fixpoint, sensitivity probe — the
+/// per-record cost of --reduce-exemplars and the reduce-drill CI job.
+void BM_ReduceRecord(benchmark::State& state) {
+  diff::CampaignConfig cfg;
+  cfg.seed = 1234;
+  cfg.num_programs = 60;
+  cfg.inputs_per_program = 3;
+  cfg.platforms = opt::parse_platform_list("nvcc,hipcc");
+  reduce::RecordRef ref;
+  if (!reduce::parse_record_key("8:2:O3", &ref)) {
+    state.SkipWithError("bad record key");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce::reduce_record(cfg, ref));
+  }
+}
+BENCHMARK(BM_ReduceRecord)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

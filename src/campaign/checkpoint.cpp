@@ -146,6 +146,103 @@ Json config_to_json(const diff::CampaignConfig& config) {
 
 namespace {
 
+// Inverse spellings of the opt:: to_string overloads.  Kept local: the
+// round-trip check below re-serializes through those same overloads, so a
+// stale entry here can reject but never mis-parse.
+opt::Toolchain toolchain_from_string(const std::string& s) {
+  if (s == "nvcc-sim") return opt::Toolchain::Nvcc;
+  if (s == "hipcc-sim") return opt::Toolchain::Hipcc;
+  throw std::runtime_error("campaign: bad toolchain " + s);
+}
+
+opt::FmaMode fma_from_string(const std::string& s) {
+  if (s == "auto") return opt::FmaMode::Auto;
+  if (s == "left") return opt::FmaMode::LeftProduct;
+  if (s == "right") return opt::FmaMode::RightProduct;
+  throw std::runtime_error("campaign: bad fma mode " + s);
+}
+
+opt::Div32Override div32_from_string(const std::string& s) {
+  if (s == "auto") return opt::Div32Override::Auto;
+  if (s == "ieee") return opt::Div32Override::IEEE;
+  if (s == "nv-approx") return opt::Div32Override::NvApprox;
+  if (s == "amd-approx") return opt::Div32Override::AmdApprox;
+  throw std::runtime_error("campaign: bad div32 override " + s);
+}
+
+}  // namespace
+
+diff::CampaignConfig config_from_json(const Json& config_echo) {
+  diff::CampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(config_echo.at("seed").as_int());
+  if (!ir::parse_precision(config_echo.at("precision").as_string(),
+                           &config.gen.precision))
+    throw std::runtime_error("campaign: bad precision in config fingerprint");
+  config.hipify_converted = config_echo.at("hipify_converted").as_bool();
+  config.num_programs =
+      static_cast<int>(config_echo.at("num_programs").as_int());
+  config.inputs_per_program =
+      static_cast<int>(config_echo.at("inputs_per_program").as_int());
+  config.levels = levels_from_json(config_echo.at("levels"));
+  config.max_records =
+      static_cast<std::size_t>(config_echo.at("max_records").as_int());
+
+  config.platforms.clear();
+  for (const auto& p : config_echo.at("platforms").as_array()) {
+    opt::PlatformSpec spec;
+    spec.name = p.at("name").as_string();
+    spec.toolchain = toolchain_from_string(p.at("toolchain").as_string());
+    spec.fast_math = p.at("fast_math").as_bool();
+    spec.force_ftz32 = p.at("ftz32").as_bool();
+    spec.force_daz32 = p.at("daz32").as_bool();
+    spec.fma = fma_from_string(p.at("fma").as_string());
+    spec.div32 = div32_from_string(p.at("div32").as_string());
+    spec.mathlib = p.at("mathlib").as_string();
+    // `blurb` is display-only and not part of the fingerprint; it stays
+    // empty on reconstructed specs.
+    config.platforms.push_back(std::move(spec));
+  }
+
+  gen::GenConfig& g = config.gen;
+  const Json& gj = config_echo.at("gen");
+  g.max_expr_depth = static_cast<int>(gj.at("max_expr_depth").as_int());
+  g.min_stmts = static_cast<int>(gj.at("min_stmts").as_int());
+  g.max_stmts = static_cast<int>(gj.at("max_stmts").as_int());
+  g.max_loop_nest = static_cast<int>(gj.at("max_loop_nest").as_int());
+  g.max_block_stmts = static_cast<int>(gj.at("max_block_stmts").as_int());
+  g.min_scalar_params = static_cast<int>(gj.at("min_scalar_params").as_int());
+  g.max_scalar_params = static_cast<int>(gj.at("max_scalar_params").as_int());
+  g.max_int_params = static_cast<int>(gj.at("max_int_params").as_int());
+  g.max_array_params = static_cast<int>(gj.at("max_array_params").as_int());
+  g.allow_loops = gj.at("allow_loops").as_bool();
+  g.allow_ifs = gj.at("allow_ifs").as_bool();
+  g.allow_arrays = gj.at("allow_arrays").as_bool();
+  g.allow_calls = gj.at("allow_calls").as_bool();
+  g.w_bin = static_cast<std::uint32_t>(gj.at("w_bin").as_int());
+  g.w_call = static_cast<std::uint32_t>(gj.at("w_call").as_int());
+  g.w_neg = static_cast<std::uint32_t>(gj.at("w_neg").as_int());
+  g.w_leaf = static_cast<std::uint32_t>(gj.at("w_leaf").as_int());
+  g.w_leaf_literal = static_cast<std::uint32_t>(gj.at("w_leaf_literal").as_int());
+  g.w_leaf_param = static_cast<std::uint32_t>(gj.at("w_leaf_param").as_int());
+  g.w_leaf_temp = static_cast<std::uint32_t>(gj.at("w_leaf_temp").as_int());
+  g.w_leaf_array = static_cast<std::uint32_t>(gj.at("w_leaf_array").as_int());
+  g.functions.clear();
+  for (const auto& fn : gj.at("functions").as_array()) {
+    const auto v = fn.as_int();
+    if (v < 0 || v > static_cast<long long>(ir::MathFn::Fmax))
+      throw std::runtime_error("campaign: bad math function id");
+    g.functions.push_back(static_cast<ir::MathFn>(v));
+  }
+
+  if (config_to_json(config) != config_echo)
+    throw std::runtime_error(
+        "campaign: config fingerprint does not round-trip (foreign or "
+        "corrupted document)");
+  return config;
+}
+
+namespace {
+
 void pair_stats_to_object(const diff::PairStats& pair, Json& j) {
   Json classes = Json::array();
   for (const auto c : pair.class_counts)

@@ -29,6 +29,15 @@ namespace gpudiff::campaign {
 /// share nothing but a directory layout.
 support::Json config_to_json(const diff::CampaignConfig& config);
 
+/// Strict inverse of config_to_json: rebuild a runnable CampaignConfig
+/// from an embedded config fingerprint (version-2 reports, scheduler
+/// manifests).  The result is validated by re-serializing it and comparing
+/// to `config_echo` — any unknown field, altered spelling or lossy value
+/// throws, so a reconstructed config can never silently diverge from the
+/// fingerprint it claims to reproduce.  `threads` is not part of the
+/// fingerprint and comes back at its default.
+diff::CampaignConfig config_from_json(const support::Json& config_echo);
+
 /// True when `names` is exactly the paper's legacy pair {"nvcc", "hipcc"}
 /// — the platform set whose documents keep the pre-registry byte layout
 /// (flat nvcc/hipcc record keys, single flat stats block, no "platforms"

@@ -73,6 +73,11 @@ struct ComparisonResult {
 
   bool discrepant() const noexcept { return cls != DiscrepancyClass::None; }
   const PlatformResult& baseline() const noexcept { return platforms[0]; }
+  /// The valid pairwise classes, [0, count): the full verdict a record
+  /// stores and the reducer preserves verbatim.
+  std::span<const DiscrepancyClass> classes() const noexcept {
+    return {pair_cls.data(), count};
+  }
 };
 
 ComparisonResult compare_run(const CompiledSet& set, const vgpu::KernelArgs& args);

@@ -1,0 +1,164 @@
+#include "ir/mutate.hpp"
+
+#include <utility>
+
+namespace gpudiff::ir {
+namespace {
+
+/// Innermost-first substitution environment for unrolled loop variables:
+/// (loop depth, literal trip value).  Depths are unique per active nest
+/// level, so a linear scan from the back finds the innermost binding.
+using LoopSubst = std::vector<std::pair<int, int>>;
+
+struct Rebuilder {
+  const Program& src;
+  const StmtEditPlan& plan;
+  const ExprEditPlan& expr_edit;
+  Arena dst;
+
+  ExprId clone_expr(ExprId id, const LoopSubst& subst) {
+    if (id == expr_edit.target) {
+      if (expr_edit.to_literal) return make_literal(dst, expr_edit.literal);
+      const Expr e = src.expr(id);  // by-value: add() may reallocate
+      return clone_plain(e, subst, e.kid[expr_edit.child]);
+    }
+    const Expr e = src.expr(id);
+    if (e.kind == ExprKind::LoopVarRef) {
+      for (auto it = subst.rbegin(); it != subst.rend(); ++it)
+        if (it->first == e.index)
+          return make_literal(dst, static_cast<double>(it->second));
+    }
+    return clone_plain(e, subst, ExprId{});
+  }
+
+  /// Copy `e` (or, when `replace_with` is valid, the subtree it names)
+  /// into dst with kids cloned and the literal spelling preserved.
+  ExprId clone_plain(const Expr& e, const LoopSubst& subst,
+                     ExprId replace_with) {
+    if (replace_with.valid()) return clone_expr(replace_with, subst);
+    Expr out = e;
+    out.text_off = 0;
+    out.text_len = 0;
+    for (int k = 0; k < e.n_kids; ++k) out.kid[k] = clone_expr(e.kid[k], subst);
+    const std::string_view spelling = src.arena().text(e);
+    if (!spelling.empty()) dst.set_text(out, spelling);
+    return dst.add(out);
+  }
+
+  void clone_body(std::span<const StmtId> body, const LoopSubst& subst,
+                  std::vector<StmtId>& out) {
+    for (StmtId sid : body) clone_stmt(sid, subst, out);
+  }
+
+  void clone_stmt(StmtId sid, const LoopSubst& subst,
+                  std::vector<StmtId>& out) {
+    const auto action = plan.action_of(sid);
+    if (action == StmtEditPlan::Action::Drop) return;
+    const Stmt s = src.stmt(sid);  // by-value: add() may reallocate
+    switch (s.kind) {
+      case StmtKind::DeclTemp:
+        out.push_back(make_decl_temp(dst, s.index, clone_expr(s.a, subst)));
+        return;
+      case StmtKind::AssignComp:
+        out.push_back(make_assign_comp(dst, s.assign_op,
+                                       clone_expr(s.a, subst)));
+        return;
+      case StmtKind::StoreArray:
+        out.push_back(make_store_array(dst, s.index, clone_expr(s.a, subst),
+                                       clone_expr(s.b, subst)));
+        return;
+      case StmtKind::For: {
+        if (action == StmtEditPlan::Action::InlineBody) {
+          // Body spliced without the loop head; any surviving LoopVarRef
+          // reads the interpreter's zero-initialised induction slot.
+          clone_body(src.body_of(s), subst, out);
+          return;
+        }
+        if (action == StmtEditPlan::Action::Unroll) {
+          LoopSubst inner = subst;
+          inner.emplace_back(s.index, 0);
+          for (int trip = 0; trip < plan.unroll_trip; ++trip) {
+            inner.back().second = trip;
+            clone_body(src.body_of(s), inner, out);
+          }
+          return;
+        }
+        std::vector<StmtId> body;
+        clone_body(src.body_of(s), subst, body);
+        out.push_back(make_for(dst, s.index, s.bound_param, body));
+        return;
+      }
+      case StmtKind::If: {
+        if (action == StmtEditPlan::Action::InlineBody ||
+            action == StmtEditPlan::Action::Unroll) {
+          clone_body(src.body_of(s), subst, out);
+          return;
+        }
+        const ExprId cond = clone_expr(s.a, subst);
+        std::vector<StmtId> body;
+        clone_body(src.body_of(s), subst, body);
+        out.push_back(make_if(dst, cond, body));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Program apply_edits(const Program& p, const StmtEditPlan& stmts,
+                    const ExprEditPlan& expr) {
+  Rebuilder rb{p, stmts, expr, Arena{}};
+  rb.dst.reserve(p.arena().expr_count(), p.arena().stmt_count(), 64);
+  std::vector<StmtId> body;
+  rb.clone_body(p.body(), LoopSubst{}, body);
+  return Program(p.precision(), p.params(), std::move(rb.dst),
+                 std::move(body));
+}
+
+std::vector<StmtId> preorder_statements(const Program& p) {
+  std::vector<StmtId> out;
+  out.reserve(p.arena().stmt_count());
+  // Explicit stack of spans keeps arbitrarily deep hand-built IR safe.
+  struct Frame {
+    std::span<const StmtId> body;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({p.body(), 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next >= top.body.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const StmtId sid = top.body[top.next++];
+    out.push_back(sid);
+    const Stmt& s = p.stmt(sid);
+    if (s.kind == StmtKind::For || s.kind == StmtKind::If)
+      stack.push_back({p.body_of(s), 0});
+  }
+  return out;
+}
+
+int max_temp_ref(const Program& p) {
+  int max_ref = -1;
+  std::vector<ExprId> work;
+  const auto push_expr = [&](ExprId id) {
+    if (id.valid()) work.push_back(id);
+  };
+  for (StmtId sid : preorder_statements(p)) {
+    const Stmt& s = p.stmt(sid);
+    push_expr(s.a);
+    push_expr(s.b);
+  }
+  while (!work.empty()) {
+    const Expr& e = p.expr(work.back());
+    work.pop_back();
+    if (e.kind == ExprKind::TempRef && e.index > max_ref) max_ref = e.index;
+    for (int k = 0; k < e.n_kids; ++k) work.push_back(e.kid[k]);
+  }
+  return max_ref;
+}
+
+}  // namespace gpudiff::ir

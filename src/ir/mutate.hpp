@@ -1,0 +1,76 @@
+#pragma once
+// Structural program mutations for the discrepancy reducer (src/reduce).
+//
+// A mutation is described by an edit plan over the *original* program and
+// applied by rebuilding the whole kernel into a fresh Arena — a cheap flat
+// pool rebuild, the same economics as Program::compact().  The source
+// program is never modified, so the reducer can propose candidates freely
+// and keep the original as the reference for every differential re-check.
+//
+// Supported edits:
+//   * Drop       — delete a statement (and its whole subtree),
+//   * InlineBody — replace a For/If by its body (guard/loop head removed),
+//   * Unroll     — replace a For by `unroll_trip` copies of its body with
+//                  the induction variable substituted by literal values,
+//   * ExprEditPlan — replace one expression node by a literal constant or
+//                  by one of its children (hoisting).
+//
+// Plans are indexed by StmtId/ExprId slots of the source program; the
+// rebuilt program is compact by construction (only reachable nodes are
+// cloned, in deterministic depth-first order).
+
+#include <optional>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace gpudiff::ir {
+
+/// Per-statement actions for one rebuild.  Slots not present in `actions`
+/// default to Keep, so `none(p)` plans are cheap to copy and specialise.
+struct StmtEditPlan {
+  enum class Action : std::uint8_t { Keep, Drop, InlineBody, Unroll };
+
+  std::vector<Action> actions;  ///< indexed by StmtId.v (source arena slot)
+  int unroll_trip = 0;          ///< trip count applied to Unroll actions
+
+  Action action_of(StmtId id) const noexcept {
+    return id.v < actions.size() ? actions[id.v] : Action::Keep;
+  }
+
+  static StmtEditPlan none(const Program& p) {
+    StmtEditPlan plan;
+    plan.actions.assign(p.arena().stmt_count(), Action::Keep);
+    return plan;
+  }
+};
+
+/// At most one expression rewrite per rebuild: replace `target` either by
+/// a fresh literal (`to_literal`) or by its `child`-th kid.  A
+/// default-constructed plan (invalid target) edits nothing.
+struct ExprEditPlan {
+  ExprId target;           ///< invalid = no expression edit
+  bool to_literal = true;  ///< literal replacement vs child hoist
+  double literal = 0.0;    ///< value when to_literal
+  int child = 0;           ///< kid index when !to_literal
+};
+
+/// Rebuild `p` under the two plans into a fresh compact arena.  Params and
+/// precision are copied unchanged so existing KernelArgs stay valid for
+/// the result.  Dropping a DeclTemp whose temporary is still referenced
+/// elsewhere yields a structurally *invalid* program (dangling TempRef);
+/// callers screen with max_temp_ref() or treat the runtime failure as a
+/// rejected candidate.
+Program apply_edits(const Program& p, const StmtEditPlan& stmts,
+                    const ExprEditPlan& expr = {});
+
+/// All statements of `p` in deterministic pre-order (each For/If before
+/// its body).  This is the canonical statement enumeration the reducer's
+/// delta-debugging loop chunks over.
+std::vector<StmtId> preorder_statements(const Program& p);
+
+/// Highest temporary id referenced by any reachable TempRef (-1 if none).
+/// A program is temp-consistent iff max_temp_ref(p) <= p.max_temp_id().
+int max_temp_ref(const Program& p);
+
+}  // namespace gpudiff::ir

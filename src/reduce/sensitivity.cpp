@@ -1,0 +1,115 @@
+#include "reduce/sensitivity.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "fp/classify.hpp"
+#include "opt/platform.hpp"
+#include "vgpu/interp.hpp"
+
+namespace gpudiff::reduce {
+
+namespace {
+
+/// Relative step and condition threshold per precision: steps of 2^-20 /
+/// 2^-10 (roughly the square root of the significand quantum, the
+/// standard finite-difference compromise), thresholds of 2^26 / 2^11
+/// (half the significand width).
+struct ProbeModel {
+  double rel_step;
+  double min_step;  ///< smallest positive normal of the precision
+  double threshold;
+};
+
+ProbeModel model_of(ir::Precision precision) {
+  if (precision == ir::Precision::FP32)
+    return {0x1p-10, std::numeric_limits<float>::min(), 0x1p11};
+  return {0x1p-20, std::numeric_limits<double>::min(), 0x1p26};
+}
+
+/// x nudged by +-h in the precision's own arithmetic (FP32 inputs live in
+/// float even though KernelArgs carries doubles).
+double nudge(double x, double h, ir::Precision precision, int sign) {
+  if (precision == ir::Precision::FP32) {
+    const float r = static_cast<float>(x) +
+                    static_cast<float>(sign) * static_cast<float>(h);
+    return static_cast<double>(r);
+  }
+  return x + sign * h;
+}
+
+fp::Outcome outcome_of_run(const vgpu::RunResult& run,
+                           ir::Precision precision) {
+  if (precision == ir::Precision::FP32)
+    return fp::outcome_of(static_cast<float>(run.value));
+  return fp::outcome_of(run.value);
+}
+
+}  // namespace
+
+const char* to_string(SensitivityLabel label) noexcept {
+  return label == SensitivityLabel::IllConditioned ? "ill-conditioned"
+                                                   : "platform-divergent";
+}
+
+SensitivityReport probe_sensitivity(const ir::Program& program,
+                                    const diff::CampaignConfig& config,
+                                    opt::OptLevel level,
+                                    const vgpu::KernelArgs& args) {
+  const opt::Executable baseline = opt::compile(
+      program, config.platforms.at(0), level, config.hipify_converted);
+  const ir::Precision precision = program.precision();
+  const ProbeModel model = model_of(precision);
+
+  SensitivityReport report;
+  report.threshold = model.threshold;
+
+  const vgpu::RunResult base = vgpu::run_kernel(baseline, args);
+  const fp::Outcome base_outcome = outcome_of_run(base, precision);
+  const bool finite_base = std::isfinite(base.value);
+  // |f| floor keeps kappa finite at f = 0 (a zero result perturbed to
+  // anything nonzero already shows up as an outcome flip).
+  const double f_floor = std::max(std::fabs(base.value), model.min_step);
+
+  const auto& params = program.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].kind == ir::ParamKind::Int) continue;
+
+    ParamProbe probe;
+    probe.param = static_cast<int>(i);
+    probe.name = params[i].name;
+    probe.value = args.fp[i];
+    double h = std::fabs(probe.value) * model.rel_step;
+    if (!(h >= model.min_step)) h = model.min_step;  // also catches 0 and NaN
+    probe.step = h;
+
+    vgpu::KernelArgs nudged = args;
+    nudged.fp[i] = nudge(probe.value, h, precision, +1);
+    const vgpu::RunResult plus = vgpu::run_kernel(baseline, nudged);
+    nudged.fp[i] = nudge(probe.value, h, precision, -1);
+    const vgpu::RunResult minus = vgpu::run_kernel(baseline, nudged);
+
+    probe.outcome_flip = !(outcome_of_run(plus, precision) == base_outcome) ||
+                         !(outcome_of_run(minus, precision) == base_outcome);
+    probe.derivative = (plus.value - minus.value) / (2.0 * h);
+    if (finite_base && std::isfinite(probe.derivative)) {
+      probe.rel_condition = std::fabs(probe.derivative) *
+                            std::max(std::fabs(probe.value), h) / f_floor;
+    } else if (finite_base && probe.outcome_flip) {
+      // A finite result whose neighbourhood reaches NaN/Inf: the flip
+      // already decides the label; the derivative itself is meaningless.
+      probe.rel_condition = 0.0;
+    }
+
+    report.outcome_flip = report.outcome_flip || probe.outcome_flip;
+    report.condition = std::max(report.condition, probe.rel_condition);
+    report.params.push_back(std::move(probe));
+  }
+
+  report.label = (report.outcome_flip || report.condition > report.threshold)
+                     ? SensitivityLabel::IllConditioned
+                     : SensitivityLabel::PlatformDivergent;
+  return report;
+}
+
+}  // namespace gpudiff::reduce

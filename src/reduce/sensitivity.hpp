@@ -1,0 +1,65 @@
+#pragma once
+// Input-sensitivity probe: separates reproducers whose discrepancy is an
+// artifact of an ill-conditioned input neighbourhood from genuine platform
+// divergence (ROADMAP triage requirement; finite differencing in the style
+// of chainer's numerical_grad).
+//
+// The probe runs only the *baseline* platform: it central-differences the
+// kernel around the discrepant input, one floating parameter at a time,
+// and estimates the relative condition number
+//
+//   kappa_i = |df/dx_i| * max(|x_i|, h) / max(|f|, tiny)
+//
+// A reproducer is labeled `ill-conditioned` when any parameter's kappa
+// exceeds the precision's threshold (2^26 for FP64, 2^11 for FP32 — half
+// the significand width, the classic "half your digits are gone" rule) or
+// when nudging any parameter by +-h flips the baseline's outcome class
+// (the Number/NaN/Inf/Zero lattice the paper classifies by); otherwise it
+// is `platform-divergent`.  Steps are relative (2^-20 / 2^-10 of the
+// parameter, minimum one normal quantum), FP32 arithmetic is done in
+// float, and everything is a pure function of (program, input), so the
+// label is as deterministic as the reduction itself.
+
+#include <string>
+#include <vector>
+
+#include "diff/campaign.hpp"
+#include "ir/program.hpp"
+#include "vgpu/args.hpp"
+
+namespace gpudiff::reduce {
+
+enum class SensitivityLabel : std::uint8_t {
+  PlatformDivergent,  ///< well-conditioned input: blame the platforms
+  IllConditioned,     ///< the input neighbourhood is numerically unstable
+};
+
+const char* to_string(SensitivityLabel label) noexcept;
+
+/// One finite-difference probe of one floating parameter.
+struct ParamProbe {
+  int param = 0;       ///< parameter index (Comp/Scalar/Array kinds)
+  std::string name;    ///< parameter name ("comp", "var_3", ...)
+  double value = 0.0;  ///< the discrepant input's value
+  double step = 0.0;   ///< h actually applied
+  double derivative = 0.0;     ///< central difference (f(x+h)-f(x-h))/2h
+  double rel_condition = 0.0;  ///< kappa_i (0 when f is non-finite)
+  bool outcome_flip = false;   ///< baseline outcome class changed under +-h
+};
+
+struct SensitivityReport {
+  SensitivityLabel label = SensitivityLabel::PlatformDivergent;
+  double condition = 0.0;  ///< max kappa over parameters
+  double threshold = 0.0;  ///< precision's kappa threshold
+  bool outcome_flip = false;
+  std::vector<ParamProbe> params;
+};
+
+/// Probe `program` (the reduced reproducer) around `args` on the
+/// configured baseline platform at the record's optimization level.
+SensitivityReport probe_sensitivity(const ir::Program& program,
+                                    const diff::CampaignConfig& config,
+                                    opt::OptLevel level,
+                                    const vgpu::KernelArgs& args);
+
+}  // namespace gpudiff::reduce

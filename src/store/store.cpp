@@ -4,6 +4,7 @@
 #include <array>
 #include <filesystem>
 #include <stdexcept>
+#include <tuple>
 
 #include "campaign/checkpoint.hpp"
 #include "diff/campaign.hpp"
@@ -111,12 +112,6 @@ std::vector<std::string> report_platforms(const Json& report) {
   return names;
 }
 
-/// One canonical key per retained record: "program:input:level".
-std::string record_key(const diff::DiscrepancyRecord& rec) {
-  return std::to_string(rec.program_index) + ":" +
-         std::to_string(rec.input_index) + ":" + opt::to_string(rec.level);
-}
-
 Json population_of_report(const Json& report, const std::string& commit,
                           const std::string& fingerprint, int max_exemplars) {
   const std::int64_t version = report.at("version").as_int();
@@ -133,23 +128,11 @@ Json population_of_report(const Json& report, const std::string& commit,
   if (per_level.size() != levels.size())
     throw std::runtime_error("report level count mismatch");
 
-  // Exemplars: the first max_exemplars canonical record keys per
-  // (pair, class).  Records are stored in canonical order, so "first"
-  // is deterministic regardless of how the campaign was carved up.
-  std::vector<std::array<std::vector<std::string>,
-                         diff::kDiscrepancyClassCount>>
-      exemplars(n_pairs);
-  for (const auto& rj : report.at("records").as_array()) {
-    const diff::DiscrepancyRecord rec =
-        campaign::record_from_json(rj, platforms.size());
-    for (std::size_t p = 1; p < rec.pair_cls.size(); ++p) {
-      if (rec.pair_cls[p] == diff::DiscrepancyClass::None) continue;
-      auto& keys = exemplars[p - 1][static_cast<std::size_t>(
-          diff::class_index(rec.pair_cls[p]))];
-      if (static_cast<int>(keys.size()) < max_exemplars)
-        keys.push_back(record_key(rec));
-    }
-  }
+  std::vector<diff::DiscrepancyRecord> records;
+  for (const auto& rj : report.at("records").as_array())
+    records.push_back(campaign::record_from_json(rj, platforms.size()));
+  const ExemplarKeys exemplars =
+      select_exemplars(records, platforms.size(), max_exemplars);
 
   Json j = Json::object();
   j["format"] = kPopFormat;
@@ -301,6 +284,113 @@ std::string fingerprint_of_report(const Json& report) {
   for (const auto& name : report_platforms(report)) names.push_back(name);
   header["platforms"] = std::move(names);
   return "hdr-" + support::fnv1a64_hex(header.dump());
+}
+
+std::string record_key(const diff::DiscrepancyRecord& rec) {
+  return std::to_string(rec.program_index) + ":" +
+         std::to_string(rec.input_index) + ":" + opt::to_string(rec.level);
+}
+
+ExemplarKeys select_exemplars(const std::vector<diff::DiscrepancyRecord>& records,
+                              std::size_t n_platforms, int max_exemplars) {
+  if (n_platforms < 2)
+    throw std::runtime_error("store: exemplar selection needs >= 2 platforms");
+  ExemplarKeys exemplars(n_platforms - 1);
+  for (const diff::DiscrepancyRecord& rec : records) {
+    for (std::size_t p = 1; p < rec.pair_cls.size() && p < n_platforms; ++p) {
+      if (rec.pair_cls[p] == diff::DiscrepancyClass::None) continue;
+      auto& keys = exemplars[p - 1][static_cast<std::size_t>(
+          diff::class_index(rec.pair_cls[p]))];
+      if (static_cast<int>(keys.size()) < max_exemplars)
+        keys.push_back(record_key(rec));
+    }
+  }
+  return exemplars;
+}
+
+std::vector<std::string> exemplar_keys_of_population(const Json& pop) {
+  std::vector<std::string> level_names;
+  for (const auto& l : pop.at("levels").as_array())
+    level_names.push_back(l.as_string());
+
+  struct Ordered {
+    long long program;
+    long long input;
+    std::size_t level;
+    std::string key;
+  };
+  std::vector<Ordered> ordered;
+  for (const auto& [pair_name, per_class] : pop.at("exemplars").as_object()) {
+    (void)pair_name;
+    for (const auto& [cls, arr] : per_class.as_object()) {
+      (void)cls;
+      for (const auto& kj : arr.as_array()) {
+        const std::string& key = kj.as_string();
+        const std::vector<std::string> parts = support::split(key, ':');
+        if (parts.size() != 3)
+          throw std::runtime_error("store: malformed exemplar key \"" + key +
+                                   "\"");
+        const auto level_it =
+            std::find(level_names.begin(), level_names.end(), parts[2]);
+        if (level_it == level_names.end())
+          throw std::runtime_error("store: exemplar key \"" + key +
+                                   "\" names a level outside the population");
+        ordered.push_back({std::stoll(parts[0]), std::stoll(parts[1]),
+                           static_cast<std::size_t>(
+                               level_it - level_names.begin()),
+                           key});
+      }
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Ordered& a,
+                                               const Ordered& b) {
+    return std::tie(a.program, a.input, a.level) <
+           std::tie(b.program, b.input, b.level);
+  });
+  std::vector<std::string> keys;
+  for (const Ordered& o : ordered)
+    if (keys.empty() || keys.back() != o.key) keys.push_back(o.key);
+  return keys;
+}
+
+std::vector<diff::DiscrepancyRecord> resolve_exemplars(
+    const Json& pop, const Json& report, const std::string& pop_name,
+    const std::string& report_name) {
+  const std::string fp = fingerprint_of_report(report);
+  if (pop.at("fingerprint").as_string() != fp)
+    throw std::runtime_error(
+        "store: population " + pop_name + " (fingerprint " +
+        pop.at("fingerprint").as_string() + ") does not belong to report " +
+        report_name + " (fingerprint " + fp + ")");
+
+  const std::vector<std::string> platforms = report_platforms(report);
+  std::map<std::string, diff::DiscrepancyRecord> by_key;
+  for (const auto& rj : report.at("records").as_array()) {
+    diff::DiscrepancyRecord rec =
+        campaign::record_from_json(rj, platforms.size());
+    std::string key = record_key(rec);
+    by_key.emplace(std::move(key), std::move(rec));
+  }
+
+  std::vector<diff::DiscrepancyRecord> out;
+  std::vector<std::string> dangling;
+  for (const std::string& key : exemplar_keys_of_population(pop)) {
+    const auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      dangling.push_back(key);
+      continue;
+    }
+    out.push_back(it->second);
+  }
+  if (!dangling.empty())
+    throw std::runtime_error(
+        "store: population " + pop_name + ": exemplar key" +
+        (dangling.size() > 1 ? "s " : " ") + support::join(dangling, ", ") +
+        " of fingerprint " + fp + " resolve to no record in report " +
+        report_name +
+        " (the report was re-merged with a tighter record cap, or one of "
+        "the two files is stale)");
+  return out;
 }
 
 IngestOutcome ingest(const std::string& store_dir, const std::string& commit,

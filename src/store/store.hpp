@@ -34,10 +34,12 @@
 // restarts — which is what lets the serve daemon treat "reload the
 // directory" as full crash recovery.
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "diff/campaign.hpp"
 #include "support/json.hpp"
 
 namespace gpudiff::store {
@@ -52,6 +54,38 @@ inline constexpr int kStoreVersion = 1;
 /// names) for version-1 reports that predate the embedded fingerprint.
 /// The prefixes keep the two derivations from ever colliding.
 std::string fingerprint_of_report(const support::Json& report);
+
+/// The canonical store key of one discrepancy record: "program:input:level".
+/// Every exemplar list, reducer bundle and drill-down refers to records by
+/// this key.
+std::string record_key(const diff::DiscrepancyRecord& rec);
+
+/// Exemplar record keys per (pair, class): `result[pair - 1][class_index]`
+/// holds the first `max_exemplars` canonical-order keys whose record is
+/// discrepant for that pair with that class.  Records must be in canonical
+/// campaign order (they are, in every merged report) so "first" is
+/// deterministic regardless of how the campaign was carved up.  This is
+/// the selection rule populations are built with, exported so the
+/// `--reduce-exemplars` hook picks exactly the records the store retains.
+using ExemplarKeys =
+    std::vector<std::array<std::vector<std::string>,
+                           diff::kDiscrepancyClassCount>>;
+ExemplarKeys select_exemplars(const std::vector<diff::DiscrepancyRecord>& records,
+                              std::size_t n_platforms, int max_exemplars);
+
+/// The union of every exemplar key of a population document, deduplicated
+/// and in canonical record order (program, input, level position) — the
+/// batch work list of `gpudiff-reduce --from-report`.
+std::vector<std::string> exemplar_keys_of_population(const support::Json& pop);
+
+/// Resolve every exemplar key of `pop` to its full record in `report`.
+/// The report must carry the population's fingerprint, and *every* key
+/// must resolve: a dangling key (a record the report no longer contains,
+/// e.g. after a tightened --max-records cap) is a named-file error listing
+/// every missing key against both documents — never a silent skip.
+std::vector<diff::DiscrepancyRecord> resolve_exemplars(
+    const support::Json& pop, const support::Json& report,
+    const std::string& pop_name, const std::string& report_name);
 
 struct IngestOptions {
   /// Set unreadable/foreign input files aside as `<file>.quarantined` and

@@ -33,9 +33,10 @@ struct CycleModel {
 template <typename T>
 class Interp {
  public:
-  Interp(const opt::Executable& exe, const KernelArgs& args, RunResult& out)
+  Interp(const opt::Executable& exe, const KernelArgs& args, RunResult& out,
+         const StmtObserver* observer = nullptr)
       : exe_(exe), arena_(exe.program.arena()), args_(args), out_(out),
-        fpu_(exe.env, out.flags) {
+        observer_(observer), fpu_(exe.env, out.flags) {
     if (sizeof(T) == 4) cycles_.divide = 8;
     if (exe_.env.div32 != fp::Div32Mode::IEEE && sizeof(T) == 4)
       cycles_.divide = 2;
@@ -63,16 +64,21 @@ class Interp {
 
  private:
   void exec_body(std::span<const StmtId> body) {
-    for (StmtId id : body) exec(arena_[id]);
+    for (StmtId id : body) exec(id);
   }
 
-  void exec(const Stmt& s) {
+  void exec(StmtId sid) {
+    const Stmt& s = arena_[sid];
     switch (s.kind) {
-      case StmtKind::DeclTemp:
-        temps_.at(static_cast<std::size_t>(s.index)) = eval(s.a);
+      case StmtKind::DeclTemp: {
+        const T v = eval(s.a);
+        if (observer_) (*observer_)(sid, static_cast<double>(v));
+        temps_.at(static_cast<std::size_t>(s.index)) = v;
         break;
+      }
       case StmtKind::AssignComp: {
         const T v = eval(s.a);
+        if (observer_) (*observer_)(sid, static_cast<double>(v));
         switch (s.assign_op) {
           case ir::AssignOp::Set: comp_ = v; break;
           case ir::AssignOp::Add: comp_ = fpu_.add(comp_, v); break;
@@ -90,7 +96,9 @@ class Interp {
         if (arr.empty())
           throw std::runtime_error("run_kernel: store to non-array parameter");
         const int idx = eval_index(s.a);
-        arr[static_cast<std::size_t>(idx)] = eval(s.b);
+        const T v = eval(s.b);
+        if (observer_) (*observer_)(sid, static_cast<double>(v));
+        arr[static_cast<std::size_t>(idx)] = v;
         break;
       }
       case StmtKind::For: {
@@ -251,6 +259,7 @@ class Interp {
   const Arena& arena_;
   const KernelArgs& args_;
   RunResult& out_;
+  const StmtObserver* observer_;
   Fpu<T> fpu_;
   CycleModel cycles_;
   T comp_{};
@@ -282,6 +291,19 @@ RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args) {
     interp.run();
   } else {
     Interp<double> interp(exe, args, out);
+    interp.run();
+  }
+  return out;
+}
+
+RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args,
+                          const StmtObserver& observer) {
+  RunResult out;
+  if (exe.program.precision() == ir::Precision::FP32) {
+    Interp<float> interp(exe, args, out, &observer);
+    interp.run();
+  } else {
+    Interp<double> interp(exe, args, out, &observer);
     interp.run();
   }
   return out;

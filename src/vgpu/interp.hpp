@@ -24,6 +24,7 @@
 // first and only format when recording a discrepancy.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -61,6 +62,19 @@ RunResult run_kernel(const opt::Executable& exe, const KernelArgs& args);
 /// The tree-walk reference oracle, always available regardless of the
 /// process-wide backend selection (used by the differential self-tests).
 RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args);
+
+/// Per-statement value observer for the tree-walk oracle: called once per
+/// *executed* value-producing statement (DeclTemp init, AssignComp RHS
+/// before the compound op, StoreArray stored value) with the value widened
+/// to double.  Statements inside loops report once per trip.  The reducer's
+/// constant-folding pass records these to replace live subexpressions with
+/// their observed constants.
+using StmtObserver = std::function<void(ir::StmtId, double)>;
+
+/// Tree-walk execution with statement observation (reducer support; the
+/// plain overloads stay observer-free on the hot path).
+RunResult run_kernel_tree(const opt::Executable& exe, const KernelArgs& args,
+                          const StmtObserver& observer);
 
 /// Execute the kernel over a batch of inputs (one RunResult per input).
 /// Bit-identical to per-input run_kernel calls; the bytecode backend

@@ -168,6 +168,64 @@ TEST(StoreIngest, GoldenPopulationLocksOnDiskFormat) {
             support::read_file(kGoldenPopulation));
 }
 
+// Exemplar keys of a population must resolve against the report they were
+// selected from; a key with no record (the report was re-merged under a
+// tighter --max-records cap, or one of the files is stale) is a named-file
+// error, never a silent skip.
+TEST(StoreIngest, DanglingExemplarKeyNamedNotSilentlySkipped) {
+  TempDir dir("gpudiff_store_dangling");
+  const std::string db = dir.file("db");
+  store::ingest(db, "head", {kGoldenReport});
+  const Json report = golden_report();
+  const std::string fp = store::fingerprint_of_report(report);
+  const auto index = store::load_store(db);
+  const Json& pop = store::population(index, "head", fp);
+  const std::string pop_name = db + "/pop/head/" + fp + ".json";
+
+  // Happy path: every exemplar key resolves, in canonical order.
+  const std::vector<std::string> keys =
+      store::exemplar_keys_of_population(pop);
+  ASSERT_FALSE(keys.empty());
+  const auto records =
+      store::resolve_exemplars(pop, report, pop_name, kGoldenReport);
+  ASSERT_EQ(records.size(), keys.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(store::record_key(records[i]), keys[i]);
+
+  // Re-merge simulation: drop the record behind the first exemplar key
+  // (the v1 fingerprint is header-derived, so it still matches).
+  Json capped = report;
+  auto& recs = capped["records"].as_array();
+  const std::size_t before = recs.size();
+  recs.erase(std::remove_if(
+                 recs.begin(), recs.end(),
+                 [&](const Json& r) {
+                   return std::to_string(r.at("program").as_int()) + ":" +
+                              std::to_string(r.at("input").as_int()) + ":" +
+                              r.at("level").as_string() ==
+                          keys.front();
+                 }),
+             recs.end());
+  ASSERT_LT(recs.size(), before);
+  try {
+    store::resolve_exemplars(pop, capped, pop_name, "capped.json");
+    FAIL() << "dangling exemplar key was silently accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(keys.front()), std::string::npos) << message;
+    EXPECT_NE(message.find(pop_name), std::string::npos) << message;
+    EXPECT_NE(message.find("capped.json"), std::string::npos) << message;
+  }
+
+  // A population checked against a foreign report is refused up front,
+  // naming both documents.
+  Json foreign = report;
+  foreign["seed"] = report.at("seed").as_int() + 1;
+  EXPECT_THROW(
+      store::resolve_exemplars(pop, foreign, pop_name, "foreign.json"),
+      std::runtime_error);
+}
+
 TEST(StoreIngest, IdempotentReingestConflictRefused) {
   TempDir dir("gpudiff_store_idem");
   const std::string db = dir.file("db");

@@ -19,10 +19,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "diff/campaign.hpp"
 #include "diff/runner.hpp"
+#include "ir/mutate.hpp"
+#include "reduce/reduce.hpp"
 #include "gen/generator.hpp"
 #include "gen/inputs.hpp"
 #include "opt/pipeline.hpp"
@@ -223,6 +227,96 @@ TEST(SimdDifferentialStress, Fp64AllEnginesMatchTreeOracleBitForBit) {
   const int programs = std::max(1, stress_programs() / 4);
   for (const support::SimdOverride engine : runnable_engines())
     run_simd_stress(ir::Precision::FP64, programs, engine);
+}
+
+// ---------------------------------------------------------------------------
+// Reducer stress tier: run the delta-debugging reducer over every
+// discrepancy a campaign-scale corpus produces, then re-verify verdict
+// preservation and 1-minimality with the tree-walk oracle — the reducer's
+// acceptance decisions (made on the bytecode VM) must hold under the
+// reference interpreter too.
+// ---------------------------------------------------------------------------
+
+/// ~500 programs per precision at the default GPUDIFF_STRESS_PROGRAMS.
+int reduce_stress_programs() { return std::max(50, stress_programs() / 4); }
+
+void run_reduce_stress(ir::Precision precision, int programs) {
+  diff::CampaignConfig config;
+  config.gen.precision = precision;
+  config.seed = kSeed;
+  config.num_programs = programs;
+  config.inputs_per_program = kInputsPerProgram;
+  config.platforms = opt::parse_platform_list("nvcc,hipcc");
+
+  vgpu::set_exec_backend(vgpu::ExecBackend::Bytecode);
+  const diff::CampaignResults results = diff::run_campaign(config);
+  ASSERT_FALSE(results.records.empty())
+      << "stress corpus produced no discrepancies; widen the campaign";
+
+  // Phase 1 (bytecode VM): reduce every record.
+  std::vector<std::optional<reduce::Reduction>> reductions(
+      results.records.size());
+  std::vector<std::string> failures;
+  std::mutex mu;
+  auto record_failure = [&](const std::string& message) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (failures.size() < 25) failures.push_back(message);
+  };
+  support::parallel_for(results.records.size(), [&](std::size_t i) {
+    const diff::DiscrepancyRecord& rec = results.records[i];
+    const reduce::RecordRef ref{rec.program_index, rec.input_index,
+                                rec.level};
+    try {
+      reductions[i] = reduce::reduce_record(config, ref);
+    } catch (const std::exception& e) {
+      record_failure(ref.key() + ": reduce_record threw: " + e.what());
+      return;
+    }
+    if (reductions[i]->verdict.pair_cls != rec.pair_cls)
+      record_failure(ref.key() + ": verdict not preserved");
+  });
+
+  // Phase 2 (tree-walk oracle): the reproducer must reproduce its verdict
+  // and be 1-minimal under the reference interpreter as well.
+  vgpu::set_exec_backend(vgpu::ExecBackend::TreeWalk);
+  support::parallel_for(reductions.size(), [&](std::size_t i) {
+    if (!reductions[i]) return;
+    const reduce::Reduction& r = *reductions[i];
+    if (reduce::verdict_of(r.program, config, r.record.level, r.args) !=
+        r.verdict) {
+      record_failure(r.record.key() + ": oracle disagrees on the verdict");
+      return;
+    }
+    for (const ir::StmtId id : ir::preorder_statements(r.program)) {
+      const std::optional<ir::Program> dropped =
+          reduce::drop_statement(r.program, id);
+      if (!dropped) continue;
+      reduce::Verdict v;
+      try {
+        v = reduce::verdict_of(*dropped, config, r.record.level, r.args);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (v == r.verdict) {
+        record_failure(r.record.key() + ": not 1-minimal under the oracle");
+        return;
+      }
+    }
+  });
+  vgpu::set_exec_backend(vgpu::ExecBackend::Bytecode);
+
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << "+ failures over " << results.records.size()
+      << " records, first:\n"
+      << support::join(failures, "\n");
+}
+
+TEST(ReduceStress, Fp64EveryDiscrepancyReducesVerdictPreservingOneMinimal) {
+  run_reduce_stress(ir::Precision::FP64, reduce_stress_programs());
+}
+
+TEST(ReduceStress, Fp32EveryDiscrepancyReducesVerdictPreservingOneMinimal) {
+  run_reduce_stress(ir::Precision::FP32, reduce_stress_programs());
 }
 
 TEST(SimdDifferentialStress, Fp32AllEnginesMatchTreeOracleBitForBit) {

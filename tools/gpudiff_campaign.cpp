@@ -56,6 +56,7 @@
 #include "campaign/shard.hpp"
 #include "diff/report.hpp"
 #include "opt/platform.hpp"
+#include "reduce/bundle.hpp"
 #include "support/cli.hpp"
 #include "support/cpu.hpp"
 #include "support/json.hpp"
@@ -151,6 +152,30 @@ void emit_results(const diff::CampaignResults& results,
   }
 }
 
+// The --reduce-exemplars hook: shrink the exemplar records of finished
+// results to 1-minimal reproducer bundles (same selection rule as a store
+// population, so the bundles line up with what gpudiff-serve reports).
+void reduce_exemplars_of(const diff::CampaignConfig& config,
+                         const diff::CampaignResults& results,
+                         const std::string& out_dir, int max_exemplars) {
+  const std::vector<reduce::RecordRef> reduced = reduce::reduce_exemplars(
+      config, results.records, out_dir, max_exemplars,
+      [](const reduce::Reduction& r) {
+        std::printf("[reduce] %s: %llu -> %llu statements, %llu -> %llu "
+                    "nodes (%llu checks), %s\n",
+                    r.record.key().c_str(),
+                    static_cast<unsigned long long>(r.original_stmts),
+                    static_cast<unsigned long long>(r.reduced_stmts),
+                    static_cast<unsigned long long>(r.original_nodes),
+                    static_cast<unsigned long long>(r.reduced_nodes),
+                    static_cast<unsigned long long>(r.checks),
+                    reduce::to_string(r.sensitivity.label));
+        std::fflush(stdout);
+      });
+  std::printf("%zu reproducer bundle(s) written to %s\n", reduced.size(),
+              out_dir.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +236,18 @@ int main(int argc, char** argv) {
                "fingerprint + store key); default stays the byte-stable "
                "version-1 layout");
   cli.add_flag("tables", "print the per-level and adjacency tables");
+  cli.add_flag("reduce-exemplars",
+               "after the campaign (or merge) completes, delta-debug each "
+               "exemplar record to a 1-minimal reproducer bundle (see "
+               "gpudiff-reduce)");
+  cli.add_string("reduce-out", 'O',
+                 "bundle directory for --reduce-exemplars (default: "
+                 "<checkpoint/lease dir>/reduced, or ./reduced)",
+                 "");
+  cli.add_int("max-exemplars", 'E',
+              "exemplar records per (pair, class) for --reduce-exemplars "
+              "(the store's population rule)",
+              5);
   if (!cli.parse(argc, argv)) return 1;
 
   try {
@@ -225,6 +262,8 @@ int main(int argc, char** argv) {
     const std::string report_path = cli.get_string("report");
     const bool tables = cli.get_flag("tables");
     const bool report_v2 = cli.get_flag("report-v2");
+    const bool reduce_exemplars = cli.get_flag("reduce-exemplars");
+    const int max_exemplars = static_cast<int>(cli.get_int("max-exemplars"));
 
     if (cli.get_flag("merge")) {
       if (checkpoint_dir.empty()) {
@@ -240,10 +279,21 @@ int main(int argc, char** argv) {
       // The merged results do not carry the fingerprint; the directory
       // that produced them does.
       support::Json echo;
-      if (report_v2) echo = campaign::config_echo_of_dir(checkpoint_dir);
-      emit_results(lease_dir ? campaign::merge_lease_dir(checkpoint_dir, mopts)
-                             : campaign::merge_checkpoint_dir(checkpoint_dir),
-                   report_path, tables, report_v2 ? &echo : nullptr);
+      if (report_v2 || reduce_exemplars)
+        echo = campaign::config_echo_of_dir(checkpoint_dir);
+      const diff::CampaignResults results =
+          lease_dir ? campaign::merge_lease_dir(checkpoint_dir, mopts)
+                    : campaign::merge_checkpoint_dir(checkpoint_dir);
+      emit_results(results, report_path, tables, report_v2 ? &echo : nullptr);
+      if (reduce_exemplars) {
+        // The reducer re-derives programs and inputs, so it needs the full
+        // campaign definition — the directory's config fingerprint is the
+        // only trustworthy source in merge mode.
+        std::string out = cli.get_string("reduce-out");
+        if (out.empty()) out = checkpoint_dir + "/reduced";
+        reduce_exemplars_of(campaign::config_from_json(echo), results, out,
+                            max_exemplars);
+      }
       return 0;
     }
 
@@ -375,14 +425,22 @@ int main(int argc, char** argv) {
                        "gpudiff-campaign: --report/--tables need the merged "
                        "results; run --merge against the coordinator's state "
                        "directory\n");
-      } else if (!report_path.empty() || tables) {
+      } else if (!report_path.empty() || tables || reduce_exemplars) {
         // Deterministic outputs make this safe in a fleet: every worker
         // that gets here writes byte-identical results (each through its
-        // own temp file).
+        // own temp file) — and with --reduce-exemplars, byte-identical
+        // bundles (atomic per-file writes).
         const support::Json echo = campaign::config_to_json(config);
-        emit_results(campaign::merge_lease_dir(worker_dir), report_path,
-                     tables, report_v2 ? &echo : nullptr,
+        const diff::CampaignResults results =
+            campaign::merge_lease_dir(worker_dir);
+        emit_results(results, report_path, tables,
+                     report_v2 ? &echo : nullptr,
                      ".tmp." + std::to_string(::getpid()));
+        if (reduce_exemplars) {
+          std::string out = cli.get_string("reduce-out");
+          if (out.empty()) out = worker_dir + "/reduced";
+          reduce_exemplars_of(config, results, out, max_exemplars);
+        }
       } else {
         std::printf("campaign complete; merge with --merge --checkpoint-dir "
                     "%s\n",
@@ -433,8 +491,14 @@ int main(int argc, char** argv) {
     }
     if (shard.count == 1) {
       const support::Json echo = campaign::config_to_json(config);
-      emit_results(campaign::merge_shards({progress}), report_path, tables,
-                   report_v2 ? &echo : nullptr);
+      const diff::CampaignResults results = campaign::merge_shards({progress});
+      emit_results(results, report_path, tables, report_v2 ? &echo : nullptr);
+      if (reduce_exemplars) {
+        std::string out = cli.get_string("reduce-out");
+        if (out.empty())
+          out = checkpoint_dir.empty() ? "reduced" : checkpoint_dir + "/reduced";
+        reduce_exemplars_of(config, results, out, max_exemplars);
+      }
     } else {
       std::printf("shard %s complete (%llu programs); merge all shards with "
                   "--merge --checkpoint-dir %s\n",
